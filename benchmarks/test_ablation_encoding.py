@@ -1,0 +1,136 @@
+"""ABL-ENC — encoding ablation: xBMC0.1 (location variable) vs xBMC1.0
+(single-assignment renaming), plus the assertion-accumulation policy.
+
+The paper reports that the location encoding caused "frequent system
+breakdowns, primarily due to inefficiently encoding each assignment
+using 2|X| variables" and that switching to Clarke et al.'s variable
+renaming fixed it (§3.3.1–§3.3.2).  Expected shape: formula size and
+solve time grow much faster with program size for xBMC0.1.
+
+A second ablation exercises the per-assertion constraint accumulation
+policy (§3.3.2's "C(c,g) := C(c,g) ∧ C(assert_i, g)"): the literal
+"always" reading silences downstream assertions once one is violated,
+which is why the checker defaults to accumulating only verified-safe
+assertions (see repro/bmc/checker.py).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ai import rename, translate_filter_result
+from repro.bmc import check_program
+from repro.bmc.location_encoder import LocationBMC
+from repro.ir import filter_source
+
+
+def chain_program(length: int) -> str:
+    """A taint chain of `length` copies ending in one sink per variable."""
+    lines = ["$v0 = $_GET['q'];"]
+    for i in range(1, length):
+        lines.append(f"$v{i} = $v{i - 1};")
+    lines.append(f"echo $v{length - 1};")
+    return "<?php " + "\n".join(lines)
+
+
+def branchy_program(branches: int) -> str:
+    lines = ["$x = '';"]
+    for i in range(branches):
+        lines.append(f"if ($c{i}) {{ $x = $x . $_GET['p{i}']; }}")
+    lines.append("echo $x;")
+    return "<?php " + "\n".join(lines)
+
+
+def measure(source: str) -> dict:
+    ai = translate_filter_result(filter_source(source))
+    t0 = time.perf_counter()
+    renaming_result = check_program(rename(ai))
+    t1 = time.perf_counter()
+    location_result = LocationBMC(ai).run()
+    t2 = time.perf_counter()
+    assert {r.assert_id: not r.safe for r in renaming_result.assertions} == (
+        location_result.verdicts
+    )
+    return {
+        "renaming_vars": renaming_result.num_vars,
+        "renaming_clauses": renaming_result.num_clauses,
+        "renaming_seconds": t1 - t0,
+        "location_vars": location_result.num_vars,
+        "location_clauses": location_result.num_clauses,
+        "location_seconds": t2 - t1,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-encoding")
+def test_encoding_size_sweep(benchmark):
+    sizes = [2, 4, 8, 12, 16]
+
+    def sweep():
+        return {n: measure(chain_program(n)) for n in sizes}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print("Encoding ablation — copy chains (xBMC1.0 renaming vs xBMC0.1 location)")
+    print(f"{'n':>4s} {'ren vars':>9s} {'ren cls':>9s} {'loc vars':>9s} {'loc cls':>9s} {'cls ratio':>10s}")
+    for n in sizes:
+        r = results[n]
+        ratio = r["location_clauses"] / max(r["renaming_clauses"], 1)
+        print(
+            f"{n:4d} {r['renaming_vars']:9d} {r['renaming_clauses']:9d} "
+            f"{r['location_vars']:9d} {r['location_clauses']:9d} {ratio:10.1f}"
+        )
+
+    # Shape: the location encoding is consistently (and increasingly)
+    # larger — the 2|X|-per-step cost.
+    for n in sizes:
+        assert results[n]["location_clauses"] > results[n]["renaming_clauses"]
+    small_ratio = results[sizes[0]]["location_clauses"] / results[sizes[0]]["renaming_clauses"]
+    large_ratio = results[sizes[-1]]["location_clauses"] / results[sizes[-1]]["renaming_clauses"]
+    assert large_ratio > small_ratio  # super-linear divergence
+
+
+@pytest.mark.benchmark(group="ablation-encoding")
+def test_encoding_time_on_branchy_program(benchmark):
+    source = branchy_program(5)
+    ai = translate_filter_result(filter_source(source))
+
+    renamed = rename(ai)
+    renaming_time = benchmark.pedantic(
+        lambda: check_program(renamed), rounds=3, iterations=1
+    )
+    t0 = time.perf_counter()
+    location = LocationBMC(ai).run()
+    location_seconds = time.perf_counter() - t0
+    print()
+    print(f"branchy(5): location encoding {location_seconds * 1000:.1f} ms, "
+          f"{location.num_clauses} clauses")
+    assert location.verdicts[1] is True
+
+
+@pytest.mark.benchmark(group="ablation-accumulate")
+def test_accumulation_policy_ablation(benchmark):
+    """The literal reading of §3.3.2 degenerates on Figure-7-shaped code."""
+    source = (
+        "<?php $sid = $_GET['sid'];"
+        + "".join(f"$q{i} = 'S' . $sid; DoSQL($q{i});" for i in range(8))
+    )
+    renamed = rename(translate_filter_result(filter_source(source)))
+
+    def run_policies():
+        return {
+            policy: check_program(renamed, accumulate=policy)
+            for policy in ("never", "safe-only", "always")
+        }
+
+    results = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    violated = {policy: len(result.violated) for policy, result in results.items()}
+    print()
+    print("Accumulation policy ablation (8 tainted sinks, one root):")
+    for policy, count in violated.items():
+        print(f"  accumulate={policy:10s} -> {count} violated assertions detected")
+    assert violated["never"] == 8
+    assert violated["safe-only"] == 8
+    assert violated["always"] == 1  # everything after the first is silenced

@@ -1,0 +1,106 @@
+"""ABL-ENUM — counterexample blocking strategy ablation.
+
+The paper blocks each counterexample by negating the values of *all*
+nondeterministic variables BN (§3.3.2).  When the program contains
+branches the violation never consults, every semantically distinct path
+is then re-enumerated once per assignment of those irrelevant variables
+— an exponential multiplier.  The default checker negates only the
+*deciding* literals of the trace's backward slice (see DESIGN.md §5b).
+
+Shape expected: with k irrelevant branches, "all-bn" produces 2^k
+duplicates per real path while "deciding" stays at the true path count;
+both find the same set of distinct paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ai import rename, translate_filter_result
+from repro.bmc import check_program
+from repro.ir import filter_source
+
+
+def program_with_irrelevant_branches(irrelevant: int) -> str:
+    """One real taint path plus `irrelevant` branches the sink ignores."""
+    lines = ["$x = $_GET['q'];"]
+    for i in range(irrelevant):
+        lines.append(f"if ($c{i}) {{ $noise{i} = {i}; }}")
+    lines.append("echo $x;")
+    return "<?php " + "\n".join(lines)
+
+
+def renamed_of(source):
+    return rename(translate_filter_result(filter_source(source)))
+
+
+@pytest.mark.benchmark(group="ablation-enumeration")
+def test_blocking_strategy_sweep(benchmark):
+    sizes = [0, 2, 4, 6, 8]
+
+    def sweep():
+        rows = {}
+        for k in sizes:
+            renamed = renamed_of(program_with_irrelevant_branches(k))
+            t0 = time.perf_counter()
+            deciding = check_program(renamed, blocking="deciding", max_counterexamples=4096)
+            t1 = time.perf_counter()
+            all_bn = check_program(renamed, blocking="all-bn", max_counterexamples=4096)
+            t2 = time.perf_counter()
+            rows[k] = {
+                "deciding": len(deciding.violated[0].counterexamples),
+                "all_bn": len(all_bn.violated[0].counterexamples),
+                "deciding_seconds": t1 - t0,
+                "all_bn_seconds": t2 - t1,
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("blocking strategy: counterexamples per violated assertion")
+    print(f"{'irrelevant':>10s} {'deciding':>9s} {'all-BN':>9s} {'all-BN ms':>10s}")
+    for k in sizes:
+        row = rows[k]
+        print(
+            f"{k:10d} {row['deciding']:9d} {row['all_bn']:9d} "
+            f"{row['all_bn_seconds'] * 1000:10.1f}"
+        )
+
+    for k in sizes:
+        assert rows[k]["deciding"] == 1  # one real path
+        assert rows[k]["all_bn"] == 2**k  # 2^k duplicates of it
+
+
+@pytest.mark.benchmark(group="ablation-enumeration")
+def test_strategies_find_same_distinct_paths(benchmark):
+    """On a program with genuinely distinct violating paths, both
+    strategies enumerate the same deciding-slice set."""
+    source = (
+        "<?php "
+        "if ($a) { $x = $_GET['p']; } else { $x = $_POST['q']; }"
+        "if ($noise) { $n = 1; }"
+        "echo $x;"
+    )
+    renamed = renamed_of(source)
+
+    def run_both():
+        return (
+            check_program(renamed, blocking="deciding", max_counterexamples=4096),
+            check_program(renamed, blocking="all-bn", max_counterexamples=4096),
+        )
+
+    deciding, all_bn = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    def slices(result):
+        return {
+            tuple(sorted(t.deciding_branches.items()))
+            for t in result.violated[0].counterexamples
+        }
+
+    assert slices(deciding) == slices(all_bn)
+    assert len(deciding.violated[0].counterexamples) == 2
+    assert len(all_bn.violated[0].counterexamples) == 4  # x2 for the noise branch
+    print()
+    print("same distinct slices; all-BN enumerated each twice (noise branch)")

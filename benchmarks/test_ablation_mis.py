@@ -1,0 +1,107 @@
+"""ABL-MIS — greedy set-cover heuristic vs exact minimum intersecting set.
+
+The paper proves MINIMUM-INTERSECTING-SET NP-complete (§3.3.4, via
+VERTEX-COVER) and adopts Chvátal's greedy heuristic with its 1+ln|S|
+approximation ratio.  This ablation measures, on random instances and on
+vertex-cover reductions, (a) how close greedy gets to optimal in
+practice and (b) the running-time gap that justifies the heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+import pytest
+
+from repro.analysis import (
+    exact_minimum_intersecting_set,
+    greedy_minimum_intersecting_set,
+    is_intersecting_set,
+    vertex_cover_instance,
+)
+
+
+def random_instance(rng: random.Random, num_elements: int, num_sets: int):
+    return [
+        frozenset(
+            rng.sample(range(num_elements), rng.randint(1, min(4, num_elements)))
+        )
+        for _ in range(num_sets)
+    ]
+
+
+def random_graph_edges(rng: random.Random, vertices: int, edges: int):
+    out = set()
+    while len(out) < edges:
+        u, v = rng.sample(range(vertices), 2)
+        out.add((min(u, v), max(u, v)))
+    return sorted(out)
+
+
+@pytest.mark.benchmark(group="ablation-mis")
+def test_greedy_quality_on_random_instances(benchmark):
+    rng = random.Random(42)
+    instances = [random_instance(rng, 12, 18) for _ in range(40)]
+
+    def run_greedy():
+        return [greedy_minimum_intersecting_set(inst) for inst in instances]
+
+    greedy_results = benchmark(run_greedy)
+
+    ratios = []
+    for instance, greedy in zip(instances, greedy_results):
+        exact = exact_minimum_intersecting_set(instance)
+        assert is_intersecting_set(instance, greedy)
+        ratios.append(len(greedy) / max(len(exact), 1))
+    worst = max(ratios)
+    mean = sum(ratios) / len(ratios)
+    bound = 1 + math.log(18)
+    print()
+    print(f"greedy/optimal ratio over 40 random instances: mean {mean:.3f}, worst {worst:.3f}")
+    print(f"Chvátal bound for |S|=18: {bound:.2f}")
+    assert worst <= bound
+    assert mean <= 1.35  # in practice greedy is near-optimal on these
+
+
+@pytest.mark.benchmark(group="ablation-mis")
+def test_greedy_vs_exact_time(benchmark):
+    rng = random.Random(7)
+    instance = [
+        frozenset(rng.sample(range(22), rng.randint(2, 4))) for _ in range(40)
+    ]
+
+    greedy = benchmark(lambda: greedy_minimum_intersecting_set(instance))
+
+    t0 = time.perf_counter()
+    exact = exact_minimum_intersecting_set(instance)
+    exact_seconds = time.perf_counter() - t0
+    print()
+    print(
+        f"greedy |M|={len(greedy)}, exact |M|={len(exact)}, "
+        f"exact took {exact_seconds * 1000:.1f} ms"
+    )
+    assert len(exact) <= len(greedy)
+
+
+@pytest.mark.benchmark(group="ablation-mis")
+def test_vertex_cover_reduction_sweep(benchmark):
+    """Greedy on vertex-cover instances — the NP-completeness reduction."""
+    rng = random.Random(3)
+    graphs = [random_graph_edges(rng, 14, 24) for _ in range(10)]
+    instances = [vertex_cover_instance(edges) for edges in graphs]
+
+    def run():
+        return [greedy_minimum_intersecting_set(inst) for inst in instances]
+
+    covers = benchmark(run)
+    for edges, cover in zip(graphs, covers):
+        # A valid vertex cover touches every edge.
+        assert all(u in cover or v in cover for u, v in edges)
+    optima = [len(exact_minimum_intersecting_set(inst)) for inst in instances]
+    print()
+    print("vertex-cover sizes (greedy vs optimal):")
+    print("  " + ", ".join(f"{len(c)}/{o}" for c, o in zip(covers, optima)))
+    # Greedy never worse than 2x on vertex cover here.
+    assert all(len(c) <= 2 * o for c, o in zip(covers, optima))

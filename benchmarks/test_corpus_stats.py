@@ -1,0 +1,122 @@
+"""CORPUS — the §5 whole-corpus aggregates.
+
+The paper's sample: 230 projects, 11,848 files, 1,140,091 statements;
+515 files in 69 projects were identified as vulnerable; 38 developers
+acknowledged.  The synthetic corpus reproduces the *population
+structure* exactly (project counts, vulnerable-project count) and the
+physical size proportionally at a configurable scale (set
+``REPRO_CORPUS_SCALE=1.0`` in the environment to generate at full
+size — analysis of the full corpus is then hours, not seconds).
+
+The TS pipeline — the one the paper used for the corpus-wide triage —
+is run over every generated project to check that vulnerable projects
+are exactly the seeded ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import WebSSARI
+from repro.corpus import CORPUS_AGGREGATES, corpus_statistics, generate_corpus
+from repro.ir import filter_program
+from repro.php.includes import resolve_includes
+from repro.php.parser import parse
+from repro.typestate import analyze_commands
+
+SCALE = float(os.environ.get("REPRO_CORPUS_SCALE", "0.004"))
+
+
+def build_corpus():
+    projects = generate_corpus(scale=SCALE, seed=2004)
+    stats = corpus_statistics(projects)
+    return projects, stats
+
+
+def triage_with_ts(projects):
+    """The corpus-wide TS pass: which projects/files are vulnerable?"""
+    vulnerable_projects = 0
+    vulnerable_files = 0
+    total_violations = 0
+    for generated in projects:
+        project_vulnerable_files = set()
+        for path in generated.project.paths():
+            resolution = resolve_includes(generated.project, path)
+            filtered = filter_program(resolution.program)
+            report = analyze_commands(filtered)
+            if report.violations:
+                project_vulnerable_files.add(path)
+            total_violations += report.num_violations
+        if project_vulnerable_files:
+            vulnerable_projects += 1
+        vulnerable_files += len(project_vulnerable_files)
+    return {
+        "vulnerable_projects": vulnerable_projects,
+        "vulnerable_files": vulnerable_files,
+        "total_violations": total_violations,
+    }
+
+
+@pytest.mark.benchmark(group="corpus")
+def test_corpus_structure(benchmark):
+    projects, stats = benchmark.pedantic(build_corpus, rounds=1, iterations=1)
+
+    print()
+    print(f"Corpus aggregates (generation scale = {SCALE}):")
+    print(f"{'metric':28s} {'paper':>12s} {'generated':>12s}")
+    mapping = [
+        ("projects", "num_projects", "num_projects"),
+        ("files", "num_files", "num_files"),
+        ("statements", "num_statements", "num_statements"),
+        ("vulnerable projects", "num_vulnerable_projects", "num_vulnerable_projects"),
+        ("vulnerable files", "num_vulnerable_files", "num_vulnerable_files"),
+    ]
+    for label, paper_key, gen_key in mapping:
+        print(f"{label:28s} {CORPUS_AGGREGATES[paper_key]:12,d} {stats[gen_key]:12,d}")
+
+    assert stats["num_projects"] == 230
+    assert stats["num_vulnerable_projects"] == 69
+    # Physical size scales with the configured factor (loose bounds: the
+    # log-normal size draw is noisy at small scales).
+    expected_statements = CORPUS_AGGREGATES["num_statements"] * SCALE
+    assert 0.3 * expected_statements <= stats["num_statements"] <= 3.0 * expected_statements
+
+
+@pytest.mark.benchmark(group="corpus")
+def test_corpus_ts_triage(benchmark):
+    projects, stats = build_corpus()
+    triage = benchmark.pedantic(triage_with_ts, args=(projects,), rounds=1, iterations=1)
+
+    print()
+    print("TS triage over the generated corpus:")
+    print(f"  vulnerable projects: {triage['vulnerable_projects']} (paper: 69)")
+    print(f"  vulnerable files:    {triage['vulnerable_files']}")
+    print(f"  TS violations:       {triage['total_violations']}")
+
+    assert triage["vulnerable_projects"] == 69
+    assert triage["vulnerable_files"] == stats["num_vulnerable_files"]
+    assert triage["total_violations"] == stats["seeded_ts_errors"]
+
+
+@pytest.mark.benchmark(group="corpus")
+def test_acknowledged_projects_bmc_deep_scan(benchmark):
+    """Run the full BMC pipeline over the 38 catalog stand-ins only (as
+    the paper did for the acknowledged projects)."""
+    from repro.corpus import FIGURE_10
+    from repro.corpus.generator import generate_catalog_project
+
+    def deep_scan():
+        websari = WebSSARI()
+        totals = {"ts": 0, "bmc": 0}
+        for entry in FIGURE_10:
+            report = websari.verify_project(generate_catalog_project(entry).project)
+            totals["ts"] += report.ts_error_count
+            totals["bmc"] += report.bmc_group_count
+        return totals
+
+    totals = benchmark.pedantic(deep_scan, rounds=1, iterations=1)
+    print()
+    print(f"deep scan totals: TS={totals['ts']}, BMC groups={totals['bmc']}")
+    assert totals["bmc"] == 578

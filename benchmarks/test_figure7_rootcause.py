@@ -1,0 +1,93 @@
+"""FIG7 — root-cause grouping on the PHP Surveyor example.
+
+Figure 7 shows one tainted variable ($sid) making three statements
+vulnerable; the paper notes that in the full PHP Surveyor source the
+same variable was "the root cause of 16 vulnerable program locations;
+our TS algorithm made 16 instrumentations, whereas a single
+instrumentation would have been sufficient".
+
+This bench checks both shapes: the 3-sink figure and a 16-site variant,
+asserting TS = N instrumentations vs BMC = 1, and that the single BMC
+patch actually secures the code (re-verification + runtime check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, MockDatabase, run_php
+
+FIGURE7_SOURCE = """<?php
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = "SELECT * FROM groups WHERE sid=$sid"; DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid"; DoSQL($i2q);
+$fnq = "SELECT * FROM questions, surveys WHERE questions.sid='$sid'"; DoSQL($fnq);
+"""
+
+
+def sixteen_site_variant() -> str:
+    lines = ["<?php", "$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}"]
+    for i in range(16):
+        # Quoted context, as in Figure 7's line 4 (questions.sid='$sid').
+        lines.append(f"$q{i} = \"SELECT * FROM t{i} WHERE sid='$sid'\"; DoSQL($q{i});")
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_three_sites(benchmark):
+    websari = WebSSARI()
+    report = benchmark(lambda: websari.verify_source(FIGURE7_SOURCE))
+    print()
+    print(f"Figure 7 (3 sinks): TS={report.ts_error_count}, BMC groups={report.bmc_group_count}")
+    assert report.ts_error_count == 3
+    assert report.bmc_group_count == 1
+    assert report.grouping.fixing_set == {"sid"}
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_sixteen_sites(benchmark):
+    websari = WebSSARI()
+    source = sixteen_site_variant()
+    report = benchmark(lambda: websari.verify_source(source))
+    print()
+    print(
+        f"PHP Surveyor 16-site variant: TS={report.ts_error_count} instrumentations, "
+        f"BMC={report.bmc_group_count} (paper: 16 vs 1)"
+    )
+    assert report.ts_error_count == 16
+    assert report.bmc_group_count == 1
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_patch_effectiveness(benchmark):
+    websari = WebSSARI()
+    source = sixteen_site_variant()
+
+    def patch_and_reverify():
+        _, patched = websari.patch_source(source, strategy="bmc")
+        return patched, websari.verify_source(patched.source)
+
+    patched, re_report = benchmark.pedantic(patch_and_reverify, rounds=1, iterations=1)
+    assert patched.num_guards == 1  # single instrumentation suffices
+    assert re_report.safe
+
+    # Runtime check: the quote-breakout DROP TABLE no longer executes.
+    attack = HttpRequest(get={"sid": "x'; DROP TABLE users; --"})
+
+    def fresh_db():
+        db = MockDatabase()
+        db.create_table("users", [{"u": 1}])
+        for table in [f"t{i}" for i in range(16)] + ["groups", "ans"]:
+            db.create_table(table, [])
+        return db
+
+    unpatched_db = fresh_db()
+    run_php(source, request=attack, database=unpatched_db)
+    assert "users" in unpatched_db.dropped_tables  # attack works unpatched
+
+    patched_db = fresh_db()
+    run_php(patched.source, request=attack, database=patched_db)
+    assert patched_db.dropped_tables == []
+    print()
+    print("BMC patch: 1 guard secures all 16 sites; injection blocked at runtime")

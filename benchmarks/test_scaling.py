@@ -1,0 +1,102 @@
+"""SCALE — analysis cost vs program size.
+
+The paper analyzed 1,140,091 statements across the corpus with the TS
+pass and ran the BMC on the flagged projects.  This bench characterizes
+how both pipelines scale on generated projects of growing size, and how
+the BMC scales with the number of assertions and counterexamples —
+the practical claims behind "BMC offers a more practical approach to
+verifying programs containing large numbers of variables".
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import WebSSARI
+from repro.ai import rename, translate_filter_result
+from repro.bmc import check_program
+from repro.corpus import ProjectSpec, generate_project
+from repro.ir import filter_source
+from repro.typestate import analyze_commands
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_project_size_sweep(benchmark):
+    """TS + BMC wall time on projects of growing statement counts."""
+    specs = [
+        ProjectSpec(name=f"scale-{n}", ts_errors=6, bmc_groups=3, target_statements=n, target_files=4)
+        for n in (100, 300, 900, 2700)
+    ]
+
+    def sweep():
+        rows = []
+        websari = WebSSARI()
+        for spec in specs:
+            generated = generate_project(spec)
+            start = time.perf_counter()
+            report = websari.verify_project(generated.project)
+            elapsed = time.perf_counter() - start
+            assert report.ts_error_count == 6
+            assert report.bmc_group_count == 3
+            rows.append((spec.target_statements, report.num_statements, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("verification time vs project size (TS + BMC + grouping):")
+    print(f"{'target':>8s} {'actual stmts':>13s} {'seconds':>9s} {'us/stmt':>9s}")
+    for target, actual, seconds in rows:
+        print(f"{target:8d} {actual:13d} {seconds:9.3f} {1e6 * seconds / actual:9.1f}")
+    # Shape: near-linear — time per statement must not blow up.
+    per_stmt = [seconds / actual for _, actual, seconds in rows]
+    assert per_stmt[-1] < per_stmt[0] * 6
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_assertion_count_sweep(benchmark):
+    """BMC cost as the number of (violated) assertions grows."""
+
+    def program_with_sinks(count: int) -> str:
+        lines = ["$root = $_GET['q'];"]
+        for i in range(count):
+            lines.append(f"$u{i} = $root; echo $u{i};")
+        return "<?php " + "\n".join(lines)
+
+    sizes = [5, 20, 80]
+
+    def sweep():
+        rows = []
+        for size in sizes:
+            renamed = rename(
+                translate_filter_result(filter_source(program_with_sinks(size)))
+            )
+            start = time.perf_counter()
+            result = check_program(renamed)
+            elapsed = time.perf_counter() - start
+            assert len(result.violated) == size
+            rows.append((size, result.num_clauses, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("BMC cost vs assertion count (all violated):")
+    print(f"{'asserts':>8s} {'clauses':>9s} {'seconds':>9s}")
+    for size, clauses, seconds in rows:
+        print(f"{size:8d} {clauses:9d} {seconds:9.4f}")
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_ts_throughput_on_large_file(benchmark):
+    """TS alone (the corpus-triage pass) on one big generated file."""
+    generated = generate_project(
+        ProjectSpec(name="big", ts_errors=0, bmc_groups=0, target_statements=4000, target_files=2)
+    )
+    path = generated.project.paths()[-1]
+    filtered = filter_source(generated.project.source(path), filename=path)
+
+    report = benchmark(lambda: analyze_commands(filtered))
+    assert report.safe
+    print()
+    print(f"TS triage of one {len(generated.project.source(path).splitlines())}-line file")

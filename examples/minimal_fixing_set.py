@@ -1,0 +1,67 @@
+"""Minimal fixing sets: the paper's Figure 7 root-cause analysis.
+
+One tainted variable ($sid) makes many statements vulnerable.  TS would
+sanitize every symptom; BMC's counterexample analysis builds replacement
+sets, solves MINIMUM-INTERSECTING-SET, and patches once at the root.
+The example also compares the greedy heuristic with the exact solver.
+
+Run:  python examples/minimal_fixing_set.py
+"""
+
+from repro import WebSSARI
+from repro.analysis import (
+    exact_minimum_intersecting_set,
+    greedy_minimum_intersecting_set,
+    replacement_sets_for_trace,
+)
+
+SOURCE = """<?php
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = "SELECT * FROM groups WHERE sid=$sid"; DoSQL($iq);
+$i2q = "SELECT * FROM answers WHERE sid=$sid"; DoSQL($i2q);
+$fnquery = "SELECT * FROM questions, surveys WHERE questions.sid='$sid'"; DoSQL($fnquery);
+"""
+
+
+def main() -> None:
+    websari = WebSSARI()
+    report = websari.verify_source(SOURCE, filename="surveyor.php")
+
+    print("=== symptoms (what TS would patch) ===")
+    for violation in report.ts.violations:
+        print(f"  {violation}")
+    print(f"TS instrumentations required: {report.ts_error_count}")
+    print()
+
+    print("=== replacement sets from the counterexample traces ===")
+    collection = []
+    for trace in report.bmc.all_counterexamples():
+        for rset in replacement_sets_for_trace(trace):
+            names = [c.name for c in rset.candidates]
+            print(f"  trace@assert#{trace.assert_id}: s_{rset.violating} = {names}")
+            collection.append(set(names))
+    print()
+
+    print("=== MINIMUM-INTERSECTING-SET ===")
+    greedy = greedy_minimum_intersecting_set(collection)
+    exact = exact_minimum_intersecting_set(collection)
+    print(f"  greedy (Chvatal):  {sorted(greedy)}")
+    print(f"  exact  (B&B):      {sorted(exact)}")
+    assert len(greedy) == len(exact) == 1
+    print()
+
+    print("=== the pipeline's grouping result ===")
+    print(f"  fixing set: {sorted(report.grouping.fixing_set)}")
+    print(f"  BMC instrumentations required: {report.bmc_group_count}")
+    print(f"  reduction vs TS: "
+          f"{100.0 * (report.ts_error_count - report.bmc_group_count) / report.ts_error_count:.0f}%")
+
+    _, patched = websari.patch_source(SOURCE, filename="surveyor.php", strategy="bmc")
+    print()
+    print("=== patched source (one guard fixes all three sinks) ===")
+    print(patched.source)
+    assert websari.verify_source(patched.source).safe
+
+
+if __name__ == "__main__":
+    main()

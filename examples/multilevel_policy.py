@@ -1,0 +1,69 @@
+"""Custom policies: a three-level Denning lattice beyond plain tainting.
+
+The verification machinery is parametric in the safety lattice
+(paper §3.1).  This example builds ``public <= internal <= secret``,
+declares sinks with different tolerances, and shows the checker
+distinguishing flows that plain two-point tainting cannot.
+
+Run:  python examples/multilevel_policy.py
+"""
+
+from repro import WebSSARI
+from repro.lattice import linear_lattice
+from repro.policy import Prelude
+
+SOURCE = """<?php
+$session = $_COOKIE['session'];     // secret: raw credential material
+$page = $_GET['page'];              // internal: user-controlled, non-credential
+$banner = 'Welcome!';               // public
+
+audit_log($session);                 // audit log accepts anything below top-secret? no:
+debug_log($page);                    // debug log accepts internal and below
+render($banner);                     // public rendering requires public data
+render($page);                       // VIOLATION: internal reaches a public sink
+"""
+
+
+def build_policy() -> Prelude:
+    lattice = linear_lattice(["public", "internal", "secret", "topsecret"])
+    prelude = Prelude(lattice)
+    prelude.add_superglobal("_COOKIE", "secret")
+    prelude.add_superglobal("_GET", "internal")
+    # A sink declared at level L accepts data strictly BELOW L.
+    prelude.add_sink("audit_log", "topsecret")  # accepts up to secret
+    prelude.add_sink("debug_log", "secret")  # accepts up to internal
+    prelude.add_sink("render", "internal")  # accepts only public
+    prelude.add_sanitizer("declassify", "public")
+    return prelude
+
+
+def main() -> None:
+    websari = WebSSARI(prelude=build_policy())
+    report = websari.verify_source(SOURCE, filename="levels.php")
+
+    print(report.summary())
+    print()
+    for result in report.bmc.assertions:
+        sink = result.event.function
+        verdict = "ok" if result.safe else "VIOLATION"
+        print(f"  assertion #{result.assert_id} ({sink}): {verdict}")
+        for trace in result.counterexamples:
+            for violation in trace.violating:
+                print(f"      {violation.var} carries {violation.level!r}, "
+                      f"sink requires < {result.event.required!r}")
+
+    by_id = {r.assert_id: r for r in report.bmc.assertions}
+    assert by_id[1].safe        # secret into audit_log (< topsecret): fine
+    assert by_id[2].safe        # internal into debug_log (< secret): fine
+    assert by_id[3].safe        # public banner into render: fine
+    assert not by_id[4].safe    # internal into render: flagged
+
+    print()
+    print("declassification fixes it:")
+    fixed = SOURCE.replace("render($page);", "$page = declassify($page); render($page);")
+    assert websari.verify_source(fixed).safe
+    print("  verified safe after declassify($page)")
+
+
+if __name__ == "__main__":
+    main()

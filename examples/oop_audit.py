@@ -1,0 +1,68 @@
+"""Auditing object-oriented PHP: taint through classes and properties.
+
+2003-era PHP applications wrap request handling in PHP4-style classes;
+WebSSARI unfolds methods like functions and tracks properties
+field-sensitively (``$obj->prop``).  This example audits a small
+ticket-model class, shows the root-cause group landing on the property,
+patches, and exercises original and patched code in the interpreter.
+
+Run:  python examples/oop_audit.py
+"""
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, run_php
+
+SOURCE = """<?php
+class Ticket {
+  var $subject;
+  var $status = 'open';
+  function Ticket($subject) {
+    $this->subject = $subject;
+  }
+  function render_row() {
+    echo '<tr><td>' . $this->subject . '</td><td>' . $this->status . '</td></tr>';
+  }
+  function save() {
+    mysql_query("INSERT INTO tickets (subject, status) VALUES ('{$this->subject}', '{$this->status}')");
+  }
+}
+
+$ticket = new Ticket($_POST['subject']);
+$ticket->save();
+$ticket->render_row();
+"""
+
+
+def main() -> None:
+    websari = WebSSARI()
+
+    print("=== static verification ===")
+    report = websari.verify_source(SOURCE, filename="ticket.php")
+    print(report.detailed_report())
+    print()
+    assert not report.safe
+    assert report.ts_error_count == 2  # SQL insert + HTML render
+    assert report.bmc_group_count == 1  # one root cause: the property
+
+    print("=== the attack, unpatched ===")
+    payload = "<script>steal()</script>"
+    env = run_php(SOURCE, request=HttpRequest(post={"subject": payload}))
+    print("response:", env.response_body().strip()[:80])
+    assert "<script>" in env.response_body()
+    print()
+
+    print("=== patching (one guard at the property introduction) ===")
+    _, patched = websari.patch_source(SOURCE, filename="ticket.php", strategy="bmc")
+    print(f"guards: {patched.num_guards}")
+    print(patched.source)
+    assert websari.verify_source(patched.source).safe
+
+    print("=== the attack, patched ===")
+    env = run_php(patched.source, request=HttpRequest(post={"subject": payload}))
+    print("response:", env.response_body().strip()[:100])
+    assert "<script>" not in env.response_body()
+    print("payload neutralized at both sinks by the single guard.")
+
+
+if __name__ == "__main__":
+    main()

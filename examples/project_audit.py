@@ -1,0 +1,82 @@
+"""Whole-project audit: verify a multi-file application with includes.
+
+Builds a small support-desk application (several pages sharing a
+library via include), audits every entry point, prints the per-file and
+aggregate results, and patches the vulnerable pages.
+
+Run:  python examples/project_audit.py
+"""
+
+from repro import WebSSARI
+from repro.php import SourceProject
+
+FILES = {
+    "lib/db.php": """<?php
+function db_connect() { mysql_connect('localhost'); mysql_select_db('desk'); return true; }
+function fetch_all($sql) {
+  $r = mysql_query($sql);
+  return $r;
+}
+""",
+    "lib/render.php": """<?php
+function page_header($title) { echo '<h1>' . htmlspecialchars($title) . '</h1>'; }
+""",
+    "index.php": """<?php
+include 'lib/render.php';
+page_header('Support Desk');
+echo '<a href="view.php">View tickets</a>';
+""",
+    "submit.php": """<?php
+include 'lib/db.php';
+db_connect();
+$subject = $_POST['subject'];
+$body = $_POST['body'];
+mysql_query("INSERT INTO tickets (subject, body) VALUES ('$subject', '$body')");
+echo 'Thanks!';
+""",
+    "view.php": """<?php
+include 'lib/db.php';
+include 'lib/render.php';
+db_connect();
+page_header('Tickets');
+$r = fetch_all("SELECT subject FROM tickets");
+while ($row = mysql_fetch_array($r)) {
+  echo "<li>$row[subject]</li>";
+}
+""",
+    "search.php": """<?php
+include 'lib/db.php';
+db_connect();
+$q = intval($_GET['q']);
+$r = mysql_query('SELECT * FROM tickets WHERE id=' . $q);
+echo 'done';
+""",
+}
+
+
+def main() -> None:
+    project = SourceProject(FILES)
+    websari = WebSSARI()
+
+    report = websari.verify_project(project)
+    print(f"project: {report.num_files} files, {report.num_statements} statements")
+    print(f"vulnerable files: {report.num_vulnerable_files}")
+    print(f"TS errors: {report.ts_error_count}, BMC groups: {report.bmc_group_count}")
+    print()
+    for file_report in report.reports:
+        print(file_report.summary())
+        print()
+
+    vulnerable = {r.filename for r in report.vulnerable_reports}
+    assert vulnerable == {"submit.php", "view.php"}, vulnerable
+
+    print("=== patching the vulnerable pages ===")
+    for name in sorted(vulnerable):
+        _, patched = websari.patch_source(project.source(name), filename=name)
+        print(f"-- {name}: {patched.num_guards} guard(s)")
+        assert websari.verify_source(patched.source, filename=name).safe
+    print("all patched pages verify safe.")
+
+
+if __name__ == "__main__":
+    main()

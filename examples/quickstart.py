@@ -1,0 +1,40 @@
+"""Quickstart: verify a PHP snippet, read the report, auto-patch it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import WebSSARI
+
+SOURCE = """<?php
+$username = $_GET['user'];
+$greeting = "Welcome back, $username!";
+echo $greeting;
+
+$id = intval($_GET['id']);
+mysql_query("SELECT * FROM accounts WHERE id=" . $id);
+"""
+
+
+def main() -> None:
+    websari = WebSSARI()
+
+    print("=== verifying ===")
+    report = websari.verify_source(SOURCE, filename="welcome.php")
+    print(report.summary())
+    print()
+    print(report.detailed_report())
+
+    print()
+    print("=== auto-patching (BMC strategy: guard at the root cause) ===")
+    report, patched = websari.patch_source(SOURCE, filename="welcome.php", strategy="bmc")
+    print(f"guards inserted: {patched.num_guards}")
+    print(patched.source)
+
+    print("=== re-verifying the patched source ===")
+    re_report = websari.verify_source(patched.source, filename="welcome.php")
+    print(re_report.summary())
+    assert re_report.safe, "patched code must verify safe"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""SQL-injection audit: the ILIAS HTTP_REFERER attack (paper Figure 3).
+
+The referrer header — attacker-controlled like any request field — flows
+into an INSERT statement.  The paper's attack value
+
+    ');DROP TABLE ('users
+
+turns the INSERT into an INSERT plus a DROP TABLE.  This example
+verifies the code, shows the counterexample trace, runs the attack in
+the interpreter, patches, and re-runs.
+
+Run:  python examples/sql_injection_audit.py
+"""
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, MockDatabase, run_php
+
+TRACKER = """<?php
+$sql = "INSERT INTO track_temp VALUES('$HTTP_REFERER');";
+mysql_query($sql);
+"""
+
+ATTACK_REFERER = "');DROP TABLE ('users"
+
+
+def fresh_database() -> MockDatabase:
+    db = MockDatabase()
+    db.create_table("users", [{"name": "admin"}, {"name": "alice"}])
+    db.create_table("track_temp", [])
+    return db
+
+
+def main() -> None:
+    websari = WebSSARI()
+
+    print("=== static verification ===")
+    report = websari.verify_source(TRACKER, filename="tracker.php")
+    print(report.detailed_report())
+    print()
+
+    print("=== the attack, unpatched ===")
+    db = fresh_database()
+    run_php(TRACKER, request=HttpRequest(referer=ATTACK_REFERER), database=db)
+    print("executed SQL:", db.query_log[-1])
+    print("tables dropped:", db.dropped_tables)
+    assert "users" in db.dropped_tables
+    print()
+
+    print("=== patching ===")
+    _, patched = websari.patch_source(TRACKER, filename="tracker.php", strategy="bmc")
+    print(patched.source)
+    assert websari.verify_source(patched.source).safe
+
+    print("=== the attack, patched ===")
+    db = fresh_database()
+    run_php(patched.source, request=HttpRequest(referer=ATTACK_REFERER), database=db)
+    print("executed SQL:", db.query_log[-1])
+    print("tables dropped:", db.dropped_tables)
+    assert db.dropped_tables == []
+    print("the users table survives; the malicious referer is stored inert.")
+
+
+if __name__ == "__main__":
+    main()

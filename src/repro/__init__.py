@@ -1,0 +1,32 @@
+"""repro — reproduction of "Verifying Web Applications Using Bounded Model
+Checking" (Huang, Yu, Hang, Tsai, Lee, Kuo — DSN 2004).
+
+The package implements the full WebSSARI/xBMC stack: a PHP-subset
+frontend, the information-flow filter F(p), abstract interpretation over
+Denning-style security lattices, a CBMC-style single-assignment BMC
+encoder backed by a from-scratch CDCL SAT solver, all-counterexample
+enumeration, error grouping via minimum intersecting sets, the typestate
+(TS) comparison baseline, automatic sanitization instrumentation, and a
+mini PHP interpreter for exercising patched code.
+
+Quickstart::
+
+    from repro import WebSSARI
+
+    report = WebSSARI().verify_source('<?php $x = $_GET["q"]; echo $x; ?>')
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["WebSSARI", "VerificationReport", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy import keeps `import repro.sat` cheap and avoids import cycles
+    # during interpreter start-up.
+    if name in ("WebSSARI", "VerificationReport"):
+        from repro import websari
+
+        return getattr(websari, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Abstract interpretation: AI instructions, Figure-4 translation, renaming ρ."""
+
+from repro.ai.diameter import ai_diameter, verify_loop_free
+from repro.ai.instructions import (
+    AIInstruction,
+    AIProgram,
+    AISeq,
+    AIStop,
+    Assertion,
+    Branch,
+    TypeAssign,
+    assertions_of,
+    branch_variables,
+    count_instructions,
+)
+from repro.ai.renaming import (
+    GuardLiteral,
+    IndexedVar,
+    RenamedAssert,
+    RenamedAssign,
+    RenamedProgram,
+    RenamedStop,
+    rename,
+)
+from repro.ai.translate import translate, translate_filter_result
+
+__all__ = [
+    "ai_diameter",
+    "verify_loop_free",
+    "AIInstruction",
+    "AIProgram",
+    "AISeq",
+    "AIStop",
+    "Assertion",
+    "Branch",
+    "TypeAssign",
+    "assertions_of",
+    "branch_variables",
+    "count_instructions",
+    "GuardLiteral",
+    "IndexedVar",
+    "RenamedAssert",
+    "RenamedAssign",
+    "RenamedProgram",
+    "RenamedStop",
+    "rename",
+    "translate",
+    "translate_filter_result",
+]

@@ -1,0 +1,75 @@
+"""Program diameter of the abstract interpretation.
+
+The completeness argument of the paper (§3.3, citing Kroening &
+Strichman [16]): "AI(F(p)) is loop-free and its flow chart forms a
+directed acyclic graph (DAG), implying a fixed program diameter" — so
+unrolling the transition relation for ``diameter`` steps makes BMC
+complete, not merely bounded.
+
+:func:`ai_diameter` computes that bound — the number of atomic
+instructions on the longest root-to-exit path — directly on the AI tree:
+
+* an atomic instruction contributes 1,
+* a sequence contributes the sum of its children,
+* a branch contributes 1 (the branch itself) plus the longer arm.
+
+:func:`verify_loop_free` double-checks the structural invariant the
+translation guarantees (no back edges can even be expressed in the AI
+instruction set, but the check documents and enforces the assumption
+the BMC relies on).
+"""
+
+from __future__ import annotations
+
+from repro.ai.instructions import (
+    AIInstruction,
+    AIProgram,
+    AISeq,
+    AIStop,
+    Assertion,
+    Branch,
+    TypeAssign,
+)
+
+__all__ = ["ai_diameter", "verify_loop_free"]
+
+
+def ai_diameter(program: AIProgram | AIInstruction) -> int:
+    """Length (in atomic instructions) of the longest execution path."""
+    body = program.body if isinstance(program, AIProgram) else program
+    return _longest(body)
+
+
+def _longest(instruction: AIInstruction) -> int:
+    if isinstance(instruction, AISeq):
+        return sum(_longest(child) for child in instruction.instructions)
+    if isinstance(instruction, Branch):
+        return 1 + max(_longest(instruction.then), _longest(instruction.orelse))
+    if isinstance(instruction, (TypeAssign, Assertion, AIStop)):
+        return 1
+    raise TypeError(f"unknown AI instruction {type(instruction).__name__}")
+
+
+def verify_loop_free(program: AIProgram | AIInstruction) -> bool:
+    """Assert the AI is a pure tree of Seq/Branch/atomic nodes with no
+    node visited twice (i.e. the flow chart is a DAG).  Returns True or
+    raises ``ValueError``."""
+    body = program.body if isinstance(program, AIProgram) else program
+    seen: set[int] = set()
+
+    def walk(node: AIInstruction) -> None:
+        identity = id(node)
+        if identity in seen:
+            raise ValueError("AI instruction graph shares a node (not a tree)")
+        seen.add(identity)
+        if isinstance(node, AISeq):
+            for child in node.instructions:
+                walk(child)
+        elif isinstance(node, Branch):
+            walk(node.then)
+            walk(node.orelse)
+        elif not isinstance(node, (TypeAssign, Assertion, AIStop)):
+            raise TypeError(f"unknown AI instruction {type(node).__name__}")
+
+    walk(body)
+    return True

@@ -1,0 +1,93 @@
+"""Graphviz (DOT) export of AI programs.
+
+The paper argues completeness from the AI's flow chart being a DAG
+(§3.3); this module renders that flow chart so it can be *looked at* —
+a debugging and teaching aid for understanding what the filter and the
+Figure 4 translation produced.  Branch nodes show their nondeterministic
+variable, assertions are highlighted, and edges carry then/else labels.
+
+Pure string generation; no graphviz dependency is required to produce
+the DOT text (rendering it is up to the user).
+"""
+
+from __future__ import annotations
+
+from repro.ai.instructions import (
+    AIInstruction,
+    AIProgram,
+    AISeq,
+    AIStop,
+    Assertion,
+    Branch,
+    TypeAssign,
+)
+
+__all__ = ["ai_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+class _DotBuilder:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._next_id = 0
+
+    def node(self, label: str, shape: str = "box", style: str = "") -> str:
+        name = f"n{self._next_id}"
+        self._next_id += 1
+        extra = f", style={style}" if style else ""
+        self.lines.append(f'  {name} [label="{_escape(label)}", shape={shape}{extra}];')
+        return name
+
+    def edge(self, src: str, dst: str, label: str = "") -> None:
+        suffix = f' [label="{_escape(label)}"]' if label else ""
+        self.lines.append(f"  {src} -> {dst}{suffix};")
+
+
+def _emit(builder: _DotBuilder, instruction: AIInstruction, entry_from: list[tuple[str, str]]) -> list[tuple[str, str]]:
+    """Emit nodes for `instruction`; wire `entry_from` (node, edge-label)
+    pairs into its entry; return the dangling exits."""
+    if isinstance(instruction, AISeq):
+        current = entry_from
+        for child in instruction.instructions:
+            current = _emit(builder, child, current)
+        return current
+    if isinstance(instruction, TypeAssign):
+        node = builder.node(str(instruction))
+        for src, label in entry_from:
+            builder.edge(src, node, label)
+        return [(node, "")]
+    if isinstance(instruction, Assertion):
+        node = builder.node(str(instruction), shape="octagon", style='"filled"')
+        for src, label in entry_from:
+            builder.edge(src, node, label)
+        return [(node, "")]
+    if isinstance(instruction, AIStop):
+        node = builder.node("stop", shape="doublecircle")
+        for src, label in entry_from:
+            builder.edge(src, node, label)
+        return []  # execution ends here
+    if isinstance(instruction, Branch):
+        node = builder.node(f"if {instruction.variable}", shape="diamond")
+        for src, label in entry_from:
+            builder.edge(src, node, label)
+        then_exits = _emit(builder, instruction.then, [(node, instruction.variable)])
+        else_exits = _emit(builder, instruction.orelse, [(node, f"¬{instruction.variable}")])
+        return then_exits + else_exits
+    raise TypeError(f"unknown AI instruction {type(instruction).__name__}")
+
+
+def ai_to_dot(program: AIProgram | AIInstruction, title: str = "AI(F(p))") -> str:
+    """Render an AI program's flow chart as Graphviz DOT text."""
+    body = program.body if isinstance(program, AIProgram) else program
+    builder = _DotBuilder()
+    start = builder.node("start", shape="circle")
+    exits = _emit(builder, body, [(start, "")])
+    if exits:
+        end = builder.node("end", shape="doublecircle")
+        for src, label in exits:
+            builder.edge(src, end, label)
+    header = f'digraph "{_escape(title)}" {{\n  rankdir=TB;\n  node [fontname="monospace"];\n'
+    return header + "\n".join(builder.lines) + "\n}\n"

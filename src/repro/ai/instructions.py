@@ -1,0 +1,163 @@
+"""The abstract interpretation AI(F(p)) — paper §3.2, Figure 4.
+
+The AI consists of only three instruction forms plus sequencing:
+
+* :class:`TypeAssign` — ``t_x = τ-expression`` (from assignments and from
+  UIC/sanitizer postconditions),
+* :class:`Assertion` — ``assert(X, τ_r)`` (from SOC preconditions),
+* :class:`Branch` — ``if b_k then ... else ...`` with a *nondeterministic*
+  boolean ``b_k`` (from conditionals; loops arrive here already
+  deconstructed into selections),
+* :class:`AIStop` — ``stop``.
+
+Type expressions reuse the :mod:`repro.ir.commands` expression language
+(``VarRef``/``Const``/``LevelConst``/``Join``): a constant types as ⊥, a
+join types as the least upper bound of its operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.commands import Expr
+from repro.php.span import Span
+
+__all__ = [
+    "AIInstruction",
+    "TypeAssign",
+    "Assertion",
+    "Branch",
+    "AIStop",
+    "AISeq",
+    "AIProgram",
+    "count_instructions",
+    "branch_variables",
+    "assertions_of",
+]
+
+
+class AIInstruction:
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class TypeAssign(AIInstruction):
+    """``t_var = expr``."""
+
+    var: str
+    expr: Expr
+    span: Span
+
+    def __str__(self) -> str:
+        return f"t_{self.var} = {self.expr}"
+
+
+@dataclass(frozen=True, slots=True)
+class Assertion(AIInstruction):
+    """``assert(X, τ_r)``: ∀x∈X it must hold that ``t_x < τ_r``.
+
+    ``assert_id`` numbers assertions in program order; ``function`` and
+    the spans identify the originating SOC call for reports.
+    """
+
+    assert_id: int
+    variables: tuple[str, ...]
+    required: object
+    function: str
+    span: Span
+    arg_spans: tuple[Span, ...] = ()
+    vuln_class: object = None
+
+    def __str__(self) -> str:
+        names = ", ".join(f"t_{v}" for v in self.variables)
+        return f"assert({names} < {self.required})  # {self.function}"
+
+
+@dataclass(frozen=True, slots=True)
+class Branch(AIInstruction):
+    """``if b_id then <then> else <orelse>`` — nondeterministic condition."""
+
+    branch_id: int
+    then: "AISeq"
+    orelse: "AISeq"
+    span: Span
+
+    @property
+    def variable(self) -> str:
+        return f"b{self.branch_id}"
+
+    def __str__(self) -> str:
+        return f"if {self.variable} then {{ {self.then} }} else {{ {self.orelse} }}"
+
+
+@dataclass(frozen=True, slots=True)
+class AIStop(AIInstruction):
+    span: Span
+
+    def __str__(self) -> str:
+        return "stop"
+
+
+@dataclass(frozen=True, slots=True)
+class AISeq(AIInstruction):
+    instructions: tuple[AIInstruction, ...] = ()
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        return "; ".join(str(i) for i in self.instructions)
+
+
+@dataclass
+class AIProgram:
+    """A translated program plus its nondeterministic variable inventory BN."""
+
+    body: AISeq
+    num_branches: int = 0
+    num_assertions: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.body)
+
+
+def count_instructions(instruction: AIInstruction) -> int:
+    if isinstance(instruction, AISeq):
+        return sum(count_instructions(i) for i in instruction.instructions)
+    if isinstance(instruction, Branch):
+        return 1 + count_instructions(instruction.then) + count_instructions(instruction.orelse)
+    return 1
+
+
+def branch_variables(instruction: AIInstruction) -> list[str]:
+    """All nondeterministic boolean variables (BN) in declaration order."""
+    if isinstance(instruction, AISeq):
+        out: list[str] = []
+        for child in instruction.instructions:
+            out.extend(branch_variables(child))
+        return out
+    if isinstance(instruction, Branch):
+        return (
+            [instruction.variable]
+            + branch_variables(instruction.then)
+            + branch_variables(instruction.orelse)
+        )
+    return []
+
+
+def assertions_of(instruction: AIInstruction) -> list[Assertion]:
+    """All assertions in program order."""
+    if isinstance(instruction, AISeq):
+        out: list[Assertion] = []
+        for child in instruction.instructions:
+            out.extend(assertions_of(child))
+        return out
+    if isinstance(instruction, Branch):
+        return assertions_of(instruction.then) + assertions_of(instruction.orelse)
+    if isinstance(instruction, Assertion):
+        return [instruction]
+    return []

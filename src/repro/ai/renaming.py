@@ -1,0 +1,224 @@
+"""Single-assignment renaming ρ — paper §3.3.2 (CBMC-style SSA without φ).
+
+Each assignment to a variable ``v`` bumps its version counter; the
+occurrence of ``v`` at a program point is renamed to ``v^α`` where α is
+the number of assignments made to ``v`` so far.  Renaming is *linear*:
+both arms of a branch advance the same global counters, and the guard of
+each assignment (the conjunction of enclosing branch literals) encodes
+conditionality — exactly the scheme visible in the paper's Figure 6,
+where the else-branch assignment to ``tmp`` receives index j+2 and its
+constraint selects between the new value and ``t_tmp^{j+1}`` (the
+then-branch's output version) based on ``¬b_Nick``.
+
+The output is a flat, ordered list of guarded events
+(:class:`RenamedAssign` / :class:`RenamedAssert` / :class:`RenamedStop`)
+— the exact program the constraint generator (Figure 5) consumes and the
+trace reconstructor walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ai.instructions import (
+    AIInstruction,
+    AIProgram,
+    AISeq,
+    AIStop,
+    Assertion,
+    Branch,
+    TypeAssign,
+)
+from repro.ir.commands import Const, Expr, Join, LevelConst, VarRef
+from repro.php.span import Span
+
+__all__ = [
+    "IndexedVar",
+    "GuardLiteral",
+    "RenamedAssign",
+    "RenamedAssert",
+    "RenamedStop",
+    "RenamedProgram",
+    "rename",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class IndexedVar:
+    """``v^index`` — version ``index`` of variable ``v`` (0 = initial)."""
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"t_{self.name}^{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class GuardLiteral:
+    """One conjunct of a guard: branch variable ``b{branch_id}`` with polarity."""
+
+    branch_id: int
+    positive: bool
+
+    @property
+    def variable(self) -> str:
+        return f"b{self.branch_id}"
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"¬{self.variable}"
+
+
+Guard = tuple[GuardLiteral, ...]
+
+
+def guard_str(guard: Guard) -> str:
+    return " ∧ ".join(str(lit) for lit in guard) if guard else "true"
+
+
+@dataclass(frozen=True, slots=True)
+class RenamedAssign:
+    """``t_v^index = guard ? expr : t_v^{index-1}`` (Figure 5, row 2).
+
+    ``expr`` is the renamed right-hand side: every :class:`VarRef` inside
+    has been replaced by an :class:`IndexedVar`.
+    """
+
+    target: IndexedVar
+    expr: object  # Expr over IndexedVar / Const / LevelConst / Join
+    guard: Guard
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.target} = {guard_str(self.guard)} ? {_expr_str(self.expr)} : t_{self.target.name}^{self.target.index - 1}"
+
+
+@dataclass(frozen=True, slots=True)
+class RenamedAssert:
+    """``guard ⇒ ∧_{x∈X} t_x^αx < τ_r`` (Figure 5, row 3)."""
+
+    assert_id: int
+    variables: tuple[IndexedVar, ...]
+    required: object
+    guard: Guard
+    function: str
+    span: Span
+    arg_spans: tuple[Span, ...] = ()
+    vuln_class: object = None
+
+    def __str__(self) -> str:
+        names = ", ".join(str(v) for v in self.variables)
+        return f"{guard_str(self.guard)} ⇒ ({names}) < {self.required}"
+
+
+@dataclass(frozen=True, slots=True)
+class RenamedStop:
+    guard: Guard
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{guard_str(self.guard)} ⇒ stop"
+
+
+RenamedEvent = RenamedAssign | RenamedAssert | RenamedStop
+
+
+@dataclass
+class RenamedProgram:
+    """Flat single-assignment form of an AI program."""
+
+    events: list[RenamedEvent] = field(default_factory=list)
+    #: Final version index per variable (0 if never assigned).
+    final_versions: dict[str, int] = field(default_factory=dict)
+    #: Branch variable names in declaration order (the set BN).
+    branch_variables: list[str] = field(default_factory=list)
+    num_assertions: int = 0
+
+    def assertions(self) -> list[RenamedAssert]:
+        return [e for e in self.events if isinstance(e, RenamedAssert)]
+
+    def assigns(self) -> list[RenamedAssign]:
+        return [e for e in self.events if isinstance(e, RenamedAssign)]
+
+    def variables(self) -> list[str]:
+        return sorted(self.final_versions)
+
+
+class _Renamer:
+    def __init__(self) -> None:
+        self.versions: dict[str, int] = {}
+        self.events: list[RenamedEvent] = []
+        self.branch_variables: list[str] = []
+        self.num_assertions = 0
+
+    def current(self, name: str) -> IndexedVar:
+        return IndexedVar(name, self.versions.get(name, 0))
+
+    def bump(self, name: str) -> IndexedVar:
+        self.versions[name] = self.versions.get(name, 0) + 1
+        return IndexedVar(name, self.versions[name])
+
+    def rename_expr(self, expr: Expr):
+        if isinstance(expr, VarRef):
+            return self.current(expr.name)
+        if isinstance(expr, (Const, LevelConst)):
+            return expr
+        if isinstance(expr, Join):
+            return Join(tuple(self.rename_expr(op) for op in expr.operands))
+        raise TypeError(f"unknown type expression {type(expr).__name__}")
+
+    def walk(self, instruction: AIInstruction, guard: Guard) -> None:
+        if isinstance(instruction, AISeq):
+            for child in instruction.instructions:
+                self.walk(child, guard)
+            return
+        if isinstance(instruction, TypeAssign):
+            renamed_expr = self.rename_expr(instruction.expr)
+            target = self.bump(instruction.var)
+            self.events.append(RenamedAssign(target, renamed_expr, guard, instruction.span))
+            return
+        if isinstance(instruction, Assertion):
+            variables = tuple(self.current(v) for v in instruction.variables)
+            self.num_assertions += 1
+            self.events.append(
+                RenamedAssert(
+                    assert_id=instruction.assert_id,
+                    variables=variables,
+                    required=instruction.required,
+                    guard=guard,
+                    function=instruction.function,
+                    span=instruction.span,
+                    arg_spans=instruction.arg_spans,
+                    vuln_class=instruction.vuln_class,
+                )
+            )
+            return
+        if isinstance(instruction, AIStop):
+            self.events.append(RenamedStop(guard, instruction.span))
+            return
+        if isinstance(instruction, Branch):
+            self.branch_variables.append(instruction.variable)
+            then_guard = guard + (GuardLiteral(instruction.branch_id, True),)
+            else_guard = guard + (GuardLiteral(instruction.branch_id, False),)
+            self.walk(instruction.then, then_guard)
+            self.walk(instruction.orelse, else_guard)
+            return
+        raise TypeError(f"unknown AI instruction {type(instruction).__name__}")
+
+
+def rename(program: AIProgram) -> RenamedProgram:
+    """Apply the renaming procedure ρ to an AI program."""
+    renamer = _Renamer()
+    renamer.walk(program.body, ())
+    return RenamedProgram(
+        events=renamer.events,
+        final_versions=dict(renamer.versions),
+        branch_variables=renamer.branch_variables,
+        num_assertions=renamer.num_assertions,
+    )
+
+
+def _expr_str(expr) -> str:
+    if isinstance(expr, Join):
+        return "(" + " ⊔ ".join(_expr_str(op) for op in expr.operands) + ")"
+    return str(expr)

@@ -1,0 +1,119 @@
+"""Translation F(p) → AI(F(p)) — the interpretation procedure of Figure 4.
+
+==============================  =========================================
+Filtered result F(p)            Abstract interpretation AI(F(p))
+==============================  =========================================
+``x = e``                       ``t_x = t_e`` (t_n = ⊥, t_{e~e'} = join)
+``fi(X)``                       ``∀x∈X: t_x = τ`` (postcondition)
+``fo(X)``                       ``assert(X, τ_r)`` (precondition)
+``stop``                        ``stop``
+``if e then c1 else c2``        ``if b_e then AI(c1) else AI(c2)``
+``while e do c``                ``if b_e then AI(c)``
+``c1; c2``                      ``AI(c1); AI(c2)``
+==============================  =========================================
+
+Loop deconstruction into selections is what gives the AI a fixed diameter
+(a loop-free DAG), which is what makes bounded model checking complete
+for this problem (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from repro.ai.instructions import (
+    AIProgram,
+    AISeq,
+    AIStop,
+    Assertion,
+    Branch,
+    TypeAssign,
+)
+from repro.ir.commands import (
+    Assign,
+    Command,
+    If,
+    InputCall,
+    LevelConst,
+    Seq,
+    SinkCall,
+    Stop,
+    While,
+)
+from repro.ir.filter import FilterResult
+
+__all__ = ["translate", "translate_filter_result"]
+
+
+class _Translator:
+    def __init__(self) -> None:
+        self.next_branch = 0
+        self.next_assert = 0
+        self.warnings: list[str] = []
+
+    def seq(self, command: Seq) -> AISeq:
+        out = []
+        for child in command.commands:
+            instruction = self.command(child)
+            if instruction is not None:
+                out.append(instruction)
+        return AISeq(tuple(out))
+
+    def command(self, command: Command):
+        if isinstance(command, Seq):
+            return self.seq(command)
+        if isinstance(command, Assign):
+            return TypeAssign(command.target, command.value, command.span)
+        if isinstance(command, InputCall):
+            if not command.targets:
+                return None  # environment tainting is handled by the filter
+            assigns = tuple(
+                TypeAssign(target, LevelConst(command.level), command.span)
+                for target in command.targets
+            )
+            if len(assigns) == 1:
+                return assigns[0]
+            return AISeq(assigns)
+        if isinstance(command, SinkCall):
+            self.next_assert += 1
+            return Assertion(
+                assert_id=self.next_assert,
+                variables=command.arguments,
+                required=command.required,
+                function=command.function,
+                span=command.span,
+                arg_spans=command.arg_spans,
+                vuln_class=command.vuln_class,
+            )
+        if isinstance(command, Stop):
+            return AIStop(command.span)
+        if isinstance(command, If):
+            self.next_branch += 1
+            branch_id = self.next_branch
+            then = self.seq(command.then)
+            orelse = self.seq(command.orelse)
+            return Branch(branch_id, then, orelse, command.span)
+        if isinstance(command, While):
+            # Figure 4: while e do c  →  if b_e then AI(c).
+            self.next_branch += 1
+            branch_id = self.next_branch
+            body = self.seq(command.body)
+            return Branch(branch_id, body, AISeq(()), command.span)
+        raise TypeError(f"unknown command {type(command).__name__}")
+
+
+def translate(commands: Seq) -> AIProgram:
+    """Translate a filtered command sequence into its AI."""
+    translator = _Translator()
+    body = translator.seq(commands)
+    return AIProgram(
+        body=body,
+        num_branches=translator.next_branch,
+        num_assertions=translator.next_assert,
+        warnings=translator.warnings,
+    )
+
+
+def translate_filter_result(result: FilterResult) -> AIProgram:
+    """Translate a :class:`FilterResult`, forwarding its warnings."""
+    program = translate(result.commands)
+    program.warnings = list(result.warnings) + program.warnings
+    return program

@@ -1,0 +1,29 @@
+"""Counterexample analysis: replacement sets, MIS, error grouping (§3.3.3–3.3.4)."""
+
+from repro.analysis.grouping import ErrorGroup, GroupingResult, group_errors
+from repro.analysis.mis import (
+    exact_minimum_intersecting_set,
+    greedy_minimum_intersecting_set,
+    is_intersecting_set,
+    vertex_cover_instance,
+)
+from repro.analysis.replacement import (
+    FixCandidate,
+    ReplacementSet,
+    replacement_set,
+    replacement_sets_for_trace,
+)
+
+__all__ = [
+    "ErrorGroup",
+    "GroupingResult",
+    "group_errors",
+    "exact_minimum_intersecting_set",
+    "greedy_minimum_intersecting_set",
+    "is_intersecting_set",
+    "vertex_cover_instance",
+    "FixCandidate",
+    "ReplacementSet",
+    "replacement_set",
+    "replacement_sets_for_trace",
+]

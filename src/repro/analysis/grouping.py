@@ -1,0 +1,171 @@
+"""Error grouping and the minimal fixing set — paper §3.3.3.
+
+Given the error trace set R produced by the BMC engine, this module:
+
+1. collects the violating variables V_r of every trace r ∈ R,
+2. builds the replacement set s_v for every violating variable,
+3. computes the minimum fixing set V_R^m by solving
+   ``min |V_R^m|  s.t.  ∀ v ∈ V_R^n : s_v ∩ V_R^m ≠ ∅``
+   with the greedy heuristic (Lemma 2 guarantees Fix(V_R^m) is an
+   effective fix for every trace), and
+4. groups the individual errors by the fixing variable that repairs
+   them — this grouping is what turned the paper's 980 TS-reported
+   errors into 578 BMC-reported error introductions.
+
+Synthetic temporaries (hoisted sink arguments, function-return slots)
+are valid fix points — sanitizing one means sanitizing the expression at
+its definition — but carry a higher greedy cost so the heuristic prefers
+real program variables when either choice covers the same traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.mis import greedy_minimum_intersecting_set, is_intersecting_set
+from repro.analysis.replacement import (
+    FixCandidate,
+    ReplacementSet,
+    replacement_sets_for_trace,
+)
+from repro.bmc.checker import BMCResult
+from repro.bmc.trace import CounterexampleTrace
+from repro.ir.filter import php_name_of
+from repro.php.span import Span
+
+__all__ = ["ErrorGroup", "GroupingResult", "group_errors"]
+
+def _candidate_cost(name: str) -> float:
+    """Greedy cost: prefer fix points the instrumentor can patch most
+    directly — plain globals first, then properties, then unfolded
+    locals, then hoisted expressions."""
+    from repro.ir.filter import SCOPE_SEP
+
+    if php_name_of(name) is None:
+        return 1.5  # synthetic temporary / return slot
+    if SCOPE_SEP in name:
+        return 1.25  # local of an unfolded function or method
+    if "->" in name:
+        return 1.1  # object property
+    return 1.0
+
+
+@dataclass
+class ErrorGroup:
+    """All error symptoms repaired by sanitizing one variable."""
+
+    fix_variable: str
+    #: Source-level name (None when the fix point is a hoisted expression).
+    php_name: str | None
+    #: Spans of the assignments that introduce the offending value — the
+    #: instrumentation points.
+    introduction_spans: list[Span]
+    #: The (assert_id, trace) symptoms this fix repairs.
+    traces: list[CounterexampleTrace] = field(default_factory=list)
+
+    @property
+    def symptom_sites(self) -> set[tuple[int, str]]:
+        """Distinct (assertion id, sink function) sites covered."""
+        return {(t.assert_id, t.function) for t in self.traces}
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+@dataclass
+class GroupingResult:
+    """The outcome of counterexample analysis for one program."""
+
+    #: Minimum fixing set V_R^m (IR variable names).
+    fixing_set: set[str]
+    groups: list[ErrorGroup]
+    #: Total number of error traces analyzed (|R|).
+    num_traces: int
+    #: Number of distinct violated assertions (symptom sites).
+    num_symptom_sites: int
+    #: Replacement sets per (trace, violating variable) for inspection.
+    replacement_sets: list[ReplacementSet] = field(default_factory=list)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.fixing_set)
+
+    def group_for(self, variable: str) -> ErrorGroup | None:
+        for group in self.groups:
+            if group.fix_variable == variable:
+                return group
+        return None
+
+
+def group_errors(result: BMCResult, exact: bool = False) -> GroupingResult:
+    """Run the full §3.3.3 analysis over a BMC result.
+
+    ``exact=True`` solves the MINIMUM-INTERSECTING-SET exactly (branch
+    and bound) instead of with the paper's greedy heuristic — feasible
+    only while the candidate universe stays small (≤ 24 variables), as
+    the problem is NP-complete (§3.3.4)."""
+    traces = result.all_counterexamples()
+    replacement_sets: list[ReplacementSet] = []
+    per_trace_sets: list[tuple[CounterexampleTrace, ReplacementSet]] = []
+    for assertion_result in result.assertions:
+        for trace in assertion_result.counterexamples:
+            for rset in replacement_sets_for_trace(
+                trace,
+                lattice=result.lattice,
+                required=assertion_result.event.required,
+            ):
+                replacement_sets.append(rset)
+                per_trace_sets.append((trace, rset))
+
+    collection = [rset.names for rset in replacement_sets if rset.names]
+    costs: dict[str, float] = {}
+    candidate_info: dict[str, list[FixCandidate]] = {}
+    for rset in replacement_sets:
+        for candidate in rset.candidates:
+            candidate_info.setdefault(candidate.name, []).append(candidate)
+            costs[candidate.name] = _candidate_cost(candidate.name)
+
+    if not collection:
+        fixing_set: set[str] = set()
+    elif exact:
+        from repro.analysis.mis import exact_minimum_intersecting_set
+
+        fixing_set = exact_minimum_intersecting_set(collection)
+    else:
+        fixing_set = greedy_minimum_intersecting_set(collection, cost=costs)
+    assert is_intersecting_set(collection, fixing_set)
+
+    # Attribute each trace to one fixing variable (the first candidate of
+    # its replacement set that made it into the fixing set; ties go to the
+    # root-most candidate, i.e. the last in back-trace order).
+    groups: dict[str, ErrorGroup] = {}
+    for trace, rset in per_trace_sets:
+        chosen = None
+        for candidate in reversed(rset.candidates):
+            if candidate.name in fixing_set:
+                chosen = candidate
+                break
+        if chosen is None:
+            continue  # unreachable given the intersecting-set guarantee
+        group = groups.get(chosen.name)
+        if group is None:
+            group = ErrorGroup(
+                fix_variable=chosen.name,
+                php_name=php_name_of(chosen.name),
+                introduction_spans=[],
+            )
+            groups[chosen.name] = group
+        group.traces.append(trace)
+        spans = {str(s): s for s in group.introduction_spans}
+        for candidate in candidate_info.get(chosen.name, []):
+            spans.setdefault(str(candidate.span), candidate.span)
+        group.introduction_spans = list(spans.values())
+
+    num_sites = len({(t.assert_id) for t in traces})
+    return GroupingResult(
+        fixing_set=fixing_set,
+        groups=sorted(groups.values(), key=lambda g: g.fix_variable),
+        num_traces=len(traces),
+        num_symptom_sites=num_sites,
+        replacement_sets=replacement_sets,
+    )

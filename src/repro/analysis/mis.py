@@ -1,0 +1,140 @@
+"""MINIMUM-INTERSECTING-SET — paper §3.3.4.
+
+Given a variable set V and a collection S = {S_1, ..., S_n} of subsets of
+V, find a minimum M ⊆ V such that S_i ∩ M ≠ ∅ for every i.  The paper
+proves this NP-complete by reduction from VERTEX-COVER and solves it with
+Chvátal's greedy SET-COVER heuristic (1 + ln|S| approximation).
+
+This module provides:
+
+* :func:`greedy_minimum_intersecting_set` — the paper's reduction to
+  SET-COVER followed by the greedy heuristic (with optional per-element
+  costs, used to make synthetic temporaries less attractive than real
+  program variables).
+* :func:`exact_minimum_intersecting_set` — branch-and-bound exact solver
+  for tests and the ABL-MIS ablation.
+* :func:`is_intersecting_set` — verifier.
+* :func:`vertex_cover_instance` — the NP-completeness reduction from a
+  graph, used by tests to check both solvers against known covers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+__all__ = [
+    "is_intersecting_set",
+    "greedy_minimum_intersecting_set",
+    "exact_minimum_intersecting_set",
+    "vertex_cover_instance",
+]
+
+
+def _normalize(sets: Iterable[Iterable[Hashable]]) -> list[frozenset]:
+    normalized = [frozenset(s) for s in sets]
+    if any(not s for s in normalized):
+        raise ValueError("an empty set can never be intersected")
+    return normalized
+
+
+def is_intersecting_set(sets: Iterable[Iterable[Hashable]], chosen: Iterable[Hashable]) -> bool:
+    """True iff ``chosen`` intersects every set."""
+    chosen = set(chosen)
+    return all(set(s) & chosen for s in sets)
+
+
+def greedy_minimum_intersecting_set(
+    sets: Sequence[Iterable[Hashable]],
+    cost: dict[Hashable, float] | None = None,
+) -> set[Hashable]:
+    """Chvátal's greedy heuristic via the SET-COVER reduction.
+
+    The reduction (paper §3.3.4): the universe U is the collection of
+    sets themselves; each candidate element v corresponds to the
+    sub-collection S_v = {S_i | v ∈ S_i}; covering U with minimum-cost
+    S_v's intersects every S_i.  The greedy rule picks, at each step, the
+    element covering the most still-uncovered sets per unit cost —
+    giving the 1 + ln|S| approximation guarantee of [Chvátal 1979].
+
+    Ties break deterministically: higher coverage first, then lower
+    cost, then lexicographically smallest element (by repr), so results
+    are reproducible run to run.
+    """
+    normalized = _normalize(sets)
+    if not normalized:
+        return set()
+    uncovered: set[int] = set(range(len(normalized)))
+    covers: dict[Hashable, set[int]] = {}
+    for index, s in enumerate(normalized):
+        for element in s:
+            covers.setdefault(element, set()).add(index)
+
+    chosen: set[Hashable] = set()
+    while uncovered:
+        best = None
+        best_key = None
+        for element, covered in covers.items():
+            gain = len(covered & uncovered)
+            if gain == 0:
+                continue
+            element_cost = cost.get(element, 1.0) if cost else 1.0
+            key = (-gain / element_cost, element_cost, repr(element))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = element
+        assert best is not None  # every set is non-empty, so progress is possible
+        chosen.add(best)
+        uncovered -= covers[best]
+    return chosen
+
+
+def exact_minimum_intersecting_set(
+    sets: Sequence[Iterable[Hashable]],
+    max_elements: int = 24,
+) -> set[Hashable]:
+    """Exact minimum via depth-bounded branch-and-bound.
+
+    Branches on an arbitrary uncovered set: one of its elements must be
+    in M.  ``max_elements`` caps the candidate universe to keep the
+    exponential search honest about its limits.
+    """
+    normalized = _normalize(sets)
+    if not normalized:
+        return set()
+    universe = sorted({element for s in normalized for element in s}, key=repr)
+    if len(universe) > max_elements:
+        raise ValueError(
+            f"exact solver limited to {max_elements} candidate elements, got {len(universe)}"
+        )
+
+    best: set[Hashable] | None = None
+
+    def search(chosen: set[Hashable], remaining: list[frozenset]) -> None:
+        nonlocal best
+        if best is not None and len(chosen) >= len(best):
+            return  # bound
+        still = [s for s in remaining if not (s & chosen)]
+        if not still:
+            best = set(chosen)
+            return
+        # Branch on the smallest uncovered set (fewest children).
+        pivot = min(still, key=len)
+        for element in sorted(pivot, key=repr):
+            search(chosen | {element}, still)
+
+    search(set(), normalized)
+    assert best is not None
+    return best
+
+
+def vertex_cover_instance(edges: Iterable[tuple[Hashable, Hashable]]) -> list[frozenset]:
+    """The paper's NP-completeness reduction: each edge (u, v) becomes the
+    set {u, v}; an intersecting set of the collection is exactly a vertex
+    cover of the graph."""
+    instance = []
+    for u, v in edges:
+        if u == v:
+            instance.append(frozenset({u}))
+        else:
+            instance.append(frozenset({u, v}))
+    return instance

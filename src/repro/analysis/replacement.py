@@ -1,0 +1,202 @@
+"""Replacement sets — paper §3.3.3, Lemma 1.
+
+For each violating variable ``v_α`` of an error trace ``r``, the
+replacement set ``s_{v_α}`` is built by tracing back from the violation
+point along the trace, recursively adding variables that serve as the
+*unique r-value* of single assignments:
+
+    s_{v_α} = {v_α} ∪ s_{v_β}   if the single assignment is ``v_α = v_β``
+    s_{v_α} = {v_α}             otherwise
+
+Sanitizing any variable in ``s_{v_α}`` has the same effect as sanitizing
+``v_α`` itself (Lemma 1), which is what lets the minimum-fixing-set
+optimization move patches from symptom sites to root causes.
+
+The trace is in renamed single-assignment form, so "tracing back"
+follows version chains: a *skipped* (guard-false) assignment to ``v``
+behaves as the copy ``v^i = v^{i-1}`` and the walk simply drops to the
+previous version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ai.renaming import IndexedVar
+from repro.bmc.trace import CounterexampleTrace, TraceStep
+from repro.ir.commands import Const, Join, LevelConst  # noqa: F401 (Const in eval)
+from repro.ir.filter import php_name_of
+from repro.php.span import Span
+
+__all__ = ["FixCandidate", "ReplacementSet", "replacement_set", "replacement_sets_for_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class FixCandidate:
+    """A variable that can be sanitized to fix a trace.
+
+    Identity for set purposes is the IR variable name; ``span`` records
+    where the candidate's value was defined on this trace (the potential
+    instrumentation point) and ``php_name`` the original source-level
+    variable (None for synthetic temporaries).
+    """
+
+    name: str
+    span: Span
+
+    @property
+    def php_name(self) -> str | None:
+        return php_name_of(self.name)
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.php_name is None
+
+
+@dataclass
+class ReplacementSet:
+    """``s_{v_α}`` for one violating variable of one trace."""
+
+    violating: IndexedVar
+    candidates: list[FixCandidate] = field(default_factory=list)
+
+    @property
+    def names(self) -> set[str]:
+        return {c.name for c in self.candidates}
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.candidates)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+def _step_index(steps: list[TraceStep]) -> dict[tuple[str, int], TraceStep]:
+    return {(step.target.name, step.target.index): step for step in steps}
+
+
+def _trace_levels(trace: CounterexampleTrace, lattice) -> dict[tuple[str, int], object]:
+    """Concrete lattice level of every assigned version on this trace."""
+    levels: dict[tuple[str, int], object] = {}
+    state: dict[str, object] = {}
+
+    def eval_expr(expr) -> object:
+        if isinstance(expr, IndexedVar):
+            return state.get(expr.name, lattice.bottom)
+        if isinstance(expr, Join):
+            return lattice.join_all(eval_expr(op) for op in expr.operands)
+        if isinstance(expr, LevelConst):
+            return expr.level
+        return lattice.bottom  # Const
+
+    for step in trace.steps:
+        value = eval_expr(step.expr)
+        state[step.target.name] = value
+        levels[(step.target.name, step.target.index)] = value
+    return levels
+
+
+def _copy_source(
+    step: TraceStep,
+    levels: dict[tuple[str, int], object] | None,
+    lattice,
+    required,
+) -> IndexedVar | None:
+    """The unique *offending* r-value of an assignment, or None.
+
+    A pure copy ``v_α = v_β`` always qualifies (paper Lemma 1).  With
+    trace levels available, a join also qualifies when exactly one
+    variable operand carries a violating level on this trace: the other
+    operands are already below ``τ_r``, so sanitizing the one offender
+    removes the trace just like sanitizing ``v_α`` itself would.
+    """
+    if isinstance(step.expr, IndexedVar):
+        return step.expr
+    if isinstance(step.expr, Join):
+        operands = [op for op in step.expr.operands if isinstance(op, IndexedVar)]
+        if len(step.expr.operands) == 1 and operands:
+            return operands[0]
+        if levels is not None and lattice is not None and required is not None:
+            if any(
+                isinstance(op, LevelConst) and not lattice.lt(op.level, required)
+                for op in step.expr.operands
+            ):
+                return None  # a fixed-level operand offends; no variable fix
+            offenders = [
+                op
+                for op in operands
+                if not lattice.lt(_level_of(op, levels, lattice), required)
+            ]
+            if len(offenders) == 1:
+                return offenders[0]
+    return None
+
+
+def _level_of(var: IndexedVar, levels: dict[tuple[str, int], object], lattice) -> object:
+    index = var.index
+    while index > 0:
+        value = levels.get((var.name, index))
+        if value is not None:
+            return value
+        index -= 1  # skipped version: value flows from the previous one
+    return lattice.bottom
+
+
+def replacement_set(
+    trace: CounterexampleTrace,
+    violating: IndexedVar,
+    lattice=None,
+    required=None,
+) -> ReplacementSet:
+    """Build ``s_{v_α}`` by walking the trace backwards from ``violating``.
+
+    ``lattice``/``required`` enable the single-offender join refinement
+    (see :func:`_copy_source`); without them only pure copies expand —
+    the paper's literal rule.
+    """
+    steps = _step_index(trace.steps)
+    levels = _trace_levels(trace, lattice) if lattice is not None else None
+    result = ReplacementSet(violating=violating)
+    seen: set[str] = set()
+
+    current: IndexedVar | None = violating
+    while current is not None:
+        # Find the executed assignment that produced this version,
+        # dropping through skipped versions (v^i = v^{i-1}).
+        producer: TraceStep | None = None
+        index = current.index
+        while index > 0:
+            step = steps.get((current.name, index))
+            if step is not None:
+                producer = step
+                break
+            index -= 1
+
+        if current.name not in seen:
+            seen.add(current.name)
+            span = producer.span if producer is not None else trace.span
+            result.candidates.append(FixCandidate(current.name, span))
+
+        if producer is None:
+            break  # never assigned on this trace (initial version)
+        source = _copy_source(producer, levels, lattice, required)
+        if source is None:
+            break  # not a pure copy: taint introduced or merged here
+        if source.name in seen and _is_self_chain(source, current):
+            break  # guard against degenerate self-copies
+        current = source
+    return result
+
+
+def _is_self_chain(source: IndexedVar, current: IndexedVar) -> bool:
+    return source.name == current.name and source.index >= current.index
+
+
+def replacement_sets_for_trace(
+    trace: CounterexampleTrace, lattice=None, required=None
+) -> list[ReplacementSet]:
+    """``s_v`` for every violating variable of the trace."""
+    return [
+        replacement_set(trace, violation.var, lattice=lattice, required=required)
+        for violation in trace.violating
+    ]

@@ -1,0 +1,37 @@
+"""Bounded model checking: Figure-5 constraint generation, the CDCL-backed
+per-assertion checker with all-counterexample enumeration, and the
+xBMC0.1 location-variable encoding kept as an ablation baseline."""
+
+from repro.bmc.checker import (
+    AssertionResult,
+    BMCChecker,
+    BMCResult,
+    check_program,
+)
+from repro.bmc.encoder import (
+    ConstraintGenerator,
+    EncodedAssertion,
+    LatticeEncoding,
+    bit_var_name,
+)
+from repro.bmc.trace import (
+    CounterexampleTrace,
+    TraceStep,
+    ViolatingVariable,
+    reconstruct_trace,
+)
+
+__all__ = [
+    "AssertionResult",
+    "BMCChecker",
+    "BMCResult",
+    "check_program",
+    "ConstraintGenerator",
+    "EncodedAssertion",
+    "LatticeEncoding",
+    "bit_var_name",
+    "CounterexampleTrace",
+    "TraceStep",
+    "ViolatingVariable",
+    "reconstruct_trace",
+]

@@ -1,0 +1,229 @@
+"""The BMC engine: per-assertion checking with all-counterexample
+enumeration — paper §3.3.2.
+
+For each assertion (in program order) the checker builds
+
+    B_i = C(prefix constraints) ∧ guard_i ∧ ¬ok_i
+
+and hands it to the CDCL solver.  While satisfiable, the model's BN
+values are traced through the AI to produce a counterexample; the
+deciding BN literals are negated ("we generate the negation clause N_j
+of BN"), restricting B_i, until UNSAT — at which point all
+counterexamples for that assertion have been collected.
+
+Implementation notes relative to the paper's text:
+
+* One incremental solver instance serves the whole program: assignment
+  constraints are added once, each assertion's ``guard ∧ violation`` is
+  reified behind a fresh gate literal and activated via an assumption,
+  and blocking clauses carry ``¬gate`` so they only constrain that
+  assertion's enumeration.
+* Blocking clauses negate only the *deciding* branch literals of the
+  trace rather than all of BN.  Negating all of BN (the literal reading
+  of the paper) enumerates the same distinct paths multiple times — once
+  per assignment of branch variables that the path never consults.
+* The paper says the checked assertion's constraint ``C(assert_i, g)``
+  is conjoined before moving on.  Doing that for a *violated* assertion
+  contradicts the assignment constraints (e.g. Figure 7: t_sid is
+  unconditionally ⊤, so ``t_iq < ⊤`` is unsatisfiable) and would silence
+  every later assertion in the file.  The default policy therefore adds
+  the constraint only when the assertion produced no counterexamples
+  (where it is implied and acts as a solver lemma); ``accumulate="always"``
+  reproduces the literal reading, and the ABL-ENC benchmark shows how it
+  degenerates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.ai.renaming import RenamedAssert, RenamedProgram
+from repro.bmc.encoder import ConstraintGenerator, EncodedAssertion, LatticeEncoding
+from repro.bmc.trace import CounterexampleTrace, ViolatingVariable, reconstruct_trace
+from repro.lattice import FiniteLattice, two_point_lattice
+from repro.sat.solver import CDCLSolver
+
+__all__ = ["AssertionResult", "BMCResult", "BMCChecker", "check_program"]
+
+AccumulatePolicy = Literal["never", "safe-only", "always"]
+
+
+@dataclass
+class AssertionResult:
+    """Verification outcome for one assertion."""
+
+    event: RenamedAssert
+    counterexamples: list[CounterexampleTrace] = field(default_factory=list)
+    #: True when enumeration hit max_counterexamples before UNSAT.
+    truncated: bool = False
+
+    @property
+    def safe(self) -> bool:
+        return not self.counterexamples
+
+    @property
+    def assert_id(self) -> int:
+        return self.event.assert_id
+
+
+@dataclass
+class BMCResult:
+    """Verification outcome for a whole program."""
+
+    assertions: list[AssertionResult]
+    num_vars: int
+    num_clauses: int
+    solve_seconds: float
+    #: The policy lattice the check ran over (used by grouping).
+    lattice: FiniteLattice | None = None
+
+    @property
+    def safe(self) -> bool:
+        return all(result.safe for result in self.assertions)
+
+    @property
+    def violated(self) -> list[AssertionResult]:
+        return [r for r in self.assertions if not r.safe]
+
+    def all_counterexamples(self) -> list[CounterexampleTrace]:
+        out: list[CounterexampleTrace] = []
+        for result in self.assertions:
+            out.extend(result.counterexamples)
+        return out
+
+
+class BMCChecker:
+    """Drives encoding + solving for one renamed program."""
+
+    def __init__(
+        self,
+        program: RenamedProgram,
+        lattice: FiniteLattice | None = None,
+        accumulate: AccumulatePolicy = "safe-only",
+        max_counterexamples: int = 256,
+        blocking: Literal["deciding", "all-bn"] = "deciding",
+    ) -> None:
+        self.program = program
+        self.lattice = lattice if lattice is not None else two_point_lattice()
+        self.encoding = LatticeEncoding(self.lattice)
+        self.accumulate = accumulate
+        self.max_counterexamples = max_counterexamples
+        #: "deciding" negates only the branch literals the violation
+        #: consults (one counterexample per semantically distinct path);
+        #: "all-bn" negates every BN variable — the paper's literal
+        #: formulation, which re-enumerates each path once per assignment
+        #: of the irrelevant variables.  Kept for the ABL-ENUM ablation.
+        self.blocking = blocking
+
+    def run(self) -> BMCResult:
+        start = time.perf_counter()
+        generator = ConstraintGenerator(self.program, self.encoding)
+        encoded_assertions = generator.encode_all()
+        solver = CDCLSolver()
+        solver.add_formula(generator.cnf)
+        emitted_clauses = generator.cnf.num_clauses
+
+        def sync_new_clauses() -> int:
+            nonlocal emitted_clauses
+            for clause in generator.cnf.clauses[emitted_clauses:]:
+                solver.add_clause(clause)
+            emitted_clauses = generator.cnf.num_clauses
+            return emitted_clauses
+
+        results: list[AssertionResult] = []
+        for encoded in encoded_assertions:
+            results.append(
+                self._check_one(encoded, generator, solver, sync_new_clauses)
+            )
+
+        num_vars, num_clauses = generator.formula_stats()
+        return BMCResult(
+            assertions=results,
+            num_vars=num_vars,
+            num_clauses=num_clauses,
+            solve_seconds=time.perf_counter() - start,
+            lattice=self.lattice,
+        )
+
+    def _check_one(
+        self,
+        encoded: EncodedAssertion,
+        generator: ConstraintGenerator,
+        solver: CDCLSolver,
+        sync_new_clauses,
+    ) -> AssertionResult:
+        result = AssertionResult(event=encoded.event)
+        gate = generator.gate_for(encoded.violation)
+        sync_new_clauses()
+        # A free activation literal decouples this assertion's enumeration
+        # from the rest of the formula: ``act → violation`` (one
+        # direction only).  Once every violating path is blocked, the
+        # accumulated blocking clauses simply force ¬act — they must not
+        # force the violation itself false, which the (bidirectional)
+        # Tseitin gate would do and thereby silence later assertions.
+        act = generator.pool.fresh()
+        solver.add_clause((-act, gate))
+
+        while True:
+            solve = solver.solve(assumptions=[act])
+            if not solve.satisfiable:
+                break
+            model = solve.model
+            branch_values = {
+                name: generator.branch_value(name, model)
+                for name in self.program.branch_variables
+            }
+            violating = [
+                ViolatingVariable(var, generator.level_of(var, model))
+                for var, violation_expr in encoded.per_var_violation.items()
+                if not self.lattice.lt(
+                    generator.level_of(var, model), encoded.event.required
+                )
+            ]
+            trace = reconstruct_trace(
+                self.program, encoded.event, branch_values, violating
+            )
+            result.counterexamples.append(trace)
+            if len(result.counterexamples) >= self.max_counterexamples:
+                result.truncated = True
+                break
+            if self.blocking == "all-bn":
+                negated = trace.branch_assignment  # every BN variable
+            else:
+                negated = trace.deciding_branches
+            if not negated:
+                break  # single possible path; enumeration is complete
+            # Negation clause N_j over the chosen BN literals, scoped to
+            # this assertion's activation literal.
+            blocking = [-act]
+            for name, value in negated.items():
+                var = generator.pool.var_of(name)
+                blocking.append(-var if value else var)
+            solver.add_clause(blocking)
+
+        if self.accumulate == "always" or (
+            self.accumulate == "safe-only" and result.safe
+        ):
+            generator.add_expr(encoded.holds)
+            sync_new_clauses()
+        return result
+
+
+def check_program(
+    program: RenamedProgram,
+    lattice: FiniteLattice | None = None,
+    accumulate: AccumulatePolicy = "safe-only",
+    max_counterexamples: int = 256,
+    blocking: Literal["deciding", "all-bn"] = "deciding",
+) -> BMCResult:
+    """Convenience wrapper: check every assertion of a renamed program."""
+    checker = BMCChecker(
+        program,
+        lattice=lattice,
+        accumulate=accumulate,
+        max_counterexamples=max_counterexamples,
+        blocking=blocking,
+    )
+    return checker.run()

@@ -1,0 +1,269 @@
+"""xBMC0.1: the auxiliary-location-variable encoding — paper §3.3.1.
+
+The paper's first BMC prototype added "an auxiliary variable l to record
+program lines": the state is (location, all variable types), the CFG's
+transition relation T(s, s') is unrolled for k steps (the longest path),
+and the risk condition asks whether some step sits at an assertion
+location with its condition violated.
+
+The paper reports this version suffered "frequent system breakdowns,
+primarily due to inefficiently encoding each assignment using 2·|X|
+variables" — every step carries a full copy of every variable plus frame
+conditions.  This module reproduces the scheme faithfully so the ABL-ENC
+benchmark can measure the formula-size and solve-time gap against the
+renaming encoder (xBMC1.0).  It answers SAT/UNSAT per assertion (no
+counterexample enumeration — the scheme predates that machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ai.instructions import (
+    AIInstruction,
+    AIProgram,
+    AISeq,
+    AIStop,
+    Assertion,
+    Branch,
+    TypeAssign,
+)
+from repro.bmc.encoder import LatticeEncoding
+from repro.ir.commands import Const, Expr, Join, LevelConst, VarRef
+from repro.lattice import FiniteLattice, two_point_lattice
+from repro.sat.cnf import CNF, VariablePool
+from repro.sat.solver import CDCLSolver
+from repro.sat.tseitin import FALSE, TRUE, Var, add_expr_to_cnf, conj, disj, iff
+
+__all__ = ["LocationBMC", "LocationBMCResult"]
+
+
+@dataclass
+class _Node:
+    """One CFG node: an atomic instruction plus successor indices."""
+
+    instruction: AIInstruction | None  # None = halt
+    successors: list[int] = field(default_factory=list)
+
+
+@dataclass
+class LocationBMCResult:
+    """Per-assertion verdicts plus formula-size statistics."""
+
+    #: assert_id -> True (violation exists) / False (safe).
+    verdicts: dict[int, bool]
+    num_steps: int
+    num_locations: int
+    num_vars: int
+    num_clauses: int
+
+    @property
+    def safe(self) -> bool:
+        return not any(self.verdicts.values())
+
+
+class LocationBMC:
+    """Unrolled CFG encoding with an explicit location variable."""
+
+    def __init__(self, program: AIProgram, lattice: FiniteLattice | None = None) -> None:
+        from repro.ai.diameter import ai_diameter
+
+        self.lattice = lattice if lattice is not None else two_point_lattice()
+        self.encoding = LatticeEncoding(self.lattice)
+        self.nodes: list[_Node] = []
+        self.variables: list[str] = []
+        #: Fixed program diameter (§3.3): unrolling this many steps makes
+        #: the check complete, and it is tighter than the node count on
+        #: branchy programs (only the longer arm of each branch counts).
+        self.diameter = ai_diameter(program)
+        self._build_cfg(program)
+
+    # -- CFG construction -------------------------------------------------
+
+    def _build_cfg(self, program: AIProgram) -> None:
+        variables: set[str] = set()
+
+        def collect(instruction: AIInstruction) -> None:
+            if isinstance(instruction, AISeq):
+                for child in instruction:
+                    collect(child)
+            elif isinstance(instruction, TypeAssign):
+                variables.add(instruction.var)
+                variables.update(_vars_of(instruction.expr))
+            elif isinstance(instruction, Assertion):
+                variables.update(instruction.variables)
+            elif isinstance(instruction, Branch):
+                collect(instruction.then)
+                collect(instruction.orelse)
+
+        collect(program.body)
+        self.variables = sorted(variables)
+
+        # Lower the instruction tree to nodes; returns entry index, and
+        # patches dangling exits to the continuation.
+        def lower(instruction: AIInstruction, continuation: int) -> int:
+            """Emit nodes for `instruction` flowing into `continuation`;
+            return the entry node index."""
+            if isinstance(instruction, AISeq):
+                entry = continuation
+                for child in reversed(list(instruction)):
+                    entry = lower(child, entry)
+                return entry
+            if isinstance(instruction, (TypeAssign, Assertion)):
+                self.nodes.append(_Node(instruction, [continuation]))
+                return len(self.nodes) - 1
+            if isinstance(instruction, AIStop):
+                self.nodes.append(_Node(instruction, [self._halt_index]))
+                return len(self.nodes) - 1
+            if isinstance(instruction, Branch):
+                then_entry = lower(instruction.then, continuation)
+                else_entry = lower(instruction.orelse, continuation)
+                self.nodes.append(_Node(instruction, [then_entry, else_entry]))
+                return len(self.nodes) - 1
+            raise TypeError(f"unknown AI instruction {type(instruction).__name__}")
+
+        # Halt node first so Stop lowering can reference it.
+        self.nodes.append(_Node(None, []))
+        self._halt_index = 0
+        entry = lower(program.body, self._halt_index)
+        self.nodes[self._halt_index].successors = [self._halt_index]
+        self.entry = entry
+
+    # -- encoding ---------------------------------------------------------------
+
+    def _loc_bits(self) -> int:
+        count = max(len(self.nodes), 2)
+        bits = 1
+        while (1 << bits) < count:
+            bits += 1
+        return bits
+
+    def _loc_expr(self, step: int, node: int, bits: int):
+        parts = []
+        for b in range(bits):
+            var = Var(f"s{step}.loc.{b}")
+            parts.append(var if (node >> b) & 1 else ~var)
+        return conj(parts)
+
+    def _var_bit(self, step: int, name: str, bit: int):
+        return Var(f"s{step}.t_{name}.{bit}")
+
+    def _expr_bit(self, step: int, expr: Expr, bit: int):
+        if isinstance(expr, Const):
+            return FALSE
+        if isinstance(expr, LevelConst):
+            return TRUE if bit in self.encoding.bits(expr.level) else FALSE
+        if isinstance(expr, VarRef):
+            return self._var_bit(step, expr.name, bit)
+        if isinstance(expr, Join):
+            return disj(self._expr_bit(step, op, bit) for op in expr.operands)
+        raise TypeError(f"unknown type expression {type(expr).__name__}")
+
+    def _violation_expr(self, step: int, assertion: Assertion):
+        required_bits = self.encoding.bits(assertion.required)
+        per_var = []
+        for name in assertion.variables:
+            leq = conj(
+                ~self._var_bit(step, name, bit)
+                for bit in range(self.encoding.width)
+                if bit not in required_bits
+            )
+            strict = disj(
+                ~self._var_bit(step, name, bit) for bit in sorted(required_bits)
+            )
+            safe = (leq & strict) if required_bits else FALSE
+            per_var.append(~safe)
+        return disj(per_var)
+
+    def _transition(self, step: int, bits: int):
+        """T(s_step, s_{step+1}) as a disjunction over location cases."""
+        cases = []
+        for index, node in enumerate(self.nodes):
+            here = self._loc_expr(step, index, bits)
+            nexts = disj(
+                self._loc_expr(step + 1, successor, bits)
+                for successor in node.successors
+            )
+            assigned: str | None = None
+            effect = TRUE
+            if isinstance(node.instruction, TypeAssign):
+                assigned = node.instruction.var
+                effect = conj(
+                    iff(
+                        self._var_bit(step + 1, assigned, bit),
+                        self._expr_bit(step, node.instruction.expr, bit),
+                    )
+                    for bit in range(self.encoding.width)
+                )
+            # Frame: every other variable keeps its value — this is the
+            # 2|X|-variables-per-assignment cost the paper laments.
+            frame = conj(
+                iff(self._var_bit(step + 1, name, bit), self._var_bit(step, name, bit))
+                for name in self.variables
+                if name != assigned
+                for bit in range(self.encoding.width)
+            )
+            cases.append(here & nexts & effect & frame)
+        return disj(cases)
+
+    def run(self, max_steps: int | None = None) -> LocationBMCResult:
+        bits = self._loc_bits()
+        k = max_steps if max_steps is not None else self.diameter + 1
+
+        pool = VariablePool()
+        cnf = CNF()
+
+        # Initial condition: at entry, every variable is ⊥.
+        add_expr_to_cnf(self._loc_expr(0, self.entry, bits), pool, cnf)
+        for name in self.variables:
+            for bit in range(self.encoding.width):
+                add_expr_to_cnf(~self._var_bit(0, name, bit), pool, cnf)
+        # Unrolled transitions.
+        for step in range(k):
+            add_expr_to_cnf(self._transition(step, bits), pool, cnf)
+
+        solver = CDCLSolver()
+        solver.add_formula(cnf)
+
+        # Per-assertion risk conditions, activated via assumptions.
+        verdicts: dict[int, bool] = {}
+        assertion_nodes = [
+            (index, node.instruction)
+            for index, node in enumerate(self.nodes)
+            if isinstance(node.instruction, Assertion)
+        ]
+        emitted = cnf.num_clauses
+        for index, assertion in assertion_nodes:
+            risk = disj(
+                self._loc_expr(step, index, bits) & self._violation_expr(step, assertion)
+                for step in range(k + 1)
+            )
+            from repro.sat.tseitin import _Tseitin
+
+            gate_lit = _Tseitin(pool, cnf).literal(risk)
+            act = pool.fresh()
+            cnf.add_clause((-act, gate_lit))
+            for clause in cnf.clauses[emitted:]:
+                solver.add_clause(clause)
+            emitted = cnf.num_clauses
+            result = solver.solve(assumptions=[act])
+            verdicts[assertion.assert_id] = bool(result.satisfiable)
+
+        return LocationBMCResult(
+            verdicts=verdicts,
+            num_steps=k,
+            num_locations=len(self.nodes),
+            num_vars=cnf.num_vars,
+            num_clauses=cnf.num_clauses,
+        )
+
+
+def _vars_of(expr: Expr) -> set[str]:
+    if isinstance(expr, VarRef):
+        return {expr.name}
+    if isinstance(expr, Join):
+        out: set[str] = set()
+        for op in expr.operands:
+            out |= _vars_of(op)
+        return out
+    return set()

@@ -1,0 +1,170 @@
+"""Counterexample traces — §3.3.2/§3.3.3.
+
+A satisfying assignment of ``B_i`` fixes the nondeterministic branch
+variables BN; tracing the (deterministic) renamed AI under those values
+yields "a sequence of single assignments, which represents one
+counterexample trace".  :func:`reconstruct_trace` performs that walk and
+also computes the *deciding* branch literals — the minimal guard prefix
+values that determine the path — which the checker negates to enumerate
+the next counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ai.renaming import (
+    IndexedVar,
+    RenamedAssert,
+    RenamedAssign,
+    RenamedProgram,
+    RenamedStop,
+)
+from repro.php.span import Span
+
+__all__ = ["TraceStep", "ViolatingVariable", "CounterexampleTrace", "reconstruct_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStep:
+    """One executed single assignment on the error trace."""
+
+    target: IndexedVar
+    expr: object
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr} @ {self.span}"
+
+
+@dataclass(frozen=True, slots=True)
+class ViolatingVariable:
+    """A variable whose type violated the assertion, with its model level."""
+
+    var: IndexedVar
+    level: object
+
+    def __str__(self) -> str:
+        return f"{self.var} = {self.level}"
+
+
+@dataclass
+class CounterexampleTrace:
+    """One complete counterexample for one assertion."""
+
+    assert_id: int
+    function: str
+    span: Span
+    steps: list[TraceStep]
+    violating: list[ViolatingVariable]
+    #: Values of the branch variables that determined this path.
+    deciding_branches: dict[str, bool]
+    #: Full BN assignment from the model (for reporting).
+    branch_assignment: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def violating_names(self) -> set[str]:
+        return {v.var.name for v in self.violating}
+
+    def describe(self) -> str:
+        lines = [f"counterexample for assert#{self.assert_id} ({self.function}) at {self.span}"]
+        if self.deciding_branches:
+            path = ", ".join(
+                f"{name}={'T' if value else 'F'}"
+                for name, value in sorted(self.deciding_branches.items())
+            )
+            lines.append(f"  path: {path}")
+        for step in self.steps:
+            lines.append(f"  {step}")
+        for violation in self.violating:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+def _indexed_vars_of(expr) -> list[IndexedVar]:
+    from repro.ir.commands import Join
+
+    if isinstance(expr, IndexedVar):
+        return [expr]
+    if isinstance(expr, Join):
+        out: list[IndexedVar] = []
+        for op in expr.operands:
+            out.extend(_indexed_vars_of(op))
+        return out
+    return []
+
+
+def reconstruct_trace(
+    program: RenamedProgram,
+    assertion: RenamedAssert,
+    branch_values: dict[str, bool],
+    violating: list[ViolatingVariable],
+) -> CounterexampleTrace:
+    """Walk the renamed AI under fixed BN values up to ``assertion``.
+
+    ``steps`` are the executed assignments (guard satisfied) in program
+    order.  ``deciding_branches`` are the branch literals that actually
+    influence the violation: the guards along the backward slice from the
+    violating variables, where for each consulted guard the literals up
+    to the first unsatisfied one count (an outer false literal makes the
+    inner ones irrelevant).  Negating exactly this set enumerates each
+    *semantically distinct* violating path once, instead of once per
+    assignment of branch variables the violation never consults (which
+    is what negating all of BN, the paper's literal formulation, does).
+    """
+    deciding: dict[str, bool] = {}
+
+    def consume_guard(guard) -> bool:
+        """Record the deciding prefix of a guard; True if fully satisfied."""
+        for literal in guard:
+            value = branch_values.get(literal.variable, False)
+            deciding[literal.variable] = value
+            if value != literal.positive:
+                return False
+        return True
+
+    def guard_satisfied(guard) -> bool:
+        return all(
+            branch_values.get(lit.variable, False) == lit.positive for lit in guard
+        )
+
+    prefix: list[RenamedAssign] = []
+    for event in program.events:
+        if isinstance(event, RenamedAssert) and event is assertion:
+            break
+        if isinstance(event, RenamedAssign):
+            prefix.append(event)
+
+    steps = [
+        TraceStep(event.target, event.expr, event.span)
+        for event in prefix
+        if guard_satisfied(event.guard)
+    ]
+
+    # Backward slice: which versions feed the violating variables?
+    consume_guard(assertion.guard)
+    relevant: set[tuple[str, int]] = {
+        (violation.var.name, violation.var.index) for violation in violating
+    }
+    for event in reversed(prefix):
+        key = (event.target.name, event.target.index)
+        if key not in relevant:
+            continue
+        relevant.discard(key)
+        if consume_guard(event.guard):
+            for var in _indexed_vars_of(event.expr):
+                relevant.add((var.name, var.index))
+        else:
+            # Skipped assignment: t_x^i = t_x^{i-1}; the value flows from
+            # the previous version, and this guard decided the skip.
+            relevant.add((event.target.name, event.target.index - 1))
+
+    return CounterexampleTrace(
+        assert_id=assertion.assert_id,
+        function=assertion.function,
+        span=assertion.span,
+        steps=steps,
+        violating=violating,
+        deciding_branches=deciding,
+        branch_assignment=dict(branch_values),
+    )

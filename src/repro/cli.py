@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+```
+python -m repro verify  file.php [dir/ ...] [--detailed] [--prelude P]
+python -m repro patch   file.php [-o out.php] [--strategy bmc|ts]
+python -m repro html    file.php [-o report.html]
+python -m repro figure10
+```
+
+``verify`` exits 1 when any analyzed file is vulnerable (CI-friendly);
+``patch`` writes instrumented source; ``html`` writes the
+cross-referenced report; ``figure10`` regenerates the paper's table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.php.errors import FrontendError
+from repro.policy.preludefile import load_prelude
+from repro.websari.htmlreport import render_html_report
+from repro.websari.pipeline import WebSSARI
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WebSSARI/xBMC: verify and patch PHP web applications "
+        "(reproduction of Huang et al., DSN 2004)",
+    )
+    parser.add_argument(
+        "--prelude",
+        type=Path,
+        default=None,
+        help="path to a prelude file extending the default PHP policy",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="verify PHP files or directories")
+    verify.add_argument("paths", nargs="+", type=Path)
+    verify.add_argument("--detailed", action="store_true", help="print counterexample traces")
+
+    patch = sub.add_parser("patch", help="verify and insert runtime guards")
+    patch.add_argument("path", type=Path)
+    patch.add_argument("-o", "--output", type=Path, default=None, help="default: <file>.patched.php")
+    patch.add_argument("--strategy", choices=("bmc", "ts"), default="bmc")
+
+    html = sub.add_parser("html", help="write a cross-referenced HTML report")
+    html.add_argument("path", type=Path)
+    html.add_argument("-o", "--output", type=Path, default=None, help="default: <file>.report.html")
+
+    sub.add_parser("figure10", help="regenerate the paper's Figure 10 table")
+    return parser
+
+
+def _collect_php_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.php")))
+        else:
+            files.append(path)
+    return files
+
+
+def _make_websari(args: argparse.Namespace) -> WebSSARI:
+    prelude = load_prelude(args.prelude) if args.prelude else None
+    return WebSSARI(prelude=prelude)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    websari = _make_websari(args)
+    files = _collect_php_files(args.paths)
+    if not files:
+        print("no PHP files found", file=sys.stderr)
+        return 2
+    any_vulnerable = False
+    any_error = False
+    for path in files:
+        try:
+            report = websari.verify_source(path.read_text(), filename=str(path))
+        except FrontendError as error:
+            print(f"{path}: frontend error: {error}", file=sys.stderr)
+            any_error = True
+            continue
+        except OSError as error:
+            print(f"{path}: {error}", file=sys.stderr)
+            any_error = True
+            continue
+        print(report.detailed_report() if args.detailed else report.summary())
+        print()
+        any_vulnerable = any_vulnerable or not report.safe
+    if any_error:
+        return 2
+    return 1 if any_vulnerable else 0
+
+
+def _cmd_patch(args: argparse.Namespace) -> int:
+    websari = _make_websari(args)
+    source = args.path.read_text()
+    report, patched = websari.patch_source(
+        source, filename=str(args.path), strategy=args.strategy
+    )
+    output = args.output or args.path.with_suffix(".patched.php")
+    output.write_text(patched.source)
+    print(report.summary())
+    print(f"wrote {output} ({patched.num_guards} guard(s), {patched.num_edits} edit(s))")
+    return 0
+
+
+def _cmd_html(args: argparse.Namespace) -> int:
+    websari = _make_websari(args)
+    source = args.path.read_text()
+    report = websari.verify_source(source, filename=str(args.path))
+    output = args.output or args.path.with_suffix(".report.html")
+    output.write_text(render_html_report(report, source))
+    print(f"wrote {output}")
+    return 0 if report.safe else 1
+
+
+def _cmd_figure10(args: argparse.Namespace) -> int:
+    from repro.corpus import FIGURE_10, PAPER_TOTALS
+    from repro.corpus.generator import generate_catalog_project
+
+    websari = _make_websari(args)
+    print(f"{'Project':40s} {'A':>3s} {'TS':>5s} {'BMC':>5s}")
+    total_ts = total_bmc = 0
+    for entry in FIGURE_10:
+        generated = generate_catalog_project(entry)
+        report = websari.verify_project(generated.project)
+        total_ts += report.ts_error_count
+        total_bmc += report.bmc_group_count
+        print(
+            f"{entry.name[:40]:40s} {entry.activity:3d} "
+            f"{report.ts_error_count:5d} {report.bmc_group_count:5d}"
+        )
+    print(f"{'Total':40s}     {total_ts:5d} {total_bmc:5d}")
+    reduction = 100.0 * (total_ts - total_bmc) / total_ts if total_ts else 0.0
+    print(
+        f"reduction: {reduction:.1f}% "
+        f"(paper: {PAPER_TOTALS['reduction_percent']}% from stated totals)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "verify": _cmd_verify,
+        "patch": _cmd_patch,
+        "html": _cmd_html,
+        "figure10": _cmd_figure10,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

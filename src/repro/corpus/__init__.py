@@ -1,0 +1,39 @@
+"""Synthetic evaluation corpus: the Figure 10 catalog, the project
+generator, and whole-corpus workloads (see DESIGN.md §5 on this
+substitution for the original SourceForge sample)."""
+
+from repro.corpus.catalog import (
+    CORPUS_AGGREGATES,
+    FIGURE_10,
+    PAPER_TOTALS,
+    CatalogEntry,
+    catalog_totals,
+)
+from repro.corpus.generator import (
+    ClusterTruth,
+    GeneratedProject,
+    ProjectSpec,
+    generate_catalog_project,
+    generate_project,
+    partition_errors,
+    spec_from_catalog,
+)
+from repro.corpus.workloads import CorpusStatistics, corpus_statistics, generate_corpus
+
+__all__ = [
+    "CORPUS_AGGREGATES",
+    "FIGURE_10",
+    "PAPER_TOTALS",
+    "CatalogEntry",
+    "catalog_totals",
+    "ClusterTruth",
+    "GeneratedProject",
+    "ProjectSpec",
+    "generate_catalog_project",
+    "generate_project",
+    "partition_errors",
+    "spec_from_catalog",
+    "CorpusStatistics",
+    "corpus_statistics",
+    "generate_corpus",
+]

@@ -1,0 +1,105 @@
+"""The Figure 10 catalog: the 38 vulnerable SourceForge projects.
+
+These are the projects whose developers acknowledged the authors'
+notifications, with the paper's reported per-project activity rating,
+TS-reported error count, and BMC-reported error-introduction count.
+
+Transcription note: the per-project BMC column sums to exactly the
+paper's stated total of 578.  The TS column as printed sums to 969,
+not the stated 980 (an 11-error discrepancy already present in the
+publication/OCR); EXPERIMENTS.md discusses this.  The headline 41.0%
+reduction is computed from the stated totals (980 → 578); the catalog
+as transcribed gives 40.4%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CatalogEntry", "FIGURE_10", "catalog_totals", "PAPER_TOTALS", "CORPUS_AGGREGATES"]
+
+
+@dataclass(frozen=True, slots=True)
+class CatalogEntry:
+    """One row of Figure 10."""
+
+    name: str
+    activity: int  # SourceForge project activity percentile
+    ts_errors: int  # TS-reported individual errors
+    bmc_groups: int  # BMC-reported error introductions
+
+    @property
+    def reduction(self) -> float:
+        if self.ts_errors == 0:
+            return 0.0
+        return 100.0 * (self.ts_errors - self.bmc_groups) / self.ts_errors
+
+
+FIGURE_10: tuple[CatalogEntry, ...] = (
+    CatalogEntry("GBook MX", 60, 4, 2),
+    CatalogEntry("AthenaRMS", 0, 3, 2),
+    CatalogEntry("PHPCodeCabinet", 71, 25, 25),
+    CatalogEntry("BolinOS", 94, 3, 3),
+    CatalogEntry("PHP Surveyor", 99, 169, 90),
+    CatalogEntry("Booby", 90, 5, 4),
+    CatalogEntry("ByteHoard", 98, 2, 2),
+    CatalogEntry("PHPRecipeBook", 99, 11, 8),
+    CatalogEntry("phpLDAPadmin", 97, 25, 13),
+    CatalogEntry("Segue CMS", 77, 11, 9),
+    CatalogEntry("Moregroupware", 99, 7, 7),
+    CatalogEntry("iNuke", 0, 3, 3),
+    CatalogEntry("InfoCentral", 82, 206, 57),
+    CatalogEntry("WebMovieDB", 24, 7, 5),
+    CatalogEntry("TestLink", 88, 69, 48),
+    CatalogEntry("Crafty Syntax Live Help", 96, 16, 1),
+    CatalogEntry("ILIAS open source", 20, 2, 2),
+    CatalogEntry("PHP Multiple Newsletters", 68, 30, 30),
+    CatalogEntry("International Suspect Vigilance Nexus", 0, 20, 12),
+    CatalogEntry("SquirrelMail", 99, 7, 7),
+    CatalogEntry("PHPMyList", 69, 10, 4),
+    CatalogEntry("EGroupWare", 99, 4, 4),
+    CatalogEntry("PHPFriendlyAdmin", 87, 16, 16),
+    CatalogEntry("PHP Helpdesk", 87, 1, 1),
+    CatalogEntry("Media Mate", 0, 53, 16),
+    CatalogEntry("Obelus Helpdesk", 22, 8, 6),
+    CatalogEntry("eDreamers", 80, 7, 1),
+    CatalogEntry("Mad.Thought", 66, 4, 4),
+    CatalogEntry("PHPLetter", 79, 23, 23),
+    CatalogEntry("WebArchive", 2, 7, 2),
+    CatalogEntry("Nalanda", 58, 27, 8),
+    CatalogEntry("Site@School", 94, 46, 40),
+    CatalogEntry("PHPList", 0, 16, 1),
+    CatalogEntry("PHPPgAdmin", 98, 3, 3),
+    CatalogEntry("Anonymous Mailer", 73, 7, 7),
+    CatalogEntry("PHP Support Tickets", 0, 40, 40),
+    CatalogEntry("Norfolk Household Financial Manager", 0, 60, 60),
+    CatalogEntry("Tiki CMS Groupware", 99, 12, 12),
+)
+
+#: Totals as stated in the paper's text (§5 / Figure 10 footer).
+PAPER_TOTALS = {
+    "ts_errors": 980,
+    "bmc_groups": 578,
+    "reduction_percent": 41.0,
+}
+
+#: Whole-corpus aggregates from §5.
+CORPUS_AGGREGATES = {
+    "num_projects": 230,
+    "num_files": 11_848,
+    "num_statements": 1_140_091,
+    "num_vulnerable_files": 515,
+    "num_vulnerable_projects": 69,
+    "num_acknowledged_projects": 38,
+}
+
+
+def catalog_totals() -> dict[str, float]:
+    """Sums over the transcribed catalog rows."""
+    ts = sum(entry.ts_errors for entry in FIGURE_10)
+    bmc = sum(entry.bmc_groups for entry in FIGURE_10)
+    return {
+        "ts_errors": ts,
+        "bmc_groups": bmc,
+        "reduction_percent": 100.0 * (ts - bmc) / ts if ts else 0.0,
+    }

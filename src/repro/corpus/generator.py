@@ -1,0 +1,364 @@
+"""Synthetic SourceForge-style PHP project generator.
+
+The paper's corpus — 230 open-source PHP applications of 2003 vintage —
+is not reproducible offline, so the evaluation substitutes *generated*
+projects whose seeded vulnerability **topology** matches each Figure 10
+row: a project reported as (TS=t, BMC=b) is generated with ``b``
+independent taint clusters whose sizes partition ``t``.  The analyzer is
+never shown this ground truth; it must rediscover the counts by running
+the real TS and BMC pipelines over the generated source (which is what
+the FIG10 benchmark does).
+
+Cluster shapes rotate through the propagation patterns the paper
+describes (§2, Figure 7): plain copy stars, copy chains, conditional
+root assignment (GET-or-POST, exactly Figure 7 line 1), propagation
+through a user-defined function, and sinks inside loops.  Each shape
+guarantees: TS reports one error per sink use, and the cluster's minimal
+fixing set is exactly its root variable.
+
+Benign filler — constants, sanitized input handling, helper functions,
+inline HTML, loops over static arrays — pads projects toward a target
+statement count without adding violations.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.corpus.catalog import FIGURE_10, CatalogEntry
+from repro.php.includes import SourceProject
+
+__all__ = [
+    "ProjectSpec",
+    "ClusterTruth",
+    "GeneratedProject",
+    "partition_errors",
+    "generate_project",
+    "spec_from_catalog",
+]
+
+
+@dataclass(frozen=True)
+class ProjectSpec:
+    """What to generate for one project."""
+
+    name: str
+    ts_errors: int
+    bmc_groups: int
+    activity: int = 50
+    #: Approximate statement budget for benign filler.
+    target_statements: int = 120
+    #: Approximate number of page files to spread content over.
+    target_files: int = 4
+    seed: int | None = None
+
+    def rng(self) -> random.Random:
+        seed = self.seed if self.seed is not None else zlib.crc32(self.name.encode())
+        return random.Random(seed)
+
+
+@dataclass(frozen=True)
+class ClusterTruth:
+    """Ground truth for one seeded vulnerability cluster."""
+
+    root_variable: str
+    size: int
+    shape: str
+    file: str
+
+
+@dataclass
+class GeneratedProject:
+    spec: ProjectSpec
+    project: SourceProject
+    clusters: list[ClusterTruth] = field(default_factory=list)
+
+    @property
+    def expected_ts(self) -> int:
+        return sum(c.size for c in self.clusters)
+
+    @property
+    def expected_bmc(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def vulnerable_files(self) -> set[str]:
+        return {c.file for c in self.clusters}
+
+
+def spec_from_catalog(entry: CatalogEntry, **overrides) -> ProjectSpec:
+    defaults = dict(
+        name=entry.name,
+        ts_errors=entry.ts_errors,
+        bmc_groups=entry.bmc_groups,
+        activity=entry.activity,
+    )
+    defaults.update(overrides)
+    return ProjectSpec(**defaults)
+
+
+def partition_errors(ts_errors: int, bmc_groups: int, rng: random.Random) -> list[int]:
+    """Split ``ts_errors`` symptoms into ``bmc_groups`` clusters, each >= 1.
+
+    Mirrors the many-to-one symptom/cause structure of the corpus: most
+    clusters are small, a few are large (PHP Surveyor's $sid reached 16
+    sites from one root).
+    """
+    if bmc_groups < 0 or ts_errors < 0:
+        raise ValueError("counts must be non-negative")
+    if bmc_groups == 0:
+        if ts_errors:
+            raise ValueError("cannot have symptoms without groups")
+        return []
+    if ts_errors < bmc_groups:
+        raise ValueError("need at least one symptom per group")
+    sizes = [1] * bmc_groups
+    extra = ts_errors - bmc_groups
+    # Skewed allocation: each surplus symptom lands on a random cluster,
+    # with a bias toward cluster 0 to create one dominant root cause.
+    for _ in range(extra):
+        index = 0 if rng.random() < 0.35 else rng.randrange(bmc_groups)
+        sizes[index] += 1
+    return sizes
+
+
+_SHAPES = ("star", "chain", "conditional", "function", "loop", "class", "include")
+
+_SOURCES = (
+    "$_GET['{key}']",
+    "$_POST['{key}']",
+    "$_COOKIE['{key}']",
+    "$_REQUEST['{key}']",
+)
+
+_SQL_SINKS = ("mysql_query", "DoSQL")
+
+
+class _ClusterWriter:
+    """Emits PHP for one vulnerability cluster."""
+
+    def __init__(self, index: int, size: int, shape: str, rng: random.Random) -> None:
+        self.index = index
+        self.size = size
+        self.shape = shape
+        self.rng = rng
+        self.root = f"data{index}"
+        #: Extra project files this cluster needs (include-spanning shape).
+        self.extra_files: dict[str, str] = {}
+
+    def _source(self) -> str:
+        template = self.rng.choice(_SOURCES)
+        return template.format(key=f"p{self.index}")
+
+    def _sink_line(self, variable: str, use: int) -> str:
+        choice = self.rng.randrange(3)
+        if choice == 0:
+            sink = self.rng.choice(_SQL_SINKS)
+            return (
+                f'$q{self.index}_{use} = "SELECT * FROM t{use} WHERE k=${variable}"; '
+                f"{sink}($q{self.index}_{use});"
+            )
+        if choice == 1:
+            return f"echo ${variable};"
+        return f'mysql_query("UPDATE t{use} SET v=\'${variable}\'");'
+
+    def lines(self) -> list[str]:
+        root = self.root
+        out: list[str] = [f"// cluster {self.index}: {self.shape}"]
+        if self.shape == "conditional":
+            out.append(
+                f"${root} = {self._source()}; "
+                f"if (!${root}) {{ ${root} = $_POST['alt{self.index}']; }}"
+            )
+        else:
+            out.append(f"${root} = {self._source()};")
+
+        if self.shape == "chain":
+            previous = root
+            for use in range(self.size):
+                var = f"{root}_c{use}"
+                out.append(f"${var} = ${previous};")
+                out.append(self._sink_line(var, use))
+                previous = var
+            return out
+
+        if self.shape == "include":
+            # Taint crosses a file boundary: the root assignment lives in
+            # an include file (safe when analyzed standalone — no sinks);
+            # the page includes it and uses the value.
+            inc_path = f"inc/src{self.index}.php"
+            self.extra_files[inc_path] = (
+                "<?php\n"
+                f"// shared request parsing for cluster {self.index}\n"
+                f"${self.root} = {self._source()};\n"
+            )
+            out = [f"// cluster {self.index}: include", f"include '{inc_path}';"]
+            for use in range(self.size):
+                var = f"{self.root}_u{use}"
+                out.append(f"${var} = ${self.root};")
+                out.append(self._sink_line(var, use))
+            return out
+
+        if self.shape == "class":
+            # Taint enters through a PHP4-style class: the constructor
+            # stores the untrusted value in a property, an accessor leaks
+            # it to each sink.  The minimal fix is the property itself.
+            holder = f"Holder{self.index}"
+            obj = f"obj{self.index}"
+            out = [
+                f"// cluster {self.index}: class",
+                f"class {holder} {{",
+                "  var $v;",
+                f"  function {holder}($x) {{ $this->v = $x; }}",
+                f"  function get{self.index}() {{ return $this->v; }}",
+                "}",
+                f"${obj} = new {holder}({self._source()});",
+            ]
+            for use in range(self.size):
+                var = f"{self.root}_u{use}"
+                out.append(f"${var} = ${obj}->get{self.index}();")
+                out.append(self._sink_line(var, use))
+            return out
+
+        if self.shape == "function":
+            helper = f"pass{self.index}"
+            out.insert(1, f"function {helper}($v) {{ return $v; }}")
+            for use in range(self.size):
+                var = f"{root}_u{use}"
+                out.append(f"${var} = {helper}(${root});")
+                out.append(self._sink_line(var, use))
+            return out
+
+        if self.shape == "loop" and self.size >= 1:
+            # One sink lives inside a loop; the rest are plain copies.
+            var = f"{root}_l"
+            out.append(
+                f"while ($more{self.index}) {{ ${var} = ${root}; "
+                + self._sink_line(var, 0).rstrip()
+                + " }"
+            )
+            for use in range(1, self.size):
+                copy = f"{root}_u{use}"
+                out.append(f"${copy} = ${root};")
+                out.append(self._sink_line(copy, use))
+            return out
+
+        # star / conditional body: independent copies of the root.
+        for use in range(self.size):
+            var = f"{root}_u{use}"
+            out.append(f"${var} = ${root};")
+            out.append(self._sink_line(var, use))
+        return out
+
+
+_FILLER_BLOCKS = (
+    # Each block is definitely-safe PHP; {n} is a uniquifier.
+    "$title{n} = 'Page {n}'; $version{n} = '1.0.{n}'; echo $title{n};",
+    "$page{n} = intval($_GET['page{n}']); echo 'page ' . $page{n};",
+    "$safe{n} = htmlspecialchars($_POST['comment{n}']); echo $safe{n};",
+    "$items{n} = array('a', 'b', 'c'); foreach ($items{n} as $item{n}) {{ echo 'item: const'; }}",
+    "for ($i{n} = 0; $i{n} < 10; $i{n}++) {{ $total{n} = $total{n} + $i{n}; }}",
+    "function helper{n}($x) {{ return $x . ' ok'; }} $h{n} = helper{n}('v'); echo $h{n};",
+    "if ($mode{n} == 'admin') {{ $label{n} = 'Administrator'; }} else {{ $label{n} = 'Guest'; }} echo $label{n};",
+    "$id{n} = (int)$_REQUEST['id{n}']; mysql_query('SELECT * FROM items WHERE id=' . $id{n});",
+    "$count{n} = count(array(1, 2, 3)); echo 'count: ' . $count{n};",
+    "$config{n} = array('host' => 'localhost', 'port' => 3306); echo $config{n}['host'];",
+    "$now{n} = date('Y-m-d'); echo 'generated ' . $now{n};",
+    "switch ($lang{n}) {{ case 'en': $msg{n} = 'Hello'; break; default: $msg{n} = 'Hi'; }} echo $msg{n};",
+)
+
+_HTML_SNIPPETS = (
+    "<html><head><title>page</title></head><body>",
+    "<table><tr><td>static</td></tr></table>",
+    "<div class='footer'>&copy; 2004</div></body></html>",
+    "<form method='post'><input name='q'></form>",
+)
+
+
+def generate_project(spec: ProjectSpec) -> GeneratedProject:
+    """Generate one project matching the spec's vulnerability topology."""
+    rng = spec.rng()
+    sizes = partition_errors(spec.ts_errors, spec.bmc_groups, rng)
+
+    num_pages = max(spec.target_files - 1, 1)
+    pages: list[list[str]] = [[] for _ in range(num_pages)]
+    clusters: list[ClusterTruth] = []
+
+    extra_files: dict[str, str] = {}
+    for index, size in enumerate(sizes):
+        shape = rng.choice(_SHAPES)
+        writer = _ClusterWriter(index, size, shape, rng)
+        page = index % num_pages
+        pages[page].extend(writer.lines())
+        extra_files.update(writer.extra_files)
+        clusters.append(
+            ClusterTruth(
+                root_variable=writer.root,
+                size=size,
+                shape=shape,
+                file=f"page{page}.php",
+            )
+        )
+
+    # Spread filler to approximate the statement budget.
+    filler_budget = max(spec.target_statements - spec.ts_errors * 3, num_pages * 2)
+    uniquifier = 0
+    while filler_budget > 0:
+        page = rng.randrange(num_pages)
+        block = rng.choice(_FILLER_BLOCKS).format(n=uniquifier)
+        pages[page].append(block)
+        uniquifier += 1
+        filler_budget -= 3  # rough statements per block
+
+    files: dict[str, str] = {
+        "lib/common.php": _common_library(spec, rng),
+        **extra_files,
+    }
+    for page_index, body in enumerate(pages):
+        html_top = rng.choice(_HTML_SNIPPETS)
+        html_bottom = rng.choice(_HTML_SNIPPETS)
+        content = "\n".join(body)
+        files[f"page{page_index}.php"] = (
+            f"{html_top}\n<?php\ninclude 'lib/common.php';\n{content}\n?>\n{html_bottom}\n"
+        )
+    files["index.php"] = _index_file(num_pages, spec)
+
+    return GeneratedProject(
+        spec=spec,
+        project=SourceProject(files),
+        clusters=clusters,
+    )
+
+
+def _common_library(spec: ProjectSpec, rng: random.Random) -> str:
+    return (
+        "<?php\n"
+        f"// {spec.name} — shared configuration\n"
+        "$app_name = '" + spec.name.replace("'", "") + "';\n"
+        "$app_version = '0.9." + str(rng.randrange(10)) + "';\n"
+        "function render_header($title) { echo '<h1>' . htmlspecialchars($title) . '</h1>'; }\n"
+        "function db_connect() { mysql_connect('localhost'); mysql_select_db('app'); return true; }\n"
+    )
+
+
+def _index_file(num_pages: int, spec: ProjectSpec) -> str:
+    links = "\n".join(
+        f"echo '<a href=page{i}.php>page {i}</a>';" for i in range(num_pages)
+    )
+    return (
+        "<?php\n"
+        "include 'lib/common.php';\n"
+        "render_header($app_name);\n"
+        f"{links}\n"
+    )
+
+
+def generate_catalog_project(entry: CatalogEntry, **overrides) -> GeneratedProject:
+    """Generate the synthetic stand-in for one Figure 10 project."""
+    # Scale page count with the error count so large projects (PHP
+    # Surveyor, InfoCentral) spread over more files, like the originals.
+    target_files = max(2, min(12, 1 + entry.bmc_groups // 4))
+    spec = spec_from_catalog(entry, target_files=target_files, **overrides)
+    return generate_project(spec)

@@ -1,0 +1,25 @@
+"""Automatic patching: runtime guards and the source instrumentor (paper §4)."""
+
+from repro.instrument.guards import (
+    GUARD_FUNCTION_NAME,
+    GUARD_PHP_SOURCE,
+    html_escape,
+    sanitize_value,
+    sql_escape,
+)
+from repro.instrument.instrumentor import (
+    InstrumentationResult,
+    instrument_bmc,
+    instrument_ts,
+)
+
+__all__ = [
+    "GUARD_FUNCTION_NAME",
+    "GUARD_PHP_SOURCE",
+    "html_escape",
+    "sanitize_value",
+    "sql_escape",
+    "InstrumentationResult",
+    "instrument_bmc",
+    "instrument_ts",
+]

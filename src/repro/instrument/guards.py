@@ -1,0 +1,68 @@
+"""Runtime guards: the sanitization routine WebSSARI inserts.
+
+WebSSARI "inserts a statement that secures the variable by treating it
+with a sanitization routine.  Sanitization routines are stored in a
+prelude, and users can supply their own routines" (paper §4).  This
+module provides the default routine in two forms:
+
+* :data:`GUARD_PHP_SOURCE` — a PHP definition of ``__webssari_sanitize``
+  that instrumented files can carry for portability, and
+* :func:`sanitize_value` — the Python implementation the mini
+  interpreter binds to the same name.
+
+The default routine neutralizes both vulnerability classes the paper's
+experiments target: HTML metacharacters are entity-escaped (XSS) and
+quotes/backslashes are backslash-escaped (SQL injection).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GUARD_FUNCTION_NAME", "GUARD_PHP_SOURCE", "sanitize_value", "html_escape", "sql_escape"]
+
+GUARD_FUNCTION_NAME = "__webssari_sanitize"
+
+GUARD_PHP_SOURCE = """function __webssari_sanitize($value) {
+  $value = htmlspecialchars($value);
+  $value = addslashes($value);
+  return $value;
+}
+"""
+
+_HTML_REPLACEMENTS = (
+    ("&", "&amp;"),
+    ("<", "&lt;"),
+    (">", "&gt;"),
+    ('"', "&quot;"),
+    ("'", "&#039;"),
+)
+
+
+def html_escape(value: str) -> str:
+    """PHP ``htmlspecialchars`` with ENT_QUOTES semantics."""
+    for raw, escaped in _HTML_REPLACEMENTS:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def sql_escape(value: str) -> str:
+    """PHP ``addslashes``: backslash-escape quotes, backslashes, NULs."""
+    out = []
+    for ch in value:
+        if ch in ("'", '"', "\\"):
+            out.append("\\" + ch)
+        elif ch == "\0":
+            out.append("\\0")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def sanitize_value(value: object) -> object:
+    """The default runtime guard: escape HTML and SQL metacharacters.
+
+    Non-string values pass through unchanged — they cannot carry script
+    or SQL fragments in our value model.
+    """
+    if isinstance(value, str):
+        return sql_escape(html_escape(value))
+    return value

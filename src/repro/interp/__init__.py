@@ -1,0 +1,27 @@
+"""Mini PHP interpreter: executes original and instrumented code against
+simulated HTTP requests (the runtime-inspection half of WebSSARI)."""
+
+from repro.interp.environment import (
+    ExecutionEnvironment,
+    HttpRequest,
+    MockDatabase,
+    QueryResult,
+)
+from repro.interp.interpreter import Interpreter, PhpFatalError, PhpRuntimeError, run_php
+from repro.interp.values import PhpArray, PhpObject, to_bool, to_number, to_string
+
+__all__ = [
+    "ExecutionEnvironment",
+    "HttpRequest",
+    "MockDatabase",
+    "QueryResult",
+    "Interpreter",
+    "PhpFatalError",
+    "PhpRuntimeError",
+    "run_php",
+    "PhpArray",
+    "PhpObject",
+    "to_bool",
+    "to_number",
+    "to_string",
+]

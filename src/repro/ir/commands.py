@@ -1,0 +1,243 @@
+"""The filtered command language F(p) (paper §3.2).
+
+After filtering, a program consists only of the constructs that carry
+information flow::
+
+    c ::= x := e | fi(X) | fo(X) | stop | if e then c else c | while e do c | c ; c
+    e ::= x | n | e ~ e
+
+Expressions here are *safety-type* expressions: a constant has type ⊥, a
+variable reference has the variable's current type, and any binary
+operation ``~`` types as the join of its operands.  Two extensions beyond
+the paper's grammar keep the prelude expressive without changing the
+model:
+
+* :class:`LevelConst` — an expression with a fixed lattice level, used
+  for UIC return values (``τ`` from a postcondition) and for sanitizer
+  return values (which lower to a designated safe level).
+* :class:`InputCall` — the command form of ``fi(X)``, tainting a set of
+  variables to a postcondition level.
+
+Sensitive output channels ``fo(X)`` are :class:`SinkCall`; after the
+filter's normalization every sink argument is a plain variable (compound
+arguments are hoisted into temporaries), matching the paper's variable-set
+formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.php.span import Span
+
+__all__ = [
+    "Expr",
+    "VarRef",
+    "Const",
+    "LevelConst",
+    "Join",
+    "Command",
+    "Assign",
+    "InputCall",
+    "SinkCall",
+    "Stop",
+    "If",
+    "While",
+    "Seq",
+    "variables_of_expr",
+    "count_commands",
+]
+
+
+# -- Expressions -------------------------------------------------------------
+
+
+class Expr:
+    """Base class of safety-type expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef(Expr):
+    """A variable occurrence ``x`` — types as ``t_x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """A program constant ``n`` — types as ``⊥`` (paper: t_n = ⊥)."""
+
+    def __str__(self) -> str:
+        return "const"
+
+
+@dataclass(frozen=True, slots=True)
+class LevelConst(Expr):
+    """An expression pinned to a lattice level (UIC/sanitizer returns)."""
+
+    level: object
+
+    def __str__(self) -> str:
+        return f"<{self.level}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Expr):
+    """``e1 ~ e2 ~ ...`` — types as the join of the operand types."""
+
+    operands: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return "(" + " ~ ".join(str(op) for op in self.operands) + ")"
+
+
+def join_exprs(operands: list[Expr]) -> Expr:
+    """Smart Join constructor: flattens, drops ⊥ constants, unwraps singletons."""
+    flat: list[Expr] = []
+    for op in operands:
+        if isinstance(op, Join):
+            flat.extend(op.operands)
+        elif isinstance(op, Const):
+            continue
+        else:
+            flat.append(op)
+    if not flat:
+        return Const()
+    if len(flat) == 1:
+        return flat[0]
+    return Join(tuple(flat))
+
+
+def variables_of_expr(expr: Expr) -> set[str]:
+    if isinstance(expr, VarRef):
+        return {expr.name}
+    if isinstance(expr, Join):
+        out: set[str] = set()
+        for op in expr.operands:
+            out |= variables_of_expr(op)
+        return out
+    return set()
+
+
+# -- Commands -------------------------------------------------------------
+
+
+class Command:
+    """Base class of F(p) commands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Command):
+    """``x := e``."""
+
+    target: str
+    value: Expr
+    span: Span
+
+    def __str__(self) -> str:
+        return f"${self.target} := {self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class InputCall(Command):
+    """``fi(X)`` — an untrusted input channel's postcondition: ∀x∈X, t_x = τ."""
+
+    function: str
+    targets: tuple[str, ...]
+    level: object
+    span: Span
+
+    def __str__(self) -> str:
+        names = ", ".join(f"${t}" for t in self.targets)
+        return f"{self.function}({names}) [post: {self.level}]"
+
+
+@dataclass(frozen=True, slots=True)
+class SinkCall(Command):
+    """``fo(X)`` — a sensitive output channel's precondition.
+
+    ``required`` is the level ``τ_r``; the AI asserts ``t_x < τ_r`` for
+    every argument variable x (paper Figure 4).  ``arg_spans`` parallels
+    ``arguments`` so reports can point at the original argument text.
+    """
+
+    function: str
+    arguments: tuple[str, ...]
+    required: object
+    span: Span
+    arg_spans: tuple[Span, ...] = ()
+    #: Vulnerability classification from the prelude (a VulnClass), used
+    #: by error reports; None when the sink has no classification.
+    vuln_class: object = None
+
+    def __str__(self) -> str:
+        names = ", ".join(f"${a}" for a in self.arguments)
+        return f"{self.function}({names}) [pre: < {self.required}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Stop(Command):
+    """``stop`` — terminates execution (exit/die)."""
+
+    span: Span
+
+    def __str__(self) -> str:
+        return "stop"
+
+
+@dataclass(frozen=True, slots=True)
+class If(Command):
+    """``if e then c1 else c2`` — the condition is nondeterministic."""
+
+    then: "Seq"
+    orelse: "Seq"
+    span: Span
+
+    def __str__(self) -> str:
+        return f"if * then {{ {self.then} }} else {{ {self.orelse} }}"
+
+
+@dataclass(frozen=True, slots=True)
+class While(Command):
+    """``while e do c`` — condition nondeterministic; the AI deconstructs
+    this into a selection (paper Figure 4: ``if b_e then AI(c)``)."""
+
+    body: "Seq"
+    span: Span
+
+    def __str__(self) -> str:
+        return f"while * do {{ {self.body} }}"
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(Command):
+    """``c1 ; c2 ; ...``."""
+
+    commands: tuple[Command, ...] = field(default=())
+
+    def __str__(self) -> str:
+        return "; ".join(str(c) for c in self.commands)
+
+    def __iter__(self):
+        return iter(self.commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+def count_commands(command: Command) -> int:
+    """Total number of atomic commands (used for corpus statement counts)."""
+    if isinstance(command, Seq):
+        return sum(count_commands(c) for c in command.commands)
+    if isinstance(command, If):
+        return 1 + count_commands(command.then) + count_commands(command.orelse)
+    if isinstance(command, While):
+        return 1 + count_commands(command.body)
+    return 1

@@ -1,0 +1,725 @@
+"""The filter: PHP AST → F(p) command sequences (paper §3.2).
+
+``F(p)`` preserves only assignments, function calls, and conditional
+structure; everything else is discarded.  User-defined function calls
+are unfolded (inlined) at each call site with α-renamed locals, and
+library calls are interpreted through the :class:`~repro.policy.Prelude`.
+
+Modeling decisions (each an over-approximation, i.e. sound for
+may-taint analysis):
+
+* Conditions are nondeterministic; their sub-expressions are still
+  evaluated for side effects (``while ($row = mysql_fetch_array($r))``).
+* Arrays are element-insensitive: ``$a['k']`` reads/writes the scalar
+  type of ``$a``; element writes are weak updates (join with the old
+  type).  Superglobal elements read as the superglobal's level.
+* Objects are field-sensitive at depth one: ``$obj->p`` is the variable
+  ``obj->p``.
+* Loops keep their :class:`~repro.ir.commands.While` form; the AI stage
+  deconstructs them into selections.  Loop-condition side effects are
+  replayed at the end of the body so every iteration observes them.
+* ``switch`` is modeled as a series of independent optional branches,
+  which over-approximates fall-through.
+* Early ``return`` inside an unfolded function falls through (the
+  remainder of the body is still analyzed) — again an over-approximation.
+* ``extract()``-style calls make reads of statically-never-assigned
+  variables return ⊤ (the call may have defined them from untrusted data).
+* Recursive calls beyond ``max_unfold_depth`` degrade to taint
+  propagation (join of arguments) with a warning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.commands import (
+    Assign,
+    Command,
+    Const,
+    Expr,
+    If,
+    InputCall,
+    Join,
+    LevelConst,
+    Seq,
+    SinkCall,
+    Stop,
+    VarRef,
+    While,
+    join_exprs,
+)
+from repro.ir.unfold import FunctionTable, collect_program_facts
+from repro.php import ast_nodes as ast
+from repro.php.span import Span
+from repro.policy.prelude import EffectKind, Prelude, default_php_prelude
+
+__all__ = ["FilterResult", "ProgramFilter", "filter_program", "filter_source"]
+
+#: Separator for scope-qualified (inlined) variable names.  Chosen so
+#: synthetic names can never collide with PHP variable names.
+SCOPE_SEP = "::"
+TEMP_PREFIX = "%tmp"
+
+
+@dataclass
+class FilterResult:
+    """The filtered program plus bookkeeping the later stages need."""
+
+    commands: Seq
+    warnings: list[str] = field(default_factory=list)
+    #: Maps IR variable names back to PHP variable names ('' for temps).
+    functions: FunctionTable | None = None
+
+    def __iter__(self):
+        return iter(self.commands)
+
+
+def php_name_of(ir_name: str) -> str | None:
+    """The original PHP variable name for an IR name, None for synthetics
+    (temporaries and function-return slots)."""
+    base = ir_name.rsplit(SCOPE_SEP, 1)[-1]
+    if base.startswith("%"):
+        return None
+    return base
+
+
+class _Scope:
+    """Variable-name resolution for one (possibly inlined) activation.
+
+    ``receiver`` is set when the activation is an unfolded *method* call:
+    it is the caller-side IR name of the object, so ``$this->prop``
+    resolves to the field-sensitive name ``<receiver>->prop``.
+    """
+
+    def __init__(self, prefix: str = "", receiver: str | None = None) -> None:
+        self.prefix = prefix
+        self.receiver = receiver
+        self._globals: set[str] = set()
+
+    def declare_global(self, name: str) -> None:
+        self._globals.add(name)
+
+    def resolve(self, name: str) -> str:
+        if not self.prefix or name in self._globals:
+            return name
+        return f"{self.prefix}{SCOPE_SEP}{name}"
+
+
+class ProgramFilter:
+    """Filters one resolved program into an F(p) command sequence."""
+
+    def __init__(
+        self,
+        prelude: Prelude | None = None,
+        max_unfold_depth: int = 3,
+        sanitize_in_place: bool = True,
+    ) -> None:
+        self.prelude = prelude if prelude is not None else default_php_prelude()
+        self.max_unfold_depth = max_unfold_depth
+        #: Paper-faithful Figure 6 semantics: ``htmlspecialchars($x)``
+        #: updates t_x itself (uf_i postcondition).  This is UNSOUND for
+        #: patterns like ``$b = htmlspecialchars($a); echo $a;`` — the
+        #: runtime $a keeps the payload while the model calls it clean —
+        #: a false negative inherited from the paper's model and
+        #: documented by tests/test_model_unsoundness.py.  Set False for
+        #: the sound pure-function semantics (only the call's result is
+        #: clean).
+        self.sanitize_in_place = sanitize_in_place
+        self._temp_counter = 0
+        self._inline_counter = 0
+        self._warnings: list[str] = []
+        self._commands_stack: list[list[Command]] = []
+        self._call_stack: list[str] = []
+        self._facts = None
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, program: ast.Program) -> FilterResult:
+        tainters = frozenset(
+            name
+            for name in self._tainter_names()
+        )
+        self._facts = collect_program_facts(program, tainters)
+        top = _Scope()
+        commands = self._filter_statements(program.statements, top)
+        return FilterResult(
+            commands=Seq(tuple(commands)),
+            warnings=list(self._warnings),
+            functions=self._facts.functions,
+        )
+
+    def _tainter_names(self) -> set[str]:
+        names = set()
+        for candidate in ("extract", "import_request_variables", "parse_str", "mb_parse_str"):
+            effect = self.prelude.function_effect(candidate)
+            if effect is not None and effect.kind is EffectKind.TAINT_ENVIRONMENT:
+                names.add(candidate)
+        return names
+
+    # -- helpers --------------------------------------------------------------
+
+    def _fresh_temp(self) -> str:
+        self._temp_counter += 1
+        return f"{TEMP_PREFIX}{self._temp_counter}"
+
+    def _warn(self, message: str) -> None:
+        self._warnings.append(message)
+
+    def _emit(self, command: Command) -> None:
+        self._commands_stack[-1].append(command)
+
+    def _collect(self, fn) -> list[Command]:
+        """Run ``fn`` with a fresh command buffer; return what it emitted."""
+        self._commands_stack.append([])
+        try:
+            fn()
+        finally:
+            buffer = self._commands_stack.pop()
+        return buffer
+
+    # -- statements --------------------------------------------------------------
+
+    def _filter_statements(self, statements, scope: _Scope) -> list[Command]:
+        def go():
+            for stmt in statements:
+                self._filter_statement(stmt, scope)
+
+        return self._collect(go)
+
+    def _filter_statement(self, stmt: ast.Statement, scope: _Scope) -> None:
+        if isinstance(stmt, ast.InlineHTML):
+            return  # constant output: trivially satisfies any sink policy
+        if isinstance(stmt, ast.ExpressionStatement):
+            self._filter_expr(stmt.expression, scope)
+            return
+        if isinstance(stmt, ast.Echo):
+            for arg in stmt.arguments:
+                self._emit_sink("echo", [arg], stmt.span, scope)
+            return
+        if isinstance(stmt, ast.Block):
+            for child in stmt.statements:
+                self._filter_statement(child, scope)
+            return
+        if isinstance(stmt, ast.If):
+            self._filter_if(stmt, scope)
+            return
+        if isinstance(stmt, ast.While):
+            self._filter_expr(stmt.condition, scope)
+            body = self._filter_statements([stmt.body], scope)
+            cond_replay = self._collect(lambda: self._filter_expr(stmt.condition, scope))
+            self._emit(While(Seq(tuple(body + cond_replay)), stmt.span))
+            return
+        if isinstance(stmt, ast.DoWhile):
+            # Body runs at least once, then behaves like a while loop.
+            for child in [stmt.body]:
+                self._filter_statement(child, scope)
+            self._filter_expr(stmt.condition, scope)
+            body = self._filter_statements([stmt.body], scope)
+            cond_replay = self._collect(lambda: self._filter_expr(stmt.condition, scope))
+            self._emit(While(Seq(tuple(body + cond_replay)), stmt.span))
+            return
+        if isinstance(stmt, ast.For):
+            for expr in stmt.init:
+                self._filter_expr(expr, scope)
+            for expr in stmt.condition:
+                self._filter_expr(expr, scope)
+
+            def body_fn():
+                self._filter_statement(stmt.body, scope)
+                for expr in stmt.update:
+                    self._filter_expr(expr, scope)
+                for expr in stmt.condition:
+                    self._filter_expr(expr, scope)
+
+            self._emit(While(Seq(tuple(self._collect(body_fn))), stmt.span))
+            return
+        if isinstance(stmt, ast.Foreach):
+            subject_type = self._filter_expr(stmt.subject, scope)
+
+            def body_fn():
+                if stmt.key_var is not None:
+                    self._assign_target(stmt.key_var, subject_type, stmt.span, scope)
+                self._assign_target(stmt.value_var, subject_type, stmt.span, scope)
+                self._filter_statement(stmt.body, scope)
+
+            self._emit(While(Seq(tuple(self._collect(body_fn))), stmt.span))
+            return
+        if isinstance(stmt, ast.Switch):
+            self._filter_expr(stmt.subject, scope)
+            for case in stmt.cases:
+                if case.test is not None:
+                    self._filter_expr(case.test, scope)
+                branch = self._filter_statements(case.body, scope)
+                self._emit(If(Seq(tuple(branch)), Seq(()), case.span))
+            return
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return  # control only; no information flow
+        if isinstance(stmt, ast.Return):
+            value: Expr = Const()
+            if stmt.value is not None:
+                value = self._filter_expr(stmt.value, scope)
+            if self._call_stack:
+                ret_name = scope.resolve("%ret")
+                self._emit(Assign(ret_name, value, stmt.span))
+            else:
+                self._emit(Stop(stmt.span))
+            return
+        if isinstance(stmt, (ast.FunctionDecl, ast.ClassDecl)):
+            return  # collected in the pre-pass; unfolded at call sites
+        if isinstance(stmt, ast.GlobalStatement):
+            for name in stmt.names:
+                scope.declare_global(name)
+            return
+        if isinstance(stmt, ast.StaticStatement):
+            for var in stmt.variables:
+                if var.default is not None:
+                    value = self._filter_expr(var.default, scope)
+                    self._emit(Assign(scope.resolve(var.name), value, stmt.span))
+            return
+        if isinstance(stmt, ast.UnsetStatement):
+            for operand in stmt.operands:
+                if isinstance(operand, ast.Variable):
+                    self._emit(Assign(scope.resolve(operand.name), Const(), stmt.span))
+            return
+        self._warn(f"unhandled statement {type(stmt).__name__} at {stmt.span}")
+
+    def _filter_if(self, stmt: ast.If, scope: _Scope) -> None:
+        self._filter_expr(stmt.condition, scope)
+        then_cmds = self._filter_statements([stmt.then], scope)
+
+        # elseif chains nest as else branches.
+        def build_orelse(index: int) -> list[Command]:
+            if index < len(stmt.elseifs):
+                clause = stmt.elseifs[index]
+                cond_cmds = self._collect(lambda: self._filter_expr(clause.condition, scope))
+                body_cmds = self._filter_statements([clause.body], scope)
+                rest = build_orelse(index + 1)
+                return cond_cmds + [If(Seq(tuple(body_cmds)), Seq(tuple(rest)), clause.span)]
+            if stmt.orelse is not None:
+                return self._filter_statements([stmt.orelse], scope)
+            return []
+
+        orelse_cmds = build_orelse(0)
+        self._emit(If(Seq(tuple(then_cmds)), Seq(tuple(orelse_cmds)), stmt.span))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _filter_expr(self, expr: ast.Expression, scope: _Scope) -> Expr:
+        if isinstance(expr, ast.Literal):
+            return Const()
+        if isinstance(expr, ast.Variable):
+            return self._read_variable(expr.name, scope)
+        if isinstance(expr, ast.ArrayDim):
+            return self._read_array_dim(expr, scope)
+        if isinstance(expr, ast.PropertyFetch):
+            return self._read_property(expr, scope)
+        if isinstance(expr, ast.StaticPropertyFetch):
+            return VarRef(f"{expr.class_name}::{expr.property}")
+        if isinstance(expr, ast.InterpolatedString):
+            parts = [
+                self._filter_expr(part, scope)
+                for part in expr.parts
+                if isinstance(part, ast.Expression)
+            ]
+            return join_exprs(parts)
+        if isinstance(expr, ast.Binary):
+            left = self._filter_expr(expr.left, scope)
+            right = self._filter_expr(expr.right, scope)
+            if expr.op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||", "and", "or", "xor"):
+                return Const()  # boolean results carry no string content
+            return join_exprs([left, right])
+        if isinstance(expr, ast.Unary):
+            operand = self._filter_expr(expr.operand, scope)
+            if expr.op == "!":
+                return Const()
+            return operand
+        if isinstance(expr, ast.Cast):
+            operand = self._filter_expr(expr.operand, scope)
+            if expr.target in ("int", "integer", "bool", "boolean", "float", "double", "real"):
+                return Const()  # numeric casts sanitize
+            return operand
+        if isinstance(expr, ast.Ternary):
+            self._filter_expr(expr.condition, scope)
+            branches: list[Expr] = []
+            if expr.then is not None:
+                branches.append(self._filter_expr(expr.then, scope))
+            else:
+                branches.append(self._filter_expr(expr.condition, scope))
+            branches.append(self._filter_expr(expr.orelse, scope))
+            return join_exprs(branches)
+        if isinstance(expr, ast.Assign):
+            return self._filter_assign(expr, scope)
+        if isinstance(expr, ast.ListAssign):
+            value = self._filter_expr(expr.value, scope)
+            for target in expr.targets:
+                if target is not None:
+                    self._assign_target(target, value, expr.span, scope)
+            return value
+        if isinstance(expr, ast.IncDec):
+            # ++/-- keeps the variable's type; no command needed.
+            if isinstance(expr.target, ast.Variable):
+                return VarRef(scope.resolve(expr.target.name))
+            return Const()
+        if isinstance(expr, ast.FunctionCall):
+            return self._filter_call(expr, scope)
+        if isinstance(expr, ast.MethodCall):
+            return self._filter_method_call(expr, scope)
+        if isinstance(expr, ast.StaticCall):
+            arg_types = [self._filter_expr(a, scope) for a in expr.args]
+            return join_exprs(arg_types)
+        if isinstance(expr, ast.New):
+            if (
+                self._facts is not None
+                and self._facts.methods.get_class(expr.class_name) is not None
+            ):
+                temp = self._fresh_temp()
+                self._construct_object(expr, temp, scope)
+                return VarRef(temp)
+            arg_types = [self._filter_expr(a, scope) for a in expr.args]
+            return join_exprs(arg_types)
+        if isinstance(expr, ast.IssetExpr):
+            for operand in expr.operands:
+                self._filter_expr(operand, scope)
+            return Const()
+        if isinstance(expr, ast.EmptyExpr):
+            self._filter_expr(expr.operand, scope)
+            return Const()
+        if isinstance(expr, ast.ErrorSuppress):
+            return self._filter_expr(expr.operand, scope)
+        if isinstance(expr, ast.IncludeExpr):
+            # Statically-resolvable includes were spliced already; a
+            # dynamic include is a no-op for flow purposes.
+            self._filter_expr(expr.path, scope)
+            return Const()
+        if isinstance(expr, ast.ExitExpr):
+            if expr.argument is not None:
+                self._emit_sink("exit", [expr.argument], expr.span, scope)
+            self._emit(Stop(expr.span))
+            return Const()
+        if isinstance(expr, ast.PrintExpr):
+            self._emit_sink("print", [expr.argument], expr.span, scope)
+            return Const()
+        if isinstance(expr, ast.ArrayLiteral):
+            values = []
+            for item in expr.items:
+                if item.key is not None:
+                    values.append(self._filter_expr(item.key, scope))
+                values.append(self._filter_expr(item.value, scope))
+            return join_exprs(values)
+        self._warn(f"unhandled expression {type(expr).__name__} at {expr.span}")
+        return Const()
+
+    # -- variable access --------------------------------------------------------
+
+    def _read_variable(self, name: str, scope: _Scope) -> Expr:
+        if name == "this" and scope.receiver is not None:
+            return VarRef(scope.receiver)
+        level = self.prelude.superglobal_level(name)
+        if level is not None:
+            return LevelConst(level)
+        resolved = scope.resolve(name)
+        if (
+            self._facts is not None
+            and self._facts.has_environment_tainter
+            and name not in self._facts.assigned_names
+        ):
+            # An extract()-style call may have defined this otherwise
+            # never-assigned variable from untrusted data.
+            return LevelConst(self.prelude.lattice.top)
+        return VarRef(resolved)
+
+    def _read_array_dim(self, expr: ast.ArrayDim, scope: _Scope) -> Expr:
+        if expr.index is not None:
+            self._filter_expr(expr.index, scope)
+        root = expr
+        while isinstance(root, ast.ArrayDim):
+            root = root.base
+        if isinstance(root, ast.Variable):
+            return self._read_variable(root.name, scope)
+        return self._filter_expr(root, scope)
+
+    def _property_name(self, obj: ast.Variable, prop: str, scope: _Scope) -> str:
+        if obj.name == "this" and scope.receiver is not None:
+            return f"{scope.receiver}->{prop}"
+        return scope.resolve(f"{obj.name}->{prop}")
+
+    def _read_property(self, expr: ast.PropertyFetch, scope: _Scope) -> Expr:
+        if isinstance(expr.object, ast.Variable):
+            return VarRef(self._property_name(expr.object, expr.property, scope))
+        return self._filter_expr(expr.object, scope)
+
+    def _assign_target(self, target: ast.Expression, value: Expr, span: Span, scope: _Scope) -> None:
+        if isinstance(target, ast.Variable):
+            if self.prelude.is_superglobal(target.name):
+                return  # writing into $_GET etc. — ignore
+            self._emit(Assign(scope.resolve(target.name), value, span))
+            return
+        if isinstance(target, ast.ArrayDim):
+            if target.index is not None:
+                self._filter_expr(target.index, scope)
+            root = target
+            while isinstance(root, ast.ArrayDim):
+                root = root.base
+            if isinstance(root, ast.Variable):
+                if self.prelude.is_superglobal(root.name):
+                    return
+                name = scope.resolve(root.name)
+                # Weak update: an element write joins with the old type.
+                self._emit(Assign(name, join_exprs([VarRef(name), value]), span))
+            return
+        if isinstance(target, ast.PropertyFetch) and isinstance(target.object, ast.Variable):
+            name = self._property_name(target.object, target.property, scope)
+            self._emit(Assign(name, value, span))
+            return
+        if isinstance(target, ast.StaticPropertyFetch):
+            self._emit(Assign(f"{target.class_name}::{target.property}", value, span))
+            return
+        self._warn(f"unsupported assignment target {type(target).__name__} at {span}")
+
+    def _filter_assign(self, expr: ast.Assign, scope: _Scope) -> Expr:
+        # `$obj = new Known(...)` binds the constructor's $this to $obj,
+        # so property assignments inside it land on obj->prop.
+        if (
+            not expr.op
+            and isinstance(expr.value, ast.New)
+            and isinstance(expr.target, ast.Variable)
+            and self._facts is not None
+            and self._facts.methods.get_class(expr.value.class_name) is not None
+        ):
+            receiver = scope.resolve(expr.target.name)
+            self._construct_object(expr.value, receiver, scope)
+            return VarRef(receiver)
+        value = self._filter_expr(expr.value, scope)
+        if expr.op:
+            # Compound assignment reads the old value: x op= e  ≡  x = x ~ e.
+            old = self._filter_expr(expr.target, scope)
+            value = join_exprs([old, value])
+        self._assign_target(expr.target, value, expr.span, scope)
+        # The assignment expression's own value is the assigned value.
+        return value
+
+    def _construct_object(self, expr: ast.New, receiver: str, scope: _Scope) -> None:
+        """Initialize declared properties and unfold the constructor."""
+        table = self._facts.methods
+        for prop in table.properties_of(expr.class_name):
+            value = (
+                self._filter_expr(prop.default, scope)
+                if prop.default is not None
+                else Const()
+            )
+            self._emit(Assign(f"{receiver}->{prop.name}", value, expr.span))
+        constructor = None
+        decl = table.get_class(expr.class_name)
+        if decl is not None:
+            constructor = table.resolve(expr.class_name, decl.name) or table.resolve(
+                expr.class_name, "__construct"
+            )
+        if constructor is not None:
+            self._unfold_callable(
+                constructor, list(expr.args), expr.span, scope, receiver=receiver
+            )
+        else:
+            for arg in expr.args:
+                self._filter_expr(arg, scope)
+
+    # -- calls -------------------------------------------------------------------
+
+    def _emit_sink(
+        self,
+        function: str,
+        args: list[ast.Expression],
+        span: Span,
+        scope: _Scope,
+        checked: tuple[int, ...] | None = None,
+        required: object | None = None,
+        vuln_class: object = None,
+    ) -> None:
+        """Normalize sink arguments to variables and emit a SinkCall."""
+        effect = self.prelude.function_effect(function)
+        if effect is not None and effect.kind is EffectKind.SINK:
+            if required is None:
+                required = effect.required
+            if vuln_class is None:
+                vuln_class = effect.vuln_class
+        if required is None:
+            required = self.prelude.lattice.top
+        names: list[str] = []
+        spans: list[Span] = []
+        for index, arg in enumerate(args):
+            if checked is not None and index not in checked:
+                self._filter_expr(arg, scope)
+                continue
+            arg_type = self._filter_expr(arg, scope)
+            if isinstance(arg_type, Const):
+                continue  # constant arguments can never violate
+            if isinstance(arg_type, VarRef):
+                names.append(arg_type.name)
+            else:
+                temp = self._fresh_temp()
+                self._emit(Assign(temp, arg_type, arg.span))
+                names.append(temp)
+            spans.append(arg.span)
+        if names:
+            self._emit(
+                SinkCall(
+                    function, tuple(names), required, span, tuple(spans), vuln_class
+                )
+            )
+
+    def _filter_call(self, expr: ast.FunctionCall, scope: _Scope) -> Expr:
+        name = expr.name
+        declared = self._facts.functions.get(name) if self._facts is not None else None
+        if declared is not None:
+            return self._unfold_callable(declared, list(expr.args), expr.span, scope)
+        effect = self.prelude.function_effect(name)
+        if effect is None:
+            arg_types = [self._filter_expr(a, scope) for a in expr.args]
+            return join_exprs(arg_types)
+        if effect.kind is EffectKind.SOURCE:
+            for arg in expr.args:
+                self._filter_expr(arg, scope)
+            return LevelConst(effect.level)
+        if effect.kind is EffectKind.SANITIZER:
+            # Paper Figure 6 models sanitization of a variable as a UIC
+            # postcondition on the variable itself (uf_i(tmp) → t_tmp = U):
+            # the variable's safety state is updated in place.
+            if (
+                self.sanitize_in_place
+                and len(expr.args) == 1
+                and isinstance(expr.args[0], ast.Variable)
+                and not self.prelude.is_superglobal(expr.args[0].name)
+            ):
+                name = scope.resolve(expr.args[0].name)
+                self._emit(Assign(name, LevelConst(effect.level), expr.span))
+                return VarRef(name)
+            for arg in expr.args:
+                self._filter_expr(arg, scope)
+            return LevelConst(effect.level)
+        if effect.kind is EffectKind.SINK:
+            self._emit_sink(name, list(expr.args), expr.span, scope, checked=effect.checked_args)
+            return Const()
+        if effect.kind is EffectKind.TAINT_ENVIRONMENT:
+            for arg in expr.args:
+                self._filter_expr(arg, scope)
+            self._emit(InputCall(name, (), self.prelude.lattice.top, expr.span))
+            return Const()
+        # PROPAGATE
+        arg_types = [self._filter_expr(a, scope) for a in expr.args]
+        return join_exprs(arg_types)
+
+    def _filter_method_call(self, expr: ast.MethodCall, scope: _Scope) -> Expr:
+        # User-declared methods are unfolded like functions, with $this
+        # bound to the receiver's IR name.  Without object types the
+        # resolution is by method name; every candidate class's method is
+        # unfolded (an over-approximation: the result joins all of them).
+        candidates = (
+            self._facts.methods.candidates(expr.method) if self._facts is not None else []
+        )
+        if candidates and isinstance(expr.object, ast.Variable):
+            if expr.object.name == "this" and scope.receiver is not None:
+                receiver = scope.receiver
+            else:
+                receiver = scope.resolve(expr.object.name)
+            results = []
+            for _class_name, method in candidates:
+                results.append(
+                    self._unfold_callable(
+                        method, list(expr.args), expr.span, scope, receiver=receiver
+                    )
+                )
+            return join_exprs(results)
+        self._filter_expr(expr.object, scope)
+        effect = self.prelude.method_effect(expr.method)
+        if effect is not None and effect.kind is EffectKind.SINK:
+            self._emit_sink(
+                f"->{expr.method}",
+                list(expr.args),
+                expr.span,
+                scope,
+                required=effect.required,
+                vuln_class=effect.vuln_class,
+            )
+            return Const()
+        arg_types = [self._filter_expr(a, scope) for a in expr.args]
+        return join_exprs(arg_types)
+
+    def _unfold_callable(
+        self,
+        decl: ast.FunctionDecl,
+        args: list[ast.Expression],
+        span: Span,
+        scope: _Scope,
+        receiver: str | None = None,
+    ) -> Expr:
+        """Inline a user-defined function or method at this call site."""
+        stack_key = decl.name.lower() if receiver is None else f"::{decl.name.lower()}"
+        depth = sum(1 for name in self._call_stack if name == stack_key)
+        if depth >= self.max_unfold_depth:
+            self._warn(
+                f"recursion depth limit for {decl.name!r} at {span}; "
+                "treating call as taint propagation"
+            )
+            arg_types = [self._filter_expr(a, scope) for a in args]
+            return join_exprs(arg_types)
+
+        self._inline_counter += 1
+        callee_scope = _Scope(
+            prefix=f"{decl.name.lower()}@{self._inline_counter}", receiver=receiver
+        )
+
+        # Bind arguments to parameters (defaults for missing arguments).
+        for index, param in enumerate(decl.parameters):
+            if index < len(args):
+                arg_type = self._filter_expr(args[index], scope)
+            elif param.default is not None:
+                arg_type = self._filter_expr(param.default, scope)
+            else:
+                arg_type = Const()
+            self._emit(Assign(callee_scope.resolve(param.name), arg_type, span))
+
+        self._call_stack.append(stack_key)
+        try:
+            body_cmds = self._filter_statements(decl.body.statements, callee_scope)
+        finally:
+            self._call_stack.pop()
+        for command in body_cmds:
+            self._emit(command)
+
+        # Copy back by-reference parameters into simple variable arguments.
+        for index, param in enumerate(decl.parameters):
+            if param.by_reference and index < len(args):
+                arg = args[index]
+                if isinstance(arg, ast.Variable) and not self.prelude.is_superglobal(arg.name):
+                    self._emit(
+                        Assign(
+                            scope.resolve(arg.name),
+                            VarRef(callee_scope.resolve(param.name)),
+                            span,
+                        )
+                    )
+
+        return VarRef(callee_scope.resolve("%ret"))
+
+
+def filter_program(
+    program: ast.Program,
+    prelude: Prelude | None = None,
+    max_unfold_depth: int = 3,
+    sanitize_in_place: bool = True,
+) -> FilterResult:
+    """Filter a parsed program into F(p)."""
+    return ProgramFilter(prelude, max_unfold_depth, sanitize_in_place).run(program)
+
+
+def filter_source(
+    source: str,
+    prelude: Prelude | None = None,
+    filename: str = "<string>",
+    sanitize_in_place: bool = True,
+) -> FilterResult:
+    """Parse and filter PHP source text in one step."""
+    from repro.php.parser import parse
+
+    return filter_program(
+        parse(source, filename), prelude, sanitize_in_place=sanitize_in_place
+    )

@@ -1,0 +1,249 @@
+"""Function collection for call-site unfolding.
+
+F(p) "unfolds function calls" (paper §3.2): user-defined functions are
+inlined at each call site by the filter.  This module provides the
+function table the filter consults, plus the syntactic pre-pass that
+discovers every declared function (including declarations nested inside
+conditionals, which PHP allows) and every statically-assigned variable
+name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.php import ast_nodes as ast
+
+__all__ = ["FunctionTable", "ProgramFacts", "collect_program_facts"]
+
+
+class FunctionTable:
+    """Declared functions by lower-cased name (PHP functions are
+    case-insensitive)."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, ast.FunctionDecl] = {}
+
+    def add(self, decl: ast.FunctionDecl) -> None:
+        self._functions.setdefault(decl.name.lower(), decl)
+
+    def get(self, name: str) -> ast.FunctionDecl | None:
+        return self._functions.get(name.lower())
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+class MethodTable:
+    """Declared class methods, looked up by method name.
+
+    The analysis does not track object types, so a method call resolves
+    by name across all declared classes; when several classes declare
+    the same method, every candidate is returned and the filter
+    over-approximates by unfolding each of them.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, ast.ClassDecl] = {}
+        self._methods: dict[str, list[tuple[str, ast.FunctionDecl]]] = {}
+
+    def add_class(self, decl: ast.ClassDecl) -> None:
+        if decl.name.lower() in self._classes:
+            return
+        self._classes[decl.name.lower()] = decl
+        for method in decl.methods:
+            self._methods.setdefault(method.name.lower(), []).append((decl.name, method))
+
+    def get_class(self, name: str) -> ast.ClassDecl | None:
+        return self._classes.get(name.lower())
+
+    def candidates(self, method_name: str) -> list[tuple[str, ast.FunctionDecl]]:
+        return list(self._methods.get(method_name.lower(), ()))
+
+    def class_names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def properties_of(self, class_name: str) -> list[ast.PropertyDecl]:
+        """Own + inherited properties, parents first."""
+        chain: list[ast.ClassDecl] = []
+        current = self.get_class(class_name)
+        seen: set[str] = set()
+        while current is not None and current.name.lower() not in seen:
+            seen.add(current.name.lower())
+            chain.append(current)
+            current = self.get_class(current.parent) if current.parent else None
+        out: list[ast.PropertyDecl] = []
+        for decl in reversed(chain):
+            out.extend(decl.properties)
+        return out
+
+    def resolve(self, class_name: str, method_name: str) -> ast.FunctionDecl | None:
+        """Resolve a method along the inheritance chain."""
+        seen: set[str] = set()
+        current = self.get_class(class_name)
+        while current is not None and current.name.lower() not in seen:
+            seen.add(current.name.lower())
+            found = current.method(method_name)
+            if found is not None:
+                return found
+            current = self.get_class(current.parent) if current.parent else None
+        return None
+
+
+@dataclass
+class ProgramFacts:
+    """Syntactic facts gathered in one pre-pass over the AST."""
+
+    functions: FunctionTable = field(default_factory=FunctionTable)
+    methods: MethodTable = field(default_factory=MethodTable)
+    #: Variable names assigned anywhere (any scope), used to decide which
+    #: reads refer to variables an extract()-style call may have defined.
+    assigned_names: set[str] = field(default_factory=set)
+    #: True if an extract()/import_request_variables()-style call occurs.
+    has_environment_tainter: bool = False
+
+
+def collect_program_facts(program: ast.Program, tainter_names: frozenset[str]) -> ProgramFacts:
+    """Walk the AST once, collecting functions, assigned names, tainters."""
+    facts = ProgramFacts()
+
+    def visit_expr(expr: ast.Expression) -> None:
+        if isinstance(expr, ast.Assign):
+            _record_target(expr.target, facts)
+            visit_expr(expr.value)
+        elif isinstance(expr, ast.ListAssign):
+            for target in expr.targets:
+                if target is not None:
+                    _record_target(target, facts)
+            visit_expr(expr.value)
+        elif isinstance(expr, ast.IncDec):
+            _record_target(expr.target, facts)
+        elif isinstance(expr, ast.FunctionCall):
+            if expr.name.lower() in tainter_names:
+                facts.has_environment_tainter = True
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, (ast.MethodCall, ast.StaticCall, ast.New)):
+            if isinstance(expr, ast.MethodCall):
+                visit_expr(expr.object)
+            for arg in expr.args:
+                visit_expr(arg)
+        elif isinstance(expr, ast.Binary):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, (ast.Unary, ast.Cast, ast.ErrorSuppress, ast.EmptyExpr)):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.Ternary):
+            visit_expr(expr.condition)
+            if expr.then is not None:
+                visit_expr(expr.then)
+            visit_expr(expr.orelse)
+        elif isinstance(expr, ast.InterpolatedString):
+            for part in expr.parts:
+                if isinstance(part, ast.Expression):
+                    visit_expr(part)
+        elif isinstance(expr, ast.ArrayLiteral):
+            for item in expr.items:
+                if item.key is not None:
+                    visit_expr(item.key)
+                visit_expr(item.value)
+        elif isinstance(expr, ast.ArrayDim):
+            visit_expr(expr.base)
+            if expr.index is not None:
+                visit_expr(expr.index)
+        elif isinstance(expr, ast.PropertyFetch):
+            visit_expr(expr.object)
+        elif isinstance(expr, ast.IssetExpr):
+            for op in expr.operands:
+                visit_expr(op)
+        elif isinstance(expr, (ast.IncludeExpr,)):
+            visit_expr(expr.path)
+        elif isinstance(expr, ast.ExitExpr) and expr.argument is not None:
+            visit_expr(expr.argument)
+        elif isinstance(expr, ast.PrintExpr):
+            visit_expr(expr.argument)
+
+    def visit_stmt(stmt: ast.Statement) -> None:
+        if isinstance(stmt, ast.FunctionDecl):
+            facts.functions.add(stmt)
+            for param in stmt.parameters:
+                facts.assigned_names.add(param.name)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.ClassDecl):
+            facts.methods.add_class(stmt)
+            for prop in stmt.properties:
+                if prop.default is not None:
+                    visit_expr(prop.default)
+            for method in stmt.methods:
+                for param in method.parameters:
+                    facts.assigned_names.add(param.name)
+                visit_stmt(method.body)
+        elif isinstance(stmt, (ast.Block, ast.Program)):
+            for child in stmt.statements:
+                visit_stmt(child)
+        elif isinstance(stmt, ast.ExpressionStatement):
+            visit_expr(stmt.expression)
+        elif isinstance(stmt, ast.Echo):
+            for arg in stmt.arguments:
+                visit_expr(arg)
+        elif isinstance(stmt, ast.If):
+            visit_expr(stmt.condition)
+            visit_stmt(stmt.then)
+            for clause in stmt.elseifs:
+                visit_expr(clause.condition)
+                visit_stmt(clause.body)
+            if stmt.orelse is not None:
+                visit_stmt(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            visit_expr(stmt.condition)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            visit_stmt(stmt.body)
+            visit_expr(stmt.condition)
+        elif isinstance(stmt, ast.For):
+            for expr in (*stmt.init, *stmt.condition, *stmt.update):
+                visit_expr(expr)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.Foreach):
+            visit_expr(stmt.subject)
+            if stmt.key_var is not None:
+                _record_target(stmt.key_var, facts)
+            _record_target(stmt.value_var, facts)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.Switch):
+            visit_expr(stmt.subject)
+            for case in stmt.cases:
+                if case.test is not None:
+                    visit_expr(case.test)
+                for child in case.body:
+                    visit_stmt(child)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                visit_expr(stmt.value)
+        elif isinstance(stmt, ast.StaticStatement):
+            for var in stmt.variables:
+                facts.assigned_names.add(var.name)
+        elif isinstance(stmt, ast.UnsetStatement):
+            for op in stmt.operands:
+                visit_expr(op)
+
+    visit_stmt_program(program, visit_stmt)
+    return facts
+
+
+def visit_stmt_program(program: ast.Program, visit_stmt) -> None:
+    for stmt in program.statements:
+        visit_stmt(stmt)
+
+
+def _record_target(target: ast.Expression, facts: ProgramFacts) -> None:
+    root = target
+    while isinstance(root, ast.ArrayDim):
+        root = root.base
+    if isinstance(root, ast.Variable):
+        facts.assigned_names.add(root.name)
+    elif isinstance(root, ast.PropertyFetch) and isinstance(root.object, ast.Variable):
+        facts.assigned_names.add(root.object.name)

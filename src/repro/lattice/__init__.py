@@ -1,0 +1,27 @@
+"""Security-type lattices (Denning's information-flow model, paper §3.1)."""
+
+from repro.lattice.types import (
+    TAINTED,
+    UNTAINTED,
+    FiniteLattice,
+    Lattice,
+    LatticeError,
+    is_monotone,
+    linear_lattice,
+    powerset_lattice,
+    product_lattice,
+    two_point_lattice,
+)
+
+__all__ = [
+    "TAINTED",
+    "UNTAINTED",
+    "FiniteLattice",
+    "Lattice",
+    "LatticeError",
+    "is_monotone",
+    "linear_lattice",
+    "powerset_lattice",
+    "product_lattice",
+    "two_point_lattice",
+]

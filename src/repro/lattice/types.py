@@ -1,0 +1,322 @@
+"""Security-type lattices in the style of Denning's information-flow model.
+
+The paper (Section 3.1) assumes a finite set of safety types ``T`` that is
+partially ordered by ``<=`` and forms a complete lattice with bottom ``⊥``
+(the safest level) and top ``⊤`` (the least safe level).  Types resulting
+from expressions are combined with the least-upper-bound operator: the
+safety type of ``e1 ~ e2`` is ``join(t_e1, t_e2)``, and constants have type
+``⊥``.
+
+This module provides:
+
+* :class:`Lattice` — an abstract interface every safety lattice implements.
+* :class:`FiniteLattice` — a concrete lattice built from an explicit
+  covering (Hasse) relation, with verification that the order really is a
+  complete lattice (unique joins/meets, top and bottom exist).
+* :func:`two_point_lattice` — the taint lattice used by WebSSARI's default
+  policy (``untainted <= tainted``).
+* :func:`linear_lattice` — a total order of ``n`` levels (the general
+  multi-level security model).
+* :func:`product_lattice` — the component-wise product of two lattices
+  (e.g. integrity x confidentiality).
+* :func:`powerset_lattice` — the lattice of subsets ordered by inclusion.
+
+All lattices are immutable once constructed and hashable elements are
+required, so types can be used freely as dictionary keys by the analyses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Any
+
+__all__ = [
+    "Lattice",
+    "FiniteLattice",
+    "LatticeError",
+    "two_point_lattice",
+    "linear_lattice",
+    "product_lattice",
+    "powerset_lattice",
+]
+
+
+class LatticeError(ValueError):
+    """Raised when a structure fails to be a complete lattice."""
+
+
+class Lattice:
+    """Abstract interface of a complete lattice of safety types.
+
+    Concrete implementations must provide :meth:`leq`, :attr:`elements`,
+    :attr:`bottom` and :attr:`top`; default implementations of ``join``
+    and ``meet`` are derived from ``leq`` but are usually overridden with
+    faster table-driven versions.
+    """
+
+    @property
+    def elements(self) -> frozenset[Hashable]:
+        raise NotImplementedError
+
+    @property
+    def bottom(self) -> Hashable:
+        raise NotImplementedError
+
+    @property
+    def top(self) -> Hashable:
+        raise NotImplementedError
+
+    def leq(self, a: Hashable, b: Hashable) -> bool:
+        """Return True iff ``a <= b`` in the safety order."""
+        raise NotImplementedError
+
+    def lt(self, a: Hashable, b: Hashable) -> bool:
+        """Strict order: ``a <= b`` and ``a != b`` (paper Section 3.1)."""
+        return a != b and self.leq(a, b)
+
+    def join(self, a: Hashable, b: Hashable) -> Hashable:
+        """Least upper bound of ``a`` and ``b``."""
+        uppers = [x for x in self.elements if self.leq(a, x) and self.leq(b, x)]
+        return self._unique_extremum(uppers, lower=True, what=f"join({a!r}, {b!r})")
+
+    def meet(self, a: Hashable, b: Hashable) -> Hashable:
+        """Greatest lower bound of ``a`` and ``b``."""
+        lowers = [x for x in self.elements if self.leq(x, a) and self.leq(x, b)]
+        return self._unique_extremum(lowers, lower=False, what=f"meet({a!r}, {b!r})")
+
+    def join_all(self, types: Iterable[Hashable]) -> Hashable:
+        """Least upper bound of a subset; ``⊥`` for the empty subset.
+
+        This is the paper's ``⊔Y`` operator (with the empty-set convention
+        from Section 3.1).
+        """
+        result = self.bottom
+        for t in types:
+            result = self.join(result, t)
+        return result
+
+    def meet_all(self, types: Iterable[Hashable]) -> Hashable:
+        """Greatest lower bound of a subset; ``⊤`` for the empty subset."""
+        result = self.top
+        for t in types:
+            result = self.meet(result, t)
+        return result
+
+    def contains(self, a: Hashable) -> bool:
+        return a in self.elements
+
+    def check_member(self, a: Hashable) -> None:
+        if not self.contains(a):
+            raise LatticeError(f"{a!r} is not an element of this lattice")
+
+    def _unique_extremum(self, candidates: Sequence[Hashable], lower: bool, what: str) -> Hashable:
+        if not candidates:
+            raise LatticeError(f"no candidate for {what}")
+        # The extremum is the candidate comparable-below (resp. above) all
+        # other candidates.
+        for c in candidates:
+            if lower and all(self.leq(c, other) for other in candidates):
+                return c
+            if not lower and all(self.leq(other, c) for other in candidates):
+                return c
+        raise LatticeError(f"{what} is not unique; structure is not a lattice")
+
+
+class FiniteLattice(Lattice):
+    """A complete lattice over an explicit finite carrier set.
+
+    Constructed from the full ``<=`` relation given as a set of ordered
+    pairs (the constructor computes the reflexive-transitive closure of
+    whatever pairs are supplied, so a covering relation suffices).  The
+    constructor *verifies* the lattice laws: antisymmetry, existence of a
+    unique bottom and top, and existence of unique binary joins and meets
+    for every pair — raising :class:`LatticeError` otherwise.  Joins and
+    meets are precomputed into tables so the analyses pay O(1) per
+    operation.
+    """
+
+    def __init__(self, elements: Iterable[Hashable], order_pairs: Iterable[tuple[Hashable, Hashable]]):
+        elems = frozenset(elements)
+        if not elems:
+            raise LatticeError("lattice carrier set must be non-empty")
+        self._elements = elems
+
+        leq: set[tuple[Hashable, Hashable]] = {(e, e) for e in elems}
+        for a, b in order_pairs:
+            if a not in elems or b not in elems:
+                raise LatticeError(f"order pair ({a!r}, {b!r}) mentions a non-element")
+            leq.add((a, b))
+        self._leq = self._transitive_closure(leq)
+        self._check_antisymmetry()
+
+        self._bottom = self._find_bottom()
+        self._top = self._find_top()
+        self._join_table: dict[tuple[Hashable, Hashable], Hashable] = {}
+        self._meet_table: dict[tuple[Hashable, Hashable], Hashable] = {}
+        self._build_tables()
+
+    # -- construction helpers -------------------------------------------
+
+    def _transitive_closure(self, pairs: set[tuple[Hashable, Hashable]]) -> frozenset[tuple[Hashable, Hashable]]:
+        closure = set(pairs)
+        changed = True
+        while changed:
+            changed = False
+            additions = set()
+            for a, b in closure:
+                for c, d in closure:
+                    if b == c and (a, d) not in closure:
+                        additions.add((a, d))
+            if additions:
+                closure |= additions
+                changed = True
+        return frozenset(closure)
+
+    def _check_antisymmetry(self) -> None:
+        for a, b in self._leq:
+            if a != b and (b, a) in self._leq:
+                raise LatticeError(f"antisymmetry violated: {a!r} <= {b!r} and {b!r} <= {a!r}")
+
+    def _find_bottom(self) -> Hashable:
+        bottoms = [e for e in self._elements if all((e, x) in self._leq for x in self._elements)]
+        if len(bottoms) != 1:
+            raise LatticeError(f"lattice must have exactly one bottom, found {bottoms!r}")
+        return bottoms[0]
+
+    def _find_top(self) -> Hashable:
+        tops = [e for e in self._elements if all((x, e) in self._leq for x in self._elements)]
+        if len(tops) != 1:
+            raise LatticeError(f"lattice must have exactly one top, found {tops!r}")
+        return tops[0]
+
+    def _build_tables(self) -> None:
+        elems = sorted(self._elements, key=repr)
+        for a, b in itertools.product(elems, repeat=2):
+            uppers = [x for x in elems if (a, x) in self._leq and (b, x) in self._leq]
+            lowers = [x for x in elems if (x, a) in self._leq and (x, b) in self._leq]
+            self._join_table[(a, b)] = self._extremum_from(uppers, minimal=True, what=f"join({a!r},{b!r})")
+            self._meet_table[(a, b)] = self._extremum_from(lowers, minimal=False, what=f"meet({a!r},{b!r})")
+
+    def _extremum_from(self, candidates: Sequence[Hashable], minimal: bool, what: str) -> Hashable:
+        for c in candidates:
+            if minimal and all((c, other) in self._leq for other in candidates):
+                return c
+            if not minimal and all((other, c) in self._leq for other in candidates):
+                return c
+        raise LatticeError(f"{what} does not exist; structure is not a lattice")
+
+    # -- Lattice interface ----------------------------------------------
+
+    @property
+    def elements(self) -> frozenset[Hashable]:
+        return self._elements
+
+    @property
+    def bottom(self) -> Hashable:
+        return self._bottom
+
+    @property
+    def top(self) -> Hashable:
+        return self._top
+
+    def leq(self, a: Hashable, b: Hashable) -> bool:
+        self.check_member(a)
+        self.check_member(b)
+        return (a, b) in self._leq
+
+    def join(self, a: Hashable, b: Hashable) -> Hashable:
+        self.check_member(a)
+        self.check_member(b)
+        return self._join_table[(a, b)]
+
+    def meet(self, a: Hashable, b: Hashable) -> Hashable:
+        self.check_member(a)
+        self.check_member(b)
+        return self._meet_table[(a, b)]
+
+    def covers(self) -> set[tuple[Hashable, Hashable]]:
+        """Return the covering (Hasse) relation: pairs a < b with nothing between."""
+        result = set()
+        for a, b in self._leq:
+            if a == b:
+                continue
+            between = any(
+                c not in (a, b) and (a, c) in self._leq and (c, b) in self._leq
+                for c in self._elements
+            )
+            if not between:
+                result.add((a, b))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FiniteLattice({sorted(map(repr, self._elements))})"
+
+
+# -- Standard lattice constructors ---------------------------------------
+
+#: Canonical element names for the default taint policy.
+UNTAINTED = "untainted"
+TAINTED = "tainted"
+
+
+def two_point_lattice() -> FiniteLattice:
+    """The WebSSARI default policy lattice: ``untainted <= tainted``.
+
+    Bottom (safest) is *untainted*; top is *tainted*.  Expression types
+    combine with join, so touching any tainted operand taints the result.
+    """
+    return FiniteLattice({UNTAINTED, TAINTED}, {(UNTAINTED, TAINTED)})
+
+
+def linear_lattice(levels: Sequence[Hashable]) -> FiniteLattice:
+    """A total order ``levels[0] <= levels[1] <= ...`` (multi-level security)."""
+    if len(levels) != len(set(levels)):
+        raise LatticeError("levels must be distinct")
+    pairs = [(levels[i], levels[i + 1]) for i in range(len(levels) - 1)]
+    return FiniteLattice(levels, pairs)
+
+
+def product_lattice(left: FiniteLattice, right: FiniteLattice) -> FiniteLattice:
+    """Component-wise product of two finite lattices.
+
+    ``(a1, b1) <= (a2, b2)`` iff ``a1 <= a2`` and ``b1 <= b2``.  Used to
+    model independent policy dimensions (e.g. integrity and
+    confidentiality) in the general Denning model.
+    """
+    elements = {(a, b) for a in left.elements for b in right.elements}
+    pairs = {
+        ((a1, b1), (a2, b2))
+        for (a1, b1) in elements
+        for (a2, b2) in elements
+        if left.leq(a1, a2) and right.leq(b1, b2)
+    }
+    return FiniteLattice(elements, pairs)
+
+
+def powerset_lattice(universe: Iterable[Hashable]) -> FiniteLattice:
+    """The lattice of subsets of ``universe`` ordered by inclusion.
+
+    Models policies where a value's safety level is the *set* of untrusted
+    channels that influenced it (bottom = empty set, top = all channels).
+    """
+    items = sorted(set(universe), key=repr)
+    if len(items) > 10:
+        raise LatticeError("powerset lattice limited to 10 generators (2^10 elements)")
+    subsets = [frozenset(c) for r in range(len(items) + 1) for c in itertools.combinations(items, r)]
+    pairs = [(a, b) for a in subsets for b in subsets if a <= b]
+    return FiniteLattice(subsets, pairs)
+
+
+def is_monotone(lattice: Lattice, fn: Any) -> bool:
+    """Check that a unary function on lattice elements is monotone.
+
+    Utility used by tests and by prelude validation: sanitizers must be
+    monotone maps so abstract interpretation stays sound.
+    """
+    elems = list(lattice.elements)
+    for a in elems:
+        for b in elems:
+            if lattice.leq(a, b) and not lattice.leq(fn(a), fn(b)):
+                return False
+    return True

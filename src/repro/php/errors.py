@@ -1,0 +1,29 @@
+"""Frontend error types, all carrying precise source spans."""
+
+from __future__ import annotations
+
+from repro.php.span import Span
+
+__all__ = ["FrontendError", "LexError", "ParseError", "IncludeError"]
+
+
+class FrontendError(Exception):
+    """Base class for all PHP frontend errors."""
+
+    def __init__(self, message: str, span: Span | None = None) -> None:
+        self.message = message
+        self.span = span
+        location = f" at {span}" if span is not None else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(FrontendError):
+    """Raised by the lexer on malformed input (unterminated string, etc.)."""
+
+
+class ParseError(FrontendError):
+    """Raised by the parser on a syntax error."""
+
+
+class IncludeError(FrontendError):
+    """Raised by include resolution (missing file, include cycle)."""

@@ -1,0 +1,222 @@
+"""Include/require resolution across a multi-file project.
+
+The paper's AST maker "handles external file inclusions along the way"
+(§4).  Here a :class:`SourceProject` maps relative paths to source text
+(backed by a dict or a directory on disk), and :func:`resolve_includes`
+splices each statically-resolvable ``include``/``require`` expression
+statement with the parsed statements of the target file.
+
+Semantics implemented:
+
+* ``include_once``/``require_once`` splice each file at most once per
+  resolution walk.
+* Include cycles raise :class:`IncludeError` (rather than looping).
+* Missing files raise for ``require``/``require_once`` but are skipped
+  with a recorded warning for ``include``/``include_once`` — matching
+  PHP's fatal-vs-warning distinction.
+* Only constant include paths (string literals and concatenations of
+  string literals) resolve statically; dynamic paths are recorded as
+  unresolved and left in place, where the flow analysis treats them as
+  no-ops.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.php import ast_nodes as ast
+from repro.php.errors import IncludeError
+from repro.php.parser import parse
+
+__all__ = ["SourceProject", "IncludeResolution", "resolve_includes"]
+
+
+class SourceProject:
+    """A set of PHP source files addressed by normalized relative paths."""
+
+    def __init__(self, files: dict[str, str] | None = None) -> None:
+        self._files: dict[str, str] = {}
+        if files:
+            for path, text in files.items():
+                self.add_file(path, text)
+
+    @classmethod
+    def from_directory(cls, root: str | Path, pattern: str = "**/*.php") -> "SourceProject":
+        root = Path(root)
+        project = cls()
+        for path in sorted(root.glob(pattern)):
+            if path.is_file():
+                project.add_file(str(path.relative_to(root)), path.read_text())
+        return project
+
+    def add_file(self, path: str, text: str) -> None:
+        self._files[self.normalize(path)] = text
+
+    @staticmethod
+    def normalize(path: str) -> str:
+        return posixpath.normpath(path.replace("\\", "/"))
+
+    def has(self, path: str) -> bool:
+        return self.normalize(path) in self._files
+
+    def source(self, path: str) -> str:
+        return self._files[self.normalize(path)]
+
+    def paths(self) -> list[str]:
+        return sorted(self._files)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+
+@dataclass
+class IncludeResolution:
+    """Outcome of resolving one entry file."""
+
+    program: ast.Program
+    included_files: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    unresolved: list[str] = field(default_factory=list)
+
+
+def _constant_path(expr: ast.Expression) -> str | None:
+    """Extract a compile-time constant include path, if any."""
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.Binary) and expr.op == ".":
+        left = _constant_path(expr.left)
+        right = _constant_path(expr.right)
+        if left is not None and right is not None:
+            return left + right
+    if isinstance(expr, ast.InterpolatedString) and all(
+        isinstance(p, str) for p in expr.parts
+    ):
+        return "".join(expr.parts)  # type: ignore[arg-type]
+    return None
+
+
+def resolve_includes(
+    project: SourceProject,
+    entry: str,
+    max_depth: int = 32,
+) -> IncludeResolution:
+    """Parse ``entry`` and splice statically-resolvable includes inline."""
+    resolution = IncludeResolution(program=ast.Program(span=None, statements=()))  # type: ignore[arg-type]
+    once_included: set[str] = set()
+    active_stack: list[str] = []
+
+    def load(path: str, depth: int) -> tuple[ast.Statement, ...]:
+        normalized = project.normalize(path)
+        if depth > max_depth:
+            raise IncludeError(f"include depth exceeds {max_depth} at {normalized!r}")
+        if normalized in active_stack:
+            cycle = " -> ".join(active_stack + [normalized])
+            raise IncludeError(f"include cycle detected: {cycle}")
+        program = parse(project.source(normalized), filename=normalized)
+        active_stack.append(normalized)
+        try:
+            statements = splice(program.statements, depth)
+        finally:
+            active_stack.pop()
+        return statements
+
+    def splice(statements: tuple[ast.Statement, ...], depth: int) -> tuple[ast.Statement, ...]:
+        out: list[ast.Statement] = []
+        for stmt in statements:
+            include = _as_include_statement(stmt)
+            if include is None:
+                out.append(_rewrite_children(stmt, depth))
+                continue
+            path = _constant_path(include.path)
+            if path is None:
+                resolution.unresolved.append(str(include.span))
+                out.append(stmt)
+                continue
+            current_dir = posixpath.dirname(active_stack[-1]) if active_stack else ""
+            candidates = [path]
+            if current_dir:
+                candidates.insert(0, posixpath.join(current_dir, path))
+            found = next((c for c in candidates if project.has(c)), None)
+            if found is None:
+                message = f"{include.kind} target {path!r} not found (from {include.span})"
+                if include.kind.startswith("require"):
+                    raise IncludeError(message, include.span)
+                resolution.warnings.append(message)
+                continue
+            normalized = project.normalize(found)
+            if include.kind.endswith("_once") and normalized in once_included:
+                continue
+            once_included.add(normalized)
+            resolution.included_files.append(normalized)
+            out.extend(load(normalized, depth + 1))
+        return tuple(out)
+
+    def _rewrite_children(stmt: ast.Statement, depth: int) -> ast.Statement:
+        """Recursively resolve includes inside nested statement bodies."""
+        if isinstance(stmt, ast.Block):
+            return ast.Block(stmt.span, splice(stmt.statements, depth))
+        if isinstance(stmt, ast.If):
+            return ast.If(
+                stmt.span,
+                stmt.condition,
+                _rewrite_children(stmt.then, depth),
+                tuple(
+                    ast.ElseIfClause(c.span, c.condition, _rewrite_children(c.body, depth))
+                    for c in stmt.elseifs
+                ),
+                _rewrite_children(stmt.orelse, depth) if stmt.orelse else None,
+            )
+        if isinstance(stmt, ast.While):
+            return ast.While(stmt.span, stmt.condition, _rewrite_children(stmt.body, depth))
+        if isinstance(stmt, ast.DoWhile):
+            return ast.DoWhile(stmt.span, _rewrite_children(stmt.body, depth), stmt.condition)
+        if isinstance(stmt, ast.For):
+            return ast.For(
+                stmt.span, stmt.init, stmt.condition, stmt.update, _rewrite_children(stmt.body, depth)
+            )
+        if isinstance(stmt, ast.Foreach):
+            return ast.Foreach(
+                stmt.span,
+                stmt.subject,
+                stmt.key_var,
+                stmt.value_var,
+                _rewrite_children(stmt.body, depth),
+                stmt.by_reference,
+            )
+        if isinstance(stmt, ast.FunctionDecl):
+            body = _rewrite_children(stmt.body, depth)
+            assert isinstance(body, ast.Block)
+            return ast.FunctionDecl(stmt.span, stmt.name, stmt.parameters, body)
+        if isinstance(stmt, ast.Switch):
+            return ast.Switch(
+                stmt.span,
+                stmt.subject,
+                tuple(
+                    ast.SwitchCase(c.span, c.test, splice(c.body, depth))
+                    for c in stmt.cases
+                ),
+            )
+        return stmt
+
+    entry_normalized = project.normalize(entry)
+    if not project.has(entry_normalized):
+        raise IncludeError(f"entry file {entry!r} not found in project")
+    once_included.add(entry_normalized)
+    statements = load(entry_normalized, 0)
+    program = parse(project.source(entry_normalized), filename=entry_normalized)
+    resolution.program = ast.Program(program.span, statements)
+    return resolution
+
+
+def _as_include_statement(stmt: ast.Statement) -> ast.IncludeExpr | None:
+    """Match ``include 'x';`` (possibly @-suppressed) as a statement."""
+    if not isinstance(stmt, ast.ExpressionStatement):
+        return None
+    expr = stmt.expression
+    if isinstance(expr, ast.ErrorSuppress):
+        expr = expr.operand
+    if isinstance(expr, ast.IncludeExpr):
+        return expr
+    return None

@@ -1,0 +1,561 @@
+"""Hand-written lexer for the PHP subset.
+
+The paper's WebSSARI uses a SableCC-generated LALR(1) lexer/parser pair
+(Figure 8); this reproduction uses a hand-written lexer plus a
+recursive-descent parser, which covers the same language surface while
+staying dependency-free.
+
+Notable PHP-isms handled here:
+
+* ``<?php ... ?>`` tags — text outside tags is INLINE_HTML (the parser
+  turns it into implicit output, which matters for XSS policies).
+* Double-quoted strings interpolate variables (``"$x"``, ``"{$x}"``,
+  ``"$row[name]"``, ``"$obj->prop"``) — emitted as TEMPLATE_STRING whose
+  value is a list of ``("text", s)`` / ``("var", name)`` /
+  ``("index", name, key)`` / ``("prop", name, prop)`` parts.  Taint flows
+  through interpolation exactly like through concatenation.
+* Heredoc (``<<<EOT``) with the same interpolation rules.
+* Single-quoted strings are literal (only ``\\'`` and ``\\\\`` escape).
+* ``#``, ``//`` and ``/* */`` comments; ``//`` comments end at ``?>``
+  like in real PHP.
+* Case-insensitive keywords; ``(int)``-style casts.
+"""
+
+from __future__ import annotations
+
+from repro.php.errors import LexError
+from repro.php.span import Position, Span
+from repro.php.tokens import CASTS, KEYWORDS, Token, TokenKind
+
+__all__ = ["Lexer", "tokenize"]
+
+
+_SIMPLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "v": "\v",
+    "f": "\f",
+    "e": "\x1b",
+    "\\": "\\",
+    "$": "$",
+    '"': '"',
+    "0": "\0",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    ("===", TokenKind.IDENTICAL),
+    ("!==", TokenKind.NOT_IDENTICAL),
+    ("<<", TokenKind.SHIFT_LEFT),
+    (">>", TokenKind.SHIFT_RIGHT),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NEQ),
+    ("<>", TokenKind.NEQ),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.BOOL_AND),
+    ("||", TokenKind.BOOL_OR),
+    ("++", TokenKind.INCREMENT),
+    ("--", TokenKind.DECREMENT),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.MUL_ASSIGN),
+    ("/=", TokenKind.DIV_ASSIGN),
+    ("%=", TokenKind.MOD_ASSIGN),
+    (".=", TokenKind.DOT_ASSIGN),
+    ("&=", TokenKind.AND_ASSIGN),
+    ("|=", TokenKind.OR_ASSIGN),
+    ("^=", TokenKind.XOR_ASSIGN),
+    ("->", TokenKind.ARROW),
+    ("=>", TokenKind.DOUBLE_ARROW),
+    ("::", TokenKind.DOUBLE_COLON),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMICOLON),
+    (",", TokenKind.COMMA),
+    ("?", TokenKind.QUESTION),
+    (":", TokenKind.COLON),
+    ("@", TokenKind.AT),
+    (".", TokenKind.DOT),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("!", TokenKind.NOT),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("^", TokenKind.CARET),
+    ("~", TokenKind.TILDE),
+]
+
+
+def _is_ascii_digit(ch: str) -> bool:
+    # str.isdigit() accepts unicode digits ('¹', '٣') that int() rejects —
+    # and the length check matters: '' is a substring of any string, so a
+    # bare `ch in "0123456789"` would be True at end-of-input.
+    return len(ch) == 1 and ch in "0123456789"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Tokenizes one PHP source file."""
+
+    def __init__(self, source: str, filename: str = "<string>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.in_php = False
+        self._pending: list[Token] = []
+
+    # -- character-level helpers -----------------------------------------
+
+    def _position(self) -> Position:
+        return Position(self.pos, self.line, self.column)
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        taken = self.source[self.pos : self.pos + count]
+        for ch in taken:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += len(taken)
+        return taken
+
+    def _match(self, text: str) -> bool:
+        if self.source.startswith(text, self.pos):
+            self._advance(len(text))
+            return True
+        return False
+
+    def _span_from(self, start: Position) -> Span:
+        return Span(self.filename, start, self._position())
+
+    def _error(self, message: str, start: Position | None = None) -> LexError:
+        span = self._span_from(start) if start else Span.point(
+            self.filename, self.pos, self.line, self.column
+        )
+        return LexError(message, span)
+
+    # -- top level ---------------------------------------------------------
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while self.pos < len(self.source) or self._pending:
+            if self._pending:
+                out.append(self._pending.pop(0))
+                continue
+            if not self.in_php:
+                token = self._lex_html()
+                if token is not None:
+                    out.append(token)
+                continue
+            token = self._lex_php()
+            if token is not None:
+                out.append(token)
+        out.append(Token(TokenKind.EOF, None, Span.point(self.filename, self.pos, self.line, self.column)))
+        return out
+
+    def _lex_html(self) -> Token | None:
+        start = self._position()
+        open_idx = self.source.find("<?", self.pos)
+        if open_idx == -1:
+            text = self._advance(len(self.source) - self.pos)
+            return Token(TokenKind.INLINE_HTML, text, self._span_from(start)) if text else None
+        text = self._advance(open_idx - self.pos)
+        html_token = Token(TokenKind.INLINE_HTML, text, self._span_from(start)) if text else None
+        tag_start = self._position()
+        if self._match("<?php"):
+            pass
+        elif self._match("<?="):
+            # `<?= expr ?>` is shorthand for `<?php echo expr ?>`; emit an
+            # echo keyword so the parser needs no special case.
+            self._pending.append(
+                Token(TokenKind.KEYWORD, "echo", self._span_from(tag_start))
+            )
+        else:
+            self._advance(2)  # bare `<?`
+        self.in_php = True
+        return html_token
+
+    def _lex_php(self) -> Token | None:
+        ch = self._peek()
+        if not ch:
+            return None
+        # Close tag
+        if ch == "?" and self._peek(1) == ">":
+            start = self._position()
+            self._advance(2)
+            self.in_php = False
+            # PHP swallows a single newline right after `?>`.
+            if self._peek() == "\n":
+                self._advance()
+            return Token(TokenKind.CLOSE_TAG, "?>", self._span_from(start))
+        # Whitespace
+        if ch.isspace():
+            self._advance()
+            return None
+        # Comments
+        if ch == "#" or (ch == "/" and self._peek(1) == "/"):
+            self._skip_line_comment()
+            return None
+        if ch == "/" and self._peek(1) == "*":
+            self._skip_block_comment()
+            return None
+        # Variables
+        if ch == "$":
+            return self._lex_variable()
+        # Numbers
+        if _is_ascii_digit(ch) or (ch == "." and _is_ascii_digit(self._peek(1))):
+            return self._lex_number()
+        # Strings
+        if ch == "'":
+            return self._lex_single_quoted()
+        if ch == '"':
+            return self._lex_double_quoted()
+        if ch == "<" and self.source.startswith("<<<", self.pos):
+            return self._lex_heredoc()
+        # Identifiers / keywords
+        if _is_ident_start(ch):
+            return self._lex_identifier()
+        # Casts look like parenthesized type names.
+        if ch == "(":
+            cast = self._try_lex_cast()
+            if cast is not None:
+                return cast
+        # Operators
+        start = self._position()
+        for text, kind in _OPERATORS:
+            if self._match(text):
+                return Token(kind, text, self._span_from(start))
+        raise self._error(f"unexpected character {ch!r}")
+
+    # -- comment helpers ----------------------------------------------------
+
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source):
+            if self._peek() == "\n":
+                return
+            if self._peek() == "?" and self._peek(1) == ">":
+                return  # `?>` terminates // comments in PHP
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start = self._position()
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._match("*/"):
+                return
+            self._advance()
+        raise self._error("unterminated block comment", start)
+
+    # -- token lexers ---------------------------------------------------------
+
+    def _lex_variable(self) -> Token:
+        start = self._position()
+        self._advance()  # $
+        if not _is_ident_start(self._peek()):
+            raise self._error("expected variable name after '$'", start)
+        name = self._advance()
+        while _is_ident_char(self._peek()):
+            name += self._advance()
+        return Token(TokenKind.VARIABLE, name, self._span_from(start))
+
+    def _lex_number(self) -> Token:
+        start = self._position()
+        text = ""
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            text += self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                text += self._advance()
+            return Token(TokenKind.INT, int(text, 16), self._span_from(start))
+        if (
+            self._peek() == "0"
+            and self._peek(1) in "01234567"
+            and not self._has_decimal_lookahead()
+        ):
+            # Octal literal (0755); PHP ignores trailing 8/9 garbage but we
+            # only consume valid octal digits.
+            text += self._advance()
+            while self._peek() in tuple("01234567"):
+                text += self._advance()
+            return Token(TokenKind.INT, int(text, 8), self._span_from(start))
+        is_float = False
+        while _is_ascii_digit(self._peek()):
+            text += self._advance()
+        if self._peek() == "." and _is_ascii_digit(self._peek(1)):
+            is_float = True
+            text += self._advance()
+            while _is_ascii_digit(self._peek()):
+                text += self._advance()
+        if self._peek() in ("e", "E") and (
+            _is_ascii_digit(self._peek(1))
+            or (self._peek(1) in "+-" and _is_ascii_digit(self._peek(2)))
+        ):
+            is_float = True
+            text += self._advance()
+            if self._peek() in "+-":
+                text += self._advance()
+            while _is_ascii_digit(self._peek()):
+                text += self._advance()
+        if is_float:
+            return Token(TokenKind.FLOAT, float(text), self._span_from(start))
+        return Token(TokenKind.INT, int(text), self._span_from(start))
+
+    def _has_decimal_lookahead(self) -> bool:
+        """From a leading '0': does the digit run continue into a decimal
+        number ('0123.5', '0129', '01e2')?  Then it is not octal."""
+        index = self.pos + 1
+        while index < len(self.source) and self.source[index] in "01234567":
+            index += 1
+        if index >= len(self.source):
+            return False
+        return self.source[index] in "89.eE"
+
+    def _lex_single_quoted(self) -> Token:
+        start = self._position()
+        self._advance()  # opening quote
+        value = ""
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated string", start)
+            if ch == "'":
+                self._advance()
+                return Token(TokenKind.STRING, value, self._span_from(start))
+            if ch == "\\" and self._peek(1) in ("'", "\\"):
+                self._advance()
+                value += self._advance()
+                continue
+            value += self._advance()
+
+    def _lex_double_quoted(self) -> Token:
+        start = self._position()
+        self._advance()  # opening quote
+        parts = self._lex_interpolated_until(lambda: self._peek() == '"', start)
+        self._advance()  # closing quote
+        return self._string_token_from_parts(parts, start)
+
+    def _lex_heredoc(self) -> Token:
+        start = self._position()
+        self._advance(3)  # <<<
+        quote = ""
+        if self._peek() in ("'", '"'):
+            quote = self._advance()
+        label = ""
+        while _is_ident_char(self._peek()):
+            label += self._advance()
+        if not label:
+            raise self._error("expected heredoc label", start)
+        if quote:
+            if self._peek() != quote:
+                raise self._error("unterminated heredoc label quote", start)
+            self._advance()
+        if self._peek() == "\r":
+            self._advance()
+        if self._peek() != "\n":
+            raise self._error("expected newline after heredoc label", start)
+        self._advance()
+
+        def at_terminator() -> bool:
+            if self.column != 1:
+                return False
+            rest = self.source[self.pos :]
+            if not rest.startswith(label):
+                return False
+            after = rest[len(label) : len(label) + 1]
+            return after in ("", "\n", "\r", ";")
+
+        if quote == "'":
+            # Nowdoc: literal text, no interpolation.
+            value = ""
+            while not at_terminator():
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated heredoc", start)
+                value += self._advance()
+            self._advance(len(label))
+            value = value.rstrip("\n")
+            return Token(TokenKind.STRING, value, self._span_from(start))
+
+        parts = self._lex_interpolated_until(at_terminator, start, allow_escape_quote=False)
+        self._advance(len(label))
+        # Trim the trailing newline before the terminator label.
+        if parts and parts[-1][0] == "text":
+            parts[-1] = ("text", parts[-1][1].rstrip("\n"))
+            if not parts[-1][1]:
+                parts.pop()
+        return self._string_token_from_parts(parts, start)
+
+    def _lex_interpolated_until(self, stop, start: Position, allow_escape_quote: bool = True) -> list[tuple]:
+        """Shared body of double-quoted strings and heredocs."""
+        parts: list[tuple] = []
+        text = ""
+
+        def flush() -> None:
+            nonlocal text
+            if text:
+                parts.append(("text", text))
+                text = ""
+
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string", start)
+            if stop():
+                flush()
+                return parts
+            ch = self._peek()
+            if ch == "\\":
+                escape = self._peek(1)
+                if escape in _SIMPLE_ESCAPES:
+                    self._advance(2)
+                    text += _SIMPLE_ESCAPES[escape]
+                    continue
+                if allow_escape_quote and escape == '"':
+                    self._advance(2)
+                    text += '"'
+                    continue
+                text += self._advance()
+                continue
+            if ch == "$" and _is_ident_start(self._peek(1)):
+                self._advance()
+                name = self._advance()
+                while _is_ident_char(self._peek()):
+                    name += self._advance()
+                if self._peek() == "[":
+                    # "$row[key]" / "$row['key']" / "$row[0]"
+                    self._advance()
+                    key = self._lex_simple_subscript(start)
+                    flush()
+                    parts.append(("index", name, key))
+                    continue
+                if self._peek() == "-" and self._peek(1) == ">" and _is_ident_start(self._peek(2)):
+                    self._advance(2)
+                    prop = self._advance()
+                    while _is_ident_char(self._peek()):
+                        prop += self._advance()
+                    flush()
+                    parts.append(("prop", name, prop))
+                    continue
+                flush()
+                parts.append(("var", name))
+                continue
+            if ch == "{" and self._peek(1) == "$":
+                # "{$expr}" complex interpolation: support variable,
+                # variable[...] and variable->prop forms.
+                self._advance(2)
+                name = ""
+                while _is_ident_char(self._peek()):
+                    name += self._advance()
+                if not name:
+                    raise self._error("malformed {$...} interpolation", start)
+                if self._peek() == "[":
+                    self._advance()
+                    key = self._lex_simple_subscript(start, quoted_ok=True)
+                    if self._peek() != "}":
+                        raise self._error("malformed {$...} interpolation", start)
+                    self._advance()
+                    flush()
+                    parts.append(("index", name, key))
+                    continue
+                if self._peek() == "-" and self._peek(1) == ">":
+                    self._advance(2)
+                    prop = ""
+                    while _is_ident_char(self._peek()):
+                        prop += self._advance()
+                    if self._peek() != "}":
+                        raise self._error("malformed {$...} interpolation", start)
+                    self._advance()
+                    flush()
+                    parts.append(("prop", name, prop))
+                    continue
+                if self._peek() != "}":
+                    raise self._error("malformed {$...} interpolation", start)
+                self._advance()
+                flush()
+                parts.append(("var", name))
+                continue
+            text += self._advance()
+
+    def _lex_simple_subscript(self, start: Position, quoted_ok: bool = True) -> str | int:
+        """Lex the key inside "$arr[...]" interpolation, consuming ']'."""
+        ch = self._peek()
+        if quoted_ok and ch in ("'", '"'):
+            quote = self._advance()
+            key = ""
+            while self._peek() and self._peek() != quote:
+                key += self._advance()
+            if not self._match(quote):
+                raise self._error("unterminated subscript in interpolation", start)
+            if not self._match("]"):
+                raise self._error("expected ']' in interpolation", start)
+            return key
+        key = ""
+        while self._peek() and self._peek() != "]":
+            key += self._advance()
+        if not self._match("]"):
+            raise self._error("expected ']' in interpolation", start)
+        if key and all(_is_ascii_digit(c) for c in key):
+            return int(key)
+        return key
+
+    def _string_token_from_parts(self, parts: list[tuple], start: Position) -> Token:
+        span = self._span_from(start)
+        if all(kind == "text" for kind, *_ in parts):
+            return Token(TokenKind.STRING, "".join(p[1] for p in parts), span)
+        return Token(TokenKind.TEMPLATE_STRING, parts, span)
+
+    def _lex_identifier(self) -> Token:
+        start = self._position()
+        name = self._advance()
+        while _is_ident_char(self._peek()):
+            name += self._advance()
+        lowered = name.lower()
+        if lowered in KEYWORDS:
+            return Token(TokenKind.KEYWORD, lowered, self._span_from(start))
+        return Token(TokenKind.IDENTIFIER, name, self._span_from(start))
+
+    def _try_lex_cast(self) -> Token | None:
+        """Lex ``(int)`` and friends; returns None if not actually a cast."""
+        saved = (self.pos, self.line, self.column)
+        start = self._position()
+        self._advance()  # (
+        while self._peek() in (" ", "\t"):
+            self._advance()
+        name = ""
+        while _is_ident_char(self._peek()):
+            name += self._advance()
+        while self._peek() in (" ", "\t"):
+            self._advance()
+        if name.lower() in CASTS and self._peek() == ")":
+            self._advance()
+            return Token(TokenKind.CAST, name.lower(), self._span_from(start))
+        self.pos, self.line, self.column = saved
+        return None
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Tokenize PHP source text into a token list ending with EOF."""
+    return Lexer(source, filename).tokens()

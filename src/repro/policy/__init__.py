@@ -1,0 +1,25 @@
+"""Security policies: prelude files mapping library functions to effects."""
+
+from repro.policy.models import (
+    integrity_confidentiality_prelude,
+    multilevel_prelude,
+)
+from repro.policy.prelude import (
+    GUARD_FUNCTION,
+    EffectKind,
+    FunctionEffect,
+    Prelude,
+    VulnClass,
+    default_php_prelude,
+)
+
+__all__ = [
+    "integrity_confidentiality_prelude",
+    "multilevel_prelude",
+    "GUARD_FUNCTION",
+    "EffectKind",
+    "FunctionEffect",
+    "Prelude",
+    "VulnClass",
+    "default_php_prelude",
+]

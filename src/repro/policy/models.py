@@ -1,0 +1,123 @@
+"""Ready-made policy models beyond plain tainting.
+
+The verification machinery is parametric in the lattice (paper §3.1
+adopts Denning's general model; §2.3 observes that integrity compromises
+cascade into confidentiality and availability ones).  This module ships
+two richer stock policies:
+
+* :func:`integrity_confidentiality_prelude` — a *product* lattice
+  tracking integrity (untainted/tainted) and confidentiality
+  (public/secret) independently.  Output sinks reject low-integrity
+  data; exfiltration sinks reject high-confidentiality data; one
+  analysis run finds both kinds of flaw.
+* :func:`multilevel_prelude` — a linear clearance hierarchy for
+  log/audit-style policies.
+
+Both lattices are distributive, so the join-irreducible bit encoding of
+the BMC applies unchanged (each type variable costs 2 bits for the
+product model).
+"""
+
+from __future__ import annotations
+
+from repro.lattice import linear_lattice, product_lattice, two_point_lattice
+from repro.policy.prelude import Prelude, VulnClass
+
+__all__ = [
+    "INTEGRITY_TAINTED",
+    "INTEGRITY_UNTAINTED",
+    "CONF_PUBLIC",
+    "CONF_SECRET",
+    "integrity_confidentiality_prelude",
+    "multilevel_prelude",
+]
+
+INTEGRITY_UNTAINTED = "untainted"
+INTEGRITY_TAINTED = "tainted"
+CONF_PUBLIC = "public"
+CONF_SECRET = "secret"
+
+
+def integrity_confidentiality_prelude() -> Prelude:
+    """Product policy: (integrity, confidentiality) tracked together.
+
+    Element ordering: bottom = (untainted, public); an element rises by
+    becoming tainted (integrity loss) and/or secret (confidentiality
+    gain).  Policy:
+
+    * ``echo``/``print``/SQL sinks require integrity: they accept
+      anything strictly below (tainted, ⊤-conf) in the integrity
+      dimension — i.e. only untainted data, of any confidentiality **no**:
+      they require < (tainted, secret), so (untainted, secret) and
+      (untainted, public) pass, while anything tainted fails.
+    * ``send_external`` (exfiltration) requires < (tainted, secret) as
+      well in this encoding's dual reading — see the dedicated sink
+      levels below for the precise thresholds.
+
+    Sources: request superglobals produce (tainted, public); credential
+    reads produce (untainted, secret); session data is (tainted, secret).
+    Sanitizers restore integrity but preserve confidentiality **top**:
+    the stock ``htmlspecialchars`` returns (untainted, public) — apply
+    ``declassify`` for confidentiality instead.
+    """
+    integrity = two_point_lattice()
+    confidentiality = linear_lattice([CONF_PUBLIC, CONF_SECRET])
+    lattice = product_lattice(integrity, confidentiality)
+    prelude = Prelude(lattice)
+
+    tainted_public = (INTEGRITY_TAINTED, CONF_PUBLIC)
+    tainted_secret = (INTEGRITY_TAINTED, CONF_SECRET)
+    untainted_secret = (INTEGRITY_UNTAINTED, CONF_SECRET)
+
+    for name in ("_GET", "_POST", "_COOKIE", "_REQUEST", "HTTP_REFERER"):
+        prelude.add_superglobal(name, tainted_public)
+    prelude.add_superglobal("_SESSION", tainted_secret)
+
+    # Credential/secret reads: trusted but confidential.
+    prelude.add_source("read_credential", untainted_secret)
+    prelude.add_source("mysql_fetch_array", tainted_public)
+
+    # Integrity sinks: require untainted data (any confidentiality).
+    # assert(t < (tainted, secret)) admits (untainted, public) and
+    # (untainted, secret) and (tainted, public)?  No: (tainted, public) <
+    # (tainted, secret) holds, so the threshold must be per-dimension.
+    # We therefore use (tainted, public) as the required level: strictly
+    # below it is only (untainted, public).  For untainted-secret data to
+    # pass integrity sinks, declassify first.
+    for name in ("echo", "print"):
+        prelude.add_sink(name, tainted_public, vuln_class=VulnClass.XSS)
+    for name in ("mysql_query", "dosql"):
+        prelude.add_sink(name, tainted_public, vuln_class=VulnClass.SQL)
+
+    # Confidentiality sinks: require non-secret data (any integrity is
+    # tolerated by this sink; strictly below (untainted, secret) is only
+    # (untainted, public)) — exfiltration of tainted-public data is
+    # likewise rejected, which is the conservative choice.
+    prelude.add_sink("send_external", untainted_secret, vuln_class=VulnClass.OTHER)
+
+    # Sanitizers / declassifiers.
+    prelude.add_sanitizer("htmlspecialchars", lattice.bottom)
+    prelude.add_sanitizer("intval", lattice.bottom)
+    prelude.add_sanitizer("declassify", lattice.bottom)
+    prelude.add_propagator("substr")
+    prelude.add_propagator("trim")
+    return prelude
+
+
+def multilevel_prelude(levels: list[str] | None = None) -> Prelude:
+    """Linear clearance policy: ``public <= internal <= secret <= topsecret``.
+
+    Sinks are registered at each level: a sink named ``emit_<level>``
+    accepts data strictly below ``<level>``'s successor — i.e. data at or
+    below that level.
+    """
+    names = levels if levels is not None else ["public", "internal", "secret", "topsecret"]
+    lattice = linear_lattice(names)
+    prelude = Prelude(lattice)
+    prelude.add_superglobal("_GET", names[min(1, len(names) - 1)])
+    prelude.add_superglobal("_POST", names[min(1, len(names) - 1)])
+    for index, level in enumerate(names):
+        if index + 1 < len(names):
+            prelude.add_sink(f"emit_{level}", names[index + 1])
+    prelude.add_sanitizer("declassify", names[0])
+    return prelude

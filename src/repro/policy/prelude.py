@@ -1,0 +1,338 @@
+"""Preludes: pre- and postcondition definitions for library functions.
+
+WebSSARI stores UIC/SOC pre/postconditions and sanitization routines "in
+two prelude files that are loaded during startup" (paper §3.2/§4), and
+users can supply their own.  A :class:`Prelude` here plays the same role:
+it maps function and superglobal names to their information-flow effects
+over a chosen security lattice.
+
+Effect kinds
+------------
+
+* **source** (UIC, ``fi``): the call returns data at a fixed level
+  (usually ⊤/tainted), e.g. ``getenv``, ``mysql_fetch_array``.
+* **sink** (SOC, ``fo``): the call requires argument levels strictly
+  below ``required`` (the ``assert(X, τ_r)`` precondition), e.g.
+  ``echo``, ``mysql_query``, ``exec``.
+* **sanitizer**: the call returns data pinned at a safe level, e.g.
+  ``htmlspecialchars``, ``intval``.
+* **propagate**: the call returns the join of its argument levels
+  (``substr``, ``trim``, …) — also the default for unknown builtins.
+* **taint-environment** (``fi(X)`` with unknown X): calls such as
+  ``extract($row)`` that may define arbitrary variables from untrusted
+  data; the filter responds by treating reads of never-assigned
+  variables as tainted.
+
+Superglobals (``$_GET`` …) are variable-shaped UICs: any read of them
+(or of one of their elements) yields the configured level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lattice import FiniteLattice, Lattice, two_point_lattice
+from repro.lattice.types import TAINTED, UNTAINTED
+
+__all__ = [
+    "EffectKind",
+    "FunctionEffect",
+    "Prelude",
+    "default_php_prelude",
+    "VulnClass",
+]
+
+
+class VulnClass(enum.Enum):
+    """Vulnerability class a sink belongs to — used in error reports."""
+
+    XSS = "cross-site scripting"
+    SQL = "SQL injection"
+    COMMAND = "command injection"
+    CODE = "code injection"
+    FILE = "file manipulation"
+    OTHER = "insecure data use"
+
+
+class EffectKind(enum.Enum):
+    SOURCE = "source"
+    SINK = "sink"
+    SANITIZER = "sanitizer"
+    PROPAGATE = "propagate"
+    TAINT_ENVIRONMENT = "taint_environment"
+
+
+@dataclass(frozen=True)
+class FunctionEffect:
+    """Information-flow contract of one library function."""
+
+    kind: EffectKind
+    #: SOURCE: level of the returned data.  SANITIZER: level the return
+    #: value is pinned to.  Unused for other kinds.
+    level: object = None
+    #: SINK: the τ_r of the precondition assert(X, τ_r).
+    required: object = None
+    #: SINK: indices of checked arguments (None = all arguments).
+    checked_args: tuple[int, ...] | None = None
+    #: SINK: vulnerability classification for reports.
+    vuln_class: VulnClass = VulnClass.OTHER
+
+
+class Prelude:
+    """A policy: a lattice plus per-function and per-superglobal effects."""
+
+    def __init__(self, lattice: Lattice | None = None) -> None:
+        self.lattice: Lattice = lattice if lattice is not None else two_point_lattice()
+        self._functions: dict[str, FunctionEffect] = {}
+        self._methods: dict[str, FunctionEffect] = {}
+        self._superglobals: dict[str, object] = {}
+
+    # -- registration (function names are case-insensitive, like PHP) -----
+
+    def add_source(self, name: str, level: object | None = None) -> None:
+        level = self.lattice.top if level is None else level
+        self.lattice.check_member(level)
+        self._functions[name.lower()] = FunctionEffect(EffectKind.SOURCE, level=level)
+
+    def add_sink(
+        self,
+        name: str,
+        required: object | None = None,
+        checked_args: tuple[int, ...] | None = None,
+        vuln_class: VulnClass = VulnClass.OTHER,
+    ) -> None:
+        required = self.lattice.top if required is None else required
+        self.lattice.check_member(required)
+        self._functions[name.lower()] = FunctionEffect(
+            EffectKind.SINK,
+            required=required,
+            checked_args=checked_args,
+            vuln_class=vuln_class,
+        )
+
+    def add_sanitizer(self, name: str, level: object | None = None) -> None:
+        level = self.lattice.bottom if level is None else level
+        self.lattice.check_member(level)
+        self._functions[name.lower()] = FunctionEffect(EffectKind.SANITIZER, level=level)
+
+    def add_propagator(self, name: str) -> None:
+        self._functions[name.lower()] = FunctionEffect(EffectKind.PROPAGATE)
+
+    def add_environment_tainter(self, name: str) -> None:
+        self._functions[name.lower()] = FunctionEffect(EffectKind.TAINT_ENVIRONMENT)
+
+    def add_method_sink(
+        self,
+        method: str,
+        required: object | None = None,
+        vuln_class: VulnClass = VulnClass.OTHER,
+    ) -> None:
+        required = self.lattice.top if required is None else required
+        self._methods[method.lower()] = FunctionEffect(
+            EffectKind.SINK, required=required, vuln_class=vuln_class
+        )
+
+    def add_superglobal(self, name: str, level: object | None = None) -> None:
+        level = self.lattice.top if level is None else level
+        self.lattice.check_member(level)
+        self._superglobals[name] = level
+
+    # -- lookup -------------------------------------------------------------
+
+    def function_effect(self, name: str) -> FunctionEffect | None:
+        return self._functions.get(name.lower())
+
+    def method_effect(self, name: str) -> FunctionEffect | None:
+        return self._methods.get(name.lower())
+
+    def superglobal_level(self, name: str) -> object | None:
+        return self._superglobals.get(name)
+
+    def is_superglobal(self, name: str) -> bool:
+        return name in self._superglobals
+
+    def sink_names(self) -> list[str]:
+        return sorted(
+            name
+            for name, effect in self._functions.items()
+            if effect.kind is EffectKind.SINK
+        )
+
+    def sanitizer_names(self) -> list[str]:
+        return sorted(
+            name
+            for name, effect in self._functions.items()
+            if effect.kind is EffectKind.SANITIZER
+        )
+
+
+#: Name of the sanitization routine the instrumentor inserts (paper §4:
+#: "it inserts a statement that secures the variable by treating it with
+#: a sanitization routine").
+GUARD_FUNCTION = "__webssari_sanitize"
+
+
+def default_php_prelude(lattice: FiniteLattice | None = None) -> Prelude:
+    """The stock PHP policy: taint lattice, standard sources/sinks/sanitizers.
+
+    Mirrors the policy the paper's experiments use: superglobals and HTTP
+    metadata are tainted; echo/print and SQL/command/eval functions are
+    sinks; the usual escaping functions sanitize.  Users extend the
+    returned prelude exactly like WebSSARI's user-supplied prelude files.
+    """
+    prelude = Prelude(lattice)
+    tainted = prelude.lattice.top
+
+    # Superglobals — untrusted input channels in variable form.  The
+    # paper (§2.2) stresses that HTTP_REFERER, cookies, and other request
+    # metadata are as untrusted as GET/POST parameters.
+    for name in (
+        "_GET",
+        "_POST",
+        "_COOKIE",
+        "_REQUEST",
+        "_FILES",
+        "_SERVER",
+        "_ENV",
+        # Session data routinely stores user input (the paper's Figure 1
+        # inserts $_SESSION['username'] into SQL), so it is untrusted.
+        "_SESSION",
+        "HTTP_SESSION_VARS",
+        "HTTP_GET_VARS",
+        "HTTP_POST_VARS",
+        "HTTP_COOKIE_VARS",
+        "HTTP_SERVER_VARS",
+        "HTTP_ENV_VARS",
+        "HTTP_REFERER",
+        "HTTP_USER_AGENT",
+        "PHP_SELF",
+        "QUERY_STRING",
+    ):
+        prelude.add_superglobal(name, tainted)
+
+    # Sources — functions returning untrusted data.
+    for name in (
+        "get_http_vars",
+        "getenv",
+        "getallheaders",
+        "file_get_contents",
+        "fgets",
+        "fread",
+        "file",
+        "gzread",
+        "gzgets",
+        # Database reads: stored data is untrusted (stored XSS — the
+        # paper's Figure 2 scenario).
+        "mysql_fetch_array",
+        "mysql_fetch_row",
+        "mysql_fetch_assoc",
+        "mysql_fetch_object",
+        "mysql_result",
+        "pg_fetch_array",
+        "pg_fetch_row",
+        "pg_fetch_assoc",
+        "pg_fetch_result",
+    ):
+        prelude.add_source(name, tainted)
+
+    # Environment tainters — fi(X) with statically-unknown X.
+    for name in ("extract", "import_request_variables", "parse_str", "mb_parse_str"):
+        prelude.add_environment_tainter(name)
+
+    # Sinks — sensitive output channels with their required levels.
+    for name in ("echo", "print", "printf", "vprintf", "print_r", "die", "exit"):
+        prelude.add_sink(name, tainted, vuln_class=VulnClass.XSS)
+    for name in (
+        "mysql_query",
+        "mysql_db_query",
+        "mysql_unbuffered_query",
+        "mysqli_query",
+        "pg_query",
+        "pg_exec",
+        "sqlite_query",
+        "dosql",
+        "odbc_exec",
+    ):
+        prelude.add_sink(name, tainted, vuln_class=VulnClass.SQL)
+    for name in ("exec", "system", "passthru", "shell_exec", "popen", "proc_open", "pcntl_exec"):
+        prelude.add_sink(name, tainted, vuln_class=VulnClass.COMMAND)
+    for name in ("eval", "assert", "create_function", "preg_replace_eval"):
+        prelude.add_sink(name, tainted, vuln_class=VulnClass.CODE)
+    for name in ("fopen", "readfile", "unlink", "rmdir", "mkdir", "file_put_contents", "touch", "copy", "rename", "move_uploaded_file"):
+        prelude.add_sink(name, tainted, vuln_class=VulnClass.FILE)
+    prelude.add_sink("header", tainted, vuln_class=VulnClass.OTHER)
+    prelude.add_sink("setcookie", tainted, vuln_class=VulnClass.OTHER)
+    prelude.add_sink("mail", tainted, vuln_class=VulnClass.OTHER)
+
+    # Method-name sinks for common DB wrapper objects ($db->query(...)).
+    prelude.add_method_sink("query", tainted, vuln_class=VulnClass.SQL)
+    prelude.add_method_sink("execute", tainted, vuln_class=VulnClass.SQL)
+
+    # Sanitizers — functions whose output is trusted.
+    for name in (
+        GUARD_FUNCTION,
+        "htmlspecialchars",
+        "htmlentities",
+        "addslashes",
+        "mysql_escape_string",
+        "mysql_real_escape_string",
+        "mysqli_real_escape_string",
+        "pg_escape_string",
+        "escapeshellarg",
+        "escapeshellcmd",
+        "intval",
+        "floatval",
+        "urlencode",
+        "rawurlencode",
+        "md5",
+        "sha1",
+        "crc32",
+        "base64_encode",
+        "strip_tags",
+        "count",
+        "sizeof",
+        "strlen",
+    ):
+        prelude.add_sanitizer(name, prelude.lattice.bottom)
+
+    # Propagators — pure string/array functions that forward taint.
+    for name in (
+        "substr",
+        "trim",
+        "ltrim",
+        "rtrim",
+        "str_replace",
+        "preg_replace",
+        "str_pad",
+        "strtolower",
+        "strtoupper",
+        "ucfirst",
+        "ucwords",
+        "sprintf",
+        "vsprintf",
+        "implode",
+        "join",
+        "explode",
+        "array_merge",
+        "array_values",
+        "array_keys",
+        "serialize",
+        "unserialize",
+        "stripslashes",
+        "nl2br",
+        "wordwrap",
+        "number_format",
+        "strrev",
+        "str_repeat",
+        "chunk_split",
+        "strval",
+        "urldecode",
+        "rawurldecode",
+        "base64_decode",
+        "html_entity_decode",
+        "htmlspecialchars_decode",
+    ):
+        prelude.add_propagator(name)
+
+    return prelude

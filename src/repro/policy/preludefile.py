@@ -1,0 +1,192 @@
+"""Textual prelude files.
+
+WebSSARI stores pre/postconditions in "two prelude files that are loaded
+during startup", and "users can supply the prelude with their own
+routines" (paper §3.2, §4).  This module defines a simple line-oriented
+format with the same role, so policies can be versioned alongside the
+application they protect:
+
+```
+# comments and blank lines are ignored
+lattice linear public internal secret   # optional; default: taint lattice
+
+superglobal _GET            secret
+source      mysql_fetch_array secret
+sink        mysql_query     secret  sql
+sink        echo            secret  xss
+sanitizer   htmlspecialchars public
+propagator  substr
+tainter     extract
+method_sink query           secret  sql
+```
+
+``load_prelude``/``parse_prelude`` build a :class:`Prelude` from such a
+file on top of (by default) the stock PHP policy; ``render_prelude``
+serializes a prelude back to the format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lattice import FiniteLattice, linear_lattice, two_point_lattice
+from repro.policy.prelude import EffectKind, Prelude, VulnClass, default_php_prelude
+
+__all__ = ["PreludeSyntaxError", "parse_prelude", "load_prelude", "render_prelude"]
+
+
+class PreludeSyntaxError(ValueError):
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_VULN_BY_NAME = {
+    "xss": VulnClass.XSS,
+    "sql": VulnClass.SQL,
+    "command": VulnClass.COMMAND,
+    "code": VulnClass.CODE,
+    "file": VulnClass.FILE,
+    "other": VulnClass.OTHER,
+}
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find("#")
+    return line if index == -1 else line[:index]
+
+
+def parse_prelude(text: str, base: Prelude | None = None) -> Prelude:
+    """Parse prelude text; directives extend ``base`` (default: the stock
+    PHP policy; pass an empty ``Prelude()`` for a from-scratch policy).
+
+    A ``lattice`` directive must appear before any other directive and
+    replaces the base entirely (levels must then be named explicitly).
+    """
+    prelude = base
+    seen_directive = False
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        parts = line.split()
+        directive, args = parts[0].lower(), parts[1:]
+
+        if directive == "lattice":
+            if seen_directive:
+                raise PreludeSyntaxError(
+                    "'lattice' must precede all other directives", line_number
+                )
+            prelude = Prelude(_parse_lattice(args, line_number))
+            seen_directive = True
+            continue
+
+        if prelude is None:
+            prelude = default_php_prelude()
+        seen_directive = True
+
+        try:
+            _apply_directive(prelude, directive, args, line_number)
+        except PreludeSyntaxError:
+            raise
+        except Exception as exc:  # lattice membership errors etc.
+            raise PreludeSyntaxError(str(exc), line_number) from exc
+
+    if prelude is None:
+        prelude = default_php_prelude()
+    return prelude
+
+
+def _parse_lattice(args: list[str], line_number: int) -> FiniteLattice:
+    if not args:
+        raise PreludeSyntaxError("'lattice' needs a kind", line_number)
+    kind = args[0].lower()
+    if kind == "taint":
+        return two_point_lattice()
+    if kind == "linear":
+        if len(args) < 3:
+            raise PreludeSyntaxError("'lattice linear' needs >= 2 levels", line_number)
+        return linear_lattice(args[1:])
+    raise PreludeSyntaxError(f"unknown lattice kind {kind!r}", line_number)
+
+
+def _level(prelude: Prelude, token: str, line_number: int):
+    for element in prelude.lattice.elements:
+        if str(element) == token:
+            return element
+    raise PreludeSyntaxError(f"unknown lattice level {token!r}", line_number)
+
+
+def _apply_directive(prelude: Prelude, directive: str, args: list[str], line_number: int) -> None:
+    if directive == "superglobal":
+        if len(args) not in (1, 2):
+            raise PreludeSyntaxError("usage: superglobal NAME [LEVEL]", line_number)
+        level = _level(prelude, args[1], line_number) if len(args) == 2 else None
+        prelude.add_superglobal(args[0], level)
+    elif directive == "source":
+        if len(args) not in (1, 2):
+            raise PreludeSyntaxError("usage: source NAME [LEVEL]", line_number)
+        level = _level(prelude, args[1], line_number) if len(args) == 2 else None
+        prelude.add_source(args[0], level)
+    elif directive == "sink":
+        if len(args) not in (1, 2, 3):
+            raise PreludeSyntaxError("usage: sink NAME [LEVEL] [CLASS]", line_number)
+        level = _level(prelude, args[1], line_number) if len(args) >= 2 else None
+        vuln = _VULN_BY_NAME.get(args[2].lower()) if len(args) == 3 else VulnClass.OTHER
+        if len(args) == 3 and vuln is None:
+            raise PreludeSyntaxError(f"unknown vulnerability class {args[2]!r}", line_number)
+        prelude.add_sink(args[0], level, vuln_class=vuln or VulnClass.OTHER)
+    elif directive == "sanitizer":
+        if len(args) not in (1, 2):
+            raise PreludeSyntaxError("usage: sanitizer NAME [LEVEL]", line_number)
+        level = _level(prelude, args[1], line_number) if len(args) == 2 else None
+        prelude.add_sanitizer(args[0], level)
+    elif directive == "propagator":
+        if len(args) != 1:
+            raise PreludeSyntaxError("usage: propagator NAME", line_number)
+        prelude.add_propagator(args[0])
+    elif directive == "tainter":
+        if len(args) != 1:
+            raise PreludeSyntaxError("usage: tainter NAME", line_number)
+        prelude.add_environment_tainter(args[0])
+    elif directive == "method_sink":
+        if len(args) not in (1, 2, 3):
+            raise PreludeSyntaxError("usage: method_sink NAME [LEVEL] [CLASS]", line_number)
+        level = _level(prelude, args[1], line_number) if len(args) >= 2 else None
+        vuln = _VULN_BY_NAME.get(args[2].lower(), VulnClass.OTHER) if len(args) == 3 else VulnClass.OTHER
+        prelude.add_method_sink(args[0], level, vuln_class=vuln)
+    else:
+        raise PreludeSyntaxError(f"unknown directive {directive!r}", line_number)
+
+
+def load_prelude(path: str | Path, base: Prelude | None = None) -> Prelude:
+    return parse_prelude(Path(path).read_text(), base=base)
+
+
+def render_prelude(prelude: Prelude) -> str:
+    """Serialize the function tables of a prelude (lattice directives are
+    only emitted for linear lattices built by this module)."""
+    out = ["# WebSSARI prelude (generated)"]
+    for name in sorted(prelude._superglobals):  # noqa: SLF001 - same package
+        out.append(f"superglobal {name} {prelude._superglobals[name]}")
+    for name, effect in sorted(prelude._functions.items()):  # noqa: SLF001
+        if effect.kind is EffectKind.SOURCE:
+            out.append(f"source {name} {effect.level}")
+        elif effect.kind is EffectKind.SINK:
+            vuln = next(
+                (k for k, v in _VULN_BY_NAME.items() if v is effect.vuln_class), "other"
+            )
+            out.append(f"sink {name} {effect.required} {vuln}")
+        elif effect.kind is EffectKind.SANITIZER:
+            out.append(f"sanitizer {name} {effect.level}")
+        elif effect.kind is EffectKind.PROPAGATE:
+            out.append(f"propagator {name}")
+        elif effect.kind is EffectKind.TAINT_ENVIRONMENT:
+            out.append(f"tainter {name}")
+    for name, effect in sorted(prelude._methods.items()):  # noqa: SLF001
+        vuln = next(
+            (k for k, v in _VULN_BY_NAME.items() if v is effect.vuln_class), "other"
+        )
+        out.append(f"method_sink {name} {effect.required} {vuln}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,63 @@
+"""SAT solving substrate: CNF, DIMACS, Tseitin transform, CDCL and DPLL solvers.
+
+The CDCL solver is this reproduction's substitute for ZChaff [19] (see
+DESIGN.md §5); the DPLL solver is the ablation baseline.
+"""
+
+from repro.sat.cnf import CNF, Clause, VariablePool, lit_to_str
+from repro.sat.dimacs import DimacsError, parse_dimacs, write_dimacs
+from repro.sat.dpll import DPLLSolver
+from repro.sat.solver import CDCLSolver, SolveResult, SolverStats, solve_cnf
+from repro.sat.tseitin import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Expr,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Var,
+    add_expr_to_cnf,
+    conj,
+    disj,
+    evaluate,
+    iff,
+    ite,
+    to_cnf,
+)
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "VariablePool",
+    "lit_to_str",
+    "DimacsError",
+    "parse_dimacs",
+    "write_dimacs",
+    "DPLLSolver",
+    "CDCLSolver",
+    "SolveResult",
+    "SolverStats",
+    "solve_cnf",
+    "FALSE",
+    "TRUE",
+    "And",
+    "Const",
+    "Expr",
+    "Iff",
+    "Implies",
+    "Ite",
+    "Not",
+    "Or",
+    "Var",
+    "add_expr_to_cnf",
+    "conj",
+    "disj",
+    "evaluate",
+    "iff",
+    "ite",
+    "to_cnf",
+]

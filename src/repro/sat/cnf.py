@@ -1,0 +1,176 @@
+"""CNF formula representation shared by the SAT solvers and the BMC encoder.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..n`` and a literal is a non-zero integer whose sign selects polarity
+(``v`` for the positive literal, ``-v`` for the negated one).  This keeps
+the solver hot loops allocation-free and makes DIMACS round-tripping
+trivial.
+
+:class:`VariablePool` hands out fresh variables and remembers an optional
+human-readable name per variable — the BMC encoder uses names such as
+``t_tmp^1`` or ``b_Nick`` so counterexample models can be mapped back to
+program entities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = ["Clause", "CNF", "VariablePool", "lit_to_str"]
+
+
+Clause = tuple[int, ...]
+
+
+def _normalize_clause(literals: Iterable[int]) -> Clause | None:
+    """Deduplicate a clause; return None for tautologies (x ∨ ¬x)."""
+    seen: set[int] = set()
+    out: list[int] = []
+    for lit in literals:
+        if lit == 0:
+            raise ValueError("0 is not a valid literal")
+        if -lit in seen:
+            return None
+        if lit not in seen:
+            seen.add(lit)
+            out.append(lit)
+    return tuple(out)
+
+
+class VariablePool:
+    """Allocates fresh SAT variables, optionally tagged with names.
+
+    Names are bidirectionally indexed: the encoder asks for "the variable
+    named ``t_x^2``" and gets the same integer back on every request, and
+    the trace reconstructor maps model integers back to names.
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._name_to_var: dict[str, int] = {}
+        self._var_to_name: dict[int, str] = {}
+
+    def fresh(self, name: str | None = None) -> int:
+        var = self._next
+        self._next += 1
+        if name is not None:
+            if name in self._name_to_var:
+                raise ValueError(f"variable name {name!r} already allocated")
+            self._name_to_var[name] = var
+            self._var_to_name[var] = name
+        return var
+
+    def named(self, name: str) -> int:
+        """Return the variable with this name, allocating it on first use."""
+        var = self._name_to_var.get(name)
+        if var is None:
+            var = self.fresh(name)
+        return var
+
+    def has_name(self, name: str) -> bool:
+        return name in self._name_to_var
+
+    def name_of(self, var: int) -> str | None:
+        return self._var_to_name.get(abs(var))
+
+    def var_of(self, name: str) -> int:
+        return self._name_to_var[name]
+
+    @property
+    def num_vars(self) -> int:
+        return self._next - 1
+
+    def names(self) -> dict[str, int]:
+        return dict(self._name_to_var)
+
+
+class CNF:
+    """A conjunction of clauses over integer literals.
+
+    Tautological clauses are silently dropped at insertion and duplicate
+    literals within a clause are removed, so the solver never has to
+    handle them.  An empty clause may be added; it makes the formula
+    trivially unsatisfiable and :attr:`has_empty_clause` reports it.
+    """
+
+    def __init__(self, clauses: Iterable[Iterable[int]] = (), num_vars: int = 0) -> None:
+        self._clauses: list[Clause] = []
+        self._num_vars = num_vars
+        self.has_empty_clause = False
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = _normalize_clause(literals)
+        if clause is None:
+            return
+        if not clause:
+            self.has_empty_clause = True
+        self._clauses.append(clause)
+        for lit in clause:
+            v = abs(lit)
+            if v > self._num_vars:
+                self._num_vars = v
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.add_clause((literal,))
+
+    def extend_vars(self, num_vars: int) -> None:
+        """Declare that variables up to ``num_vars`` exist even if unused."""
+        self._num_vars = max(self._num_vars, num_vars)
+
+    @property
+    def clauses(self) -> Sequence[Clause]:
+        return self._clauses
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def copy(self) -> "CNF":
+        dup = CNF(num_vars=self._num_vars)
+        dup._clauses = list(self._clauses)
+        dup.has_empty_clause = self.has_empty_clause
+        return dup
+
+    def variables(self) -> set[int]:
+        return {abs(lit) for clause in self._clauses for lit in clause}
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a *total* assignment; raises KeyError if partial."""
+        for clause in self._clauses:
+            if not any(assignment[abs(lit)] == (lit > 0) for lit in clause):
+                return False
+        return True
+
+    def is_satisfied_by(self, model: set[int]) -> bool:
+        """Evaluate under a model given as a set of true literals."""
+        assignment = {abs(lit): lit > 0 for lit in model}
+        try:
+            return self.evaluate(assignment)
+        except KeyError:
+            return False
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CNF(num_vars={self._num_vars}, num_clauses={len(self._clauses)})"
+
+
+def lit_to_str(lit: int, pool: VariablePool | None = None) -> str:
+    """Render a literal, using the pool's variable names when available."""
+    name = pool.name_of(lit) if pool is not None else None
+    base = name if name is not None else f"x{abs(lit)}"
+    return base if lit > 0 else f"¬{base}"

@@ -1,0 +1,95 @@
+"""DIMACS CNF reader/writer.
+
+ZChaff consumes the DIMACS format; we keep the same interchange format so
+formulas produced by the BMC encoder can be dumped, inspected, and re-run
+against any external solver, and so standard benchmark instances
+(pigeonhole, random 3-SAT) can round-trip through files in the ABL-SAT
+benches.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.sat.cnf import CNF
+
+__all__ = ["parse_dimacs", "write_dimacs", "DimacsError"]
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    Accepts the liberal dialect common in practice: comment lines anywhere,
+    clauses spanning multiple lines, and a final clause missing its
+    ``0`` terminator.
+    """
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    cnf = CNF()
+    current: list[int] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {line_no}: malformed problem line {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: non-numeric problem line") from exc
+            continue
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: bad literal {token!r}") from exc
+            if lit == 0:
+                cnf.add_clause(current)
+                current = []
+            else:
+                if declared_vars is not None and abs(lit) > declared_vars:
+                    raise DimacsError(
+                        f"line {line_no}: literal {lit} exceeds declared {declared_vars} variables"
+                    )
+                current.append(lit)
+    if current:
+        cnf.add_clause(current)
+    if declared_vars is not None:
+        cnf.extend_vars(declared_vars)
+    if declared_clauses is not None and cnf.num_clauses > declared_clauses:
+        # Fewer clauses than declared is tolerated (tautologies are dropped);
+        # more clauses than declared indicates a broken producer.
+        raise DimacsError(
+            f"{cnf.num_clauses} clauses found but only {declared_clauses} declared"
+        )
+    return cnf
+
+
+def parse_dimacs_file(path: str | Path) -> CNF:
+    return parse_dimacs(Path(path).read_text())
+
+
+def write_dimacs(cnf: CNF, comment: str | None = None) -> str:
+    """Serialize a CNF to DIMACS text."""
+    out = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            out.write(f"c {line}\n")
+    out.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf.clauses:
+        out.write(" ".join(str(lit) for lit in clause))
+        out.write(" 0\n")
+    return out.getvalue()
+
+
+def write_dimacs_file(cnf: CNF, path: str | Path, comment: str | None = None) -> None:
+    Path(path).write_text(write_dimacs(cnf, comment=comment))

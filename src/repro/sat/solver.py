@@ -1,0 +1,509 @@
+"""CDCL SAT solver — the reproduction's stand-in for ZChaff [19].
+
+The paper solves its BMC formulas with ZChaff; offline we implement the
+same algorithm family ZChaff introduced:
+
+* unit propagation with **two watched literals** (no per-assignment clause
+  scans, cheap backtracking),
+* **VSIDS** decision heuristic with periodic score decay,
+* **first-UIP conflict clause learning** with non-chronological
+  backjumping,
+* **geometric restarts**, and
+* learned-clause database reduction by activity.
+
+The public entry points are :meth:`CDCLSolver.solve` (one-shot) and the
+incremental pattern used by the BMC engine: keep one solver instance, call
+:meth:`add_clause` to append blocking clauses between :meth:`solve` calls.
+
+The solver is deliberately free of NumPy so that its behaviour is easy to
+audit; BMC formulas derived from loop-free abstract interpretations are
+small enough that pure Python is comfortable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.sat.cnf import CNF
+
+__all__ = ["CDCLSolver", "SolveResult", "SolverStats"]
+
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclass
+class SolverStats:
+    """Counters exposed for the ABL-SAT ablation benchmarks."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+    deleted_clauses: int = 0
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solve call.
+
+    ``satisfiable`` is None when the solver hit ``conflict_budget``
+    (unknown); otherwise ``model`` maps every variable to a boolean when
+    satisfiable and is None when unsatisfiable.
+    """
+
+    satisfiable: bool | None
+    model: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def true_literals(self) -> set[int]:
+        if self.model is None:
+            return set()
+        return {v if value else -v for v, value in self.model.items()}
+
+
+class _Clause:
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: list[int], learned: bool = False) -> None:
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning solver over integer literals."""
+
+    def __init__(
+        self,
+        formula: CNF | None = None,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        restart_first: int = 100,
+        restart_factor: float = 1.5,
+        restart_strategy: str = "geometric",
+        phase_saving: bool = True,
+        learned_limit_factor: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        self._num_vars = 0
+        self._clauses: list[_Clause] = []
+        self._learned: list[_Clause] = []
+        # watches[lit] = clauses currently watching literal `lit`
+        self._watches: dict[int, list[_Clause]] = {}
+        self._assign: list[int] = [_UNASSIGNED]  # 1-indexed by variable
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._activity: list[float] = [0.0]
+        self._var_inc = 1.0
+        self._var_decay = var_decay
+        self._cla_inc = 1.0
+        self._cla_decay = clause_decay
+        self._restart_first = restart_first
+        self._restart_factor = restart_factor
+        if restart_strategy not in ("geometric", "luby"):
+            raise ValueError(f"unknown restart strategy {restart_strategy!r}")
+        self._restart_strategy = restart_strategy
+        self._phase_saving = phase_saving
+        self._saved_phase: list[bool] = [False]  # 1-indexed by variable
+        self._learned_limit_factor = learned_limit_factor
+        self._seed = seed
+        self._root_conflict = False
+        self._propagate_head = 0
+        self.stats = SolverStats()
+        if formula is not None:
+            self.add_formula(formula)
+
+    # -- problem construction -------------------------------------------
+
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self._num_vars += 1
+            self._assign.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._saved_phase.append(False)
+
+    def add_formula(self, formula: CNF) -> None:
+        self._ensure_var(formula.num_vars)
+        for clause in formula.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a problem clause.  Safe to call between solve() calls.
+
+        Adding a clause cancels any in-progress assignment (the trail is
+        rewound to level 0) so that incremental solving restarts cleanly.
+        """
+        self._backtrack(0)
+        lits: list[int] = []
+        seen: set[int] = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            lits.append(lit)
+            self._ensure_var(abs(lit))
+        if not lits:
+            self._root_conflict = True
+            return
+        # Drop literals already false at level 0; satisfy check for true ones.
+        fixed: list[int] = []
+        for lit in lits:
+            val = self._value(lit)
+            if val == _TRUE:
+                return  # already satisfied at root
+            if val == _UNASSIGNED:
+                fixed.append(lit)
+        if not fixed:
+            self._root_conflict = True
+            return
+        if len(fixed) == 1:
+            if not self._enqueue(fixed[0], None):
+                self._root_conflict = True
+            return
+        clause = _Clause(fixed)
+        self._clauses.append(clause)
+        self._watch(clause)
+
+    def _watch(self, clause: _Clause) -> None:
+        for lit in clause.literals[:2]:
+            self._watches.setdefault(lit, []).append(clause)
+
+    # -- assignment primitives -------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        val = self._assign[abs(lit)]
+        if val == _UNASSIGNED:
+            return _UNASSIGNED
+        return val if lit > 0 else -val
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: _Clause | None) -> bool:
+        val = self._value(lit)
+        if val == _TRUE:
+            return True
+        if val == _FALSE:
+            return False
+        var = abs(lit)
+        self._assign[var] = _TRUE if lit > 0 else _FALSE
+        if self._phase_saving:
+            self._saved_phase[var] = lit > 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        self.stats.propagations += 1
+        return True
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._propagate_head = min(self._propagate_head, len(self._trail))
+
+    # -- unit propagation (two watched literals) --------------------------
+
+    def _propagate(self) -> _Clause | None:
+        """Propagate all pending assignments; return a conflicting clause or None."""
+        while self._propagate_head < len(self._trail):
+            lit = self._trail[self._propagate_head]
+            self._propagate_head += 1
+            false_lit = -lit
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            new_watchers: list[_Clause] = []
+            conflict: _Clause | None = None
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                lits = clause.literals
+                # Ensure the false literal is in slot 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == _TRUE:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(lits[1], []).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                new_watchers.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+                    # keep remaining watchers registered
+                    new_watchers.extend(watchers[i:])
+                    break
+            self._watches[false_lit] = new_watchers
+            if conflict is not None:
+                self._propagate_head = len(self._trail)
+                return conflict
+        return None
+
+    # -- conflict analysis (first UIP) ------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP analysis: returns (learned clause literals, backjump level)."""
+        learned: list[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = 0
+        clause: _Clause | None = conflict
+        index = len(self._trail)
+        current_level = self._decision_level()
+
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            start = 1 if lit != 0 else 0
+            for q in clause.literals[start:]:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] == current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # pick next literal to resolve on: last assigned seen literal
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            seen[abs(lit)] = False
+            if counter == 0:
+                break
+            clause = self._reason[abs(lit)]
+        learned[0] = -lit
+
+        # Conflict-clause minimization: drop literals implied by the rest.
+        marked = set(abs(x) for x in learned)
+        minimized = [learned[0]]
+        for q in learned[1:]:
+            reason = self._reason[abs(q)]
+            if reason is None:
+                minimized.append(q)
+                continue
+            if all(
+                abs(r) in marked or self._level[abs(r)] == 0
+                for r in reason.literals
+                if abs(r) != abs(q)
+            ):
+                continue  # redundant
+            minimized.append(q)
+        learned = minimized
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump level = max level among the non-asserting literals.
+        max_i = 1
+        for i in range(2, len(learned)):
+            if self._level[abs(learned[i])] > self._level[abs(learned[max_i])]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self._level[abs(learned[1])]
+
+    def _record_learned(self, literals: list[int]) -> bool:
+        """Install a learned clause; False if the asserting literal clashes
+        with an assumption (formula UNSAT under the assumptions)."""
+        if len(literals) == 1:
+            return self._enqueue(literals[0], None)
+        clause = _Clause(literals, learned=True)
+        self._learned.append(clause)
+        self._watch(clause)
+        self._bump_clause(clause)
+        self.stats.learned_clauses += 1
+        return self._enqueue(literals[0], clause)
+
+    def _reduce_learned(self) -> None:
+        """Drop the lower-activity half of the learned clauses."""
+        self._learned.sort(key=lambda c: c.activity)
+        keep_from = len(self._learned) // 2
+        dropped = self._learned[:keep_from]
+        locked = {id(self._reason[abs(lit)]) for lit in self._trail if self._reason[abs(lit)] is not None}
+        survivors = []
+        for clause in dropped:
+            if id(clause) in locked or len(clause.literals) <= 2:
+                survivors.append(clause)
+                continue
+            for lit in clause.literals[:2]:
+                watchers = self._watches.get(lit)
+                if watchers is not None and clause in watchers:
+                    watchers.remove(clause)
+            self.stats.deleted_clauses += 1
+        self._learned = survivors + self._learned[keep_from:]
+
+    # -- decision heuristic ------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        best = 0
+        best_act = -1.0
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_act:
+                best = var
+                best_act = self._activity[var]
+        return best
+
+    # -- main loop ----------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Iterable[int] = (),
+        conflict_budget: int | None = None,
+    ) -> SolveResult:
+        """Solve the current clause set, optionally under unit assumptions.
+
+        Assumptions are enqueued as pseudo-decisions below all real
+        decisions; an UNSAT answer under assumptions means the clause set
+        together with the assumptions is unsatisfiable (the clause set
+        alone may still be satisfiable).
+        """
+        self.stats = SolverStats()
+        if self._root_conflict:
+            return SolveResult(satisfiable=False, stats=self.stats)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._root_conflict = True
+            return SolveResult(satisfiable=False, stats=self.stats)
+
+        num_assumptions = 0
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+            self._trail_lim.append(len(self._trail))
+            num_assumptions += 1
+            if not self._enqueue(lit, None) or self._propagate() is not None:
+                self._backtrack(0)
+                return SolveResult(satisfiable=False, stats=self.stats)
+
+        restart_limit = (
+            self._restart_first * _luby(1)
+            if self._restart_strategy == "luby"
+            else self._restart_first
+        )
+        restart_count = 0
+        conflicts_since_restart = 0
+        learned_limit = max(
+            int(self._learned_limit_factor * max(len(self._clauses), 1)), 100
+        )
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() <= num_assumptions:
+                    self._backtrack(0)
+                    if num_assumptions == 0:
+                        self._root_conflict = True
+                    return SolveResult(satisfiable=False, stats=self.stats)
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(max(back_level, num_assumptions))
+                if not self._record_learned(learned):
+                    self._backtrack(0)
+                    if num_assumptions == 0:
+                        self._root_conflict = True
+                    return SolveResult(satisfiable=False, stats=self.stats)
+                self._decay_var_activity()
+                self._cla_inc /= self._cla_decay
+                if conflict_budget is not None and self.stats.conflicts >= conflict_budget:
+                    self._backtrack(0)
+                    return SolveResult(satisfiable=None, stats=self.stats)
+                if conflicts_since_restart >= restart_limit:
+                    self.stats.restarts += 1
+                    restart_count += 1
+                    conflicts_since_restart = 0
+                    if self._restart_strategy == "luby":
+                        restart_limit = self._restart_first * _luby(restart_count + 1)
+                    else:
+                        restart_limit = int(restart_limit * self._restart_factor)
+                    self._backtrack(num_assumptions)
+                if len(self._learned) > learned_limit:
+                    self._reduce_learned()
+                    learned_limit = int(learned_limit * 1.1)
+                continue
+
+            var = self._pick_branch_var()
+            if var == 0:
+                model = {
+                    v: self._assign[v] == _TRUE for v in range(1, self._num_vars + 1)
+                }
+                self._backtrack(0)
+                return SolveResult(satisfiable=True, model=model, stats=self.stats)
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self._decision_level()
+            )
+            # Phase heuristic: saved phase when enabled (re-explores the
+            # neighbourhood of the last assignment after restarts),
+            # otherwise False-first (works well on BMC encodings where
+            # most guard variables are off in any given path).
+            phase = self._saved_phase[var] if self._phase_saving else False
+            self._enqueue(var if phase else -var, None)
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... [Luby, Sinclair, Zuckerman 1993]."""
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+def solve_cnf(formula: CNF, assumptions: Iterable[int] = ()) -> SolveResult:
+    """One-shot convenience wrapper used widely in tests."""
+    return CDCLSolver(formula).solve(assumptions=assumptions)

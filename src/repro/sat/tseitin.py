@@ -1,0 +1,331 @@
+"""Boolean circuits and their Tseitin transformation to CNF.
+
+The BMC encoder (paper Figure 5) builds constraints as boolean formulas
+over guard variables and safety-type bit vectors — conjunctions,
+implications, and if-then-else terms such as ``t_x^i = g ? t_e : t_x^{i-1}``.
+This module gives the encoder a small structural formula language
+(:class:`Expr` and friends) and :func:`to_cnf`, which converts any such
+formula to an equisatisfiable CNF via the Tseitin transformation (one
+fresh variable per internal gate, clauses per gate semantics).
+
+Expressions are hash-consed-ish via ``__slots__`` dataclass-like nodes and
+combine with Python operators: ``a & b``, ``a | b``, ``~a``,
+``a >> b`` (implication), :func:`iff`, :func:`ite`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.sat.cnf import CNF, VariablePool
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Ite",
+    "TRUE",
+    "FALSE",
+    "conj",
+    "disj",
+    "iff",
+    "ite",
+    "to_cnf",
+    "add_expr_to_cnf",
+    "evaluate",
+]
+
+
+class Expr:
+    """Base class for boolean formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __rshift__(self, other: "Expr") -> "Expr":
+        return Implies(self, other)
+
+
+class Var(Expr):
+    """A named propositional variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "⊤" if self.value else "⊥"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Not(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+
+class And(Expr):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Expr]) -> None:
+        self.operands = tuple(operands)
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "⊤"
+        return "(" + " ∧ ".join(map(repr, self.operands)) + ")"
+
+
+class Or(Expr):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Expr]) -> None:
+        self.operands = tuple(operands)
+
+    def __repr__(self) -> str:
+        if not self.operands:
+            return "⊥"
+        return "(" + " ∨ ".join(map(repr, self.operands)) + ")"
+
+
+class Implies(Expr):
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Expr, consequent: Expr) -> None:
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} ⇒ {self.consequent!r})"
+
+
+class Iff(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⇔ {self.right!r})"
+
+
+class Ite(Expr):
+    """If-then-else term: ``cond ? then : orelse`` (paper Figure 5/6)."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Expr, then: Expr, orelse: Expr) -> None:
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+    def __repr__(self) -> str:
+        return f"({self.cond!r} ? {self.then!r} : {self.orelse!r})"
+
+
+def conj(exprs: Iterable[Expr]) -> Expr:
+    """N-ary conjunction, flattening trivial cases."""
+    items = [e for e in exprs if e is not TRUE]
+    if any(e is FALSE for e in items):
+        return FALSE
+    if not items:
+        return TRUE
+    if len(items) == 1:
+        return items[0]
+    return And(items)
+
+
+def disj(exprs: Iterable[Expr]) -> Expr:
+    items = [e for e in exprs if e is not FALSE]
+    if any(e is TRUE for e in items):
+        return TRUE
+    if not items:
+        return FALSE
+    if len(items) == 1:
+        return items[0]
+    return Or(items)
+
+
+def iff(left: Expr, right: Expr) -> Expr:
+    return Iff(left, right)
+
+
+def ite(cond: Expr, then: Expr, orelse: Expr) -> Expr:
+    return Ite(cond, then, orelse)
+
+
+class _Tseitin:
+    """Single-pass Tseitin transformer with structural caching."""
+
+    def __init__(self, pool: VariablePool, cnf: CNF) -> None:
+        self.pool = pool
+        self.cnf = cnf
+        self._cache: dict[int, int] = {}
+
+    def literal(self, expr: Expr) -> int:
+        """Return a literal equivalent to ``expr``, emitting gate clauses."""
+        cached = self._cache.get(id(expr))
+        if cached is not None:
+            return cached
+        lit = self._translate(expr)
+        self._cache[id(expr)] = lit
+        return lit
+
+    def _translate(self, expr: Expr) -> int:
+        if isinstance(expr, Var):
+            return self.pool.named(expr.name)
+        if isinstance(expr, Const):
+            # Encode constants as a frozen fresh variable.
+            name = "__const_true__" if expr.value else "__const_false__"
+            if not self.pool.has_name(name):
+                var = self.pool.named(name)
+                self.cnf.add_unit(var if expr.value else -var)
+            else:
+                var = self.pool.var_of(name)
+            return var
+        if isinstance(expr, Not):
+            return -self.literal(expr.operand)
+        if isinstance(expr, And):
+            lits = [self.literal(op) for op in expr.operands]
+            gate = self.pool.fresh()
+            for lit in lits:
+                self.cnf.add_clause((-gate, lit))
+            self.cnf.add_clause([gate] + [-lit for lit in lits])
+            return gate
+        if isinstance(expr, Or):
+            lits = [self.literal(op) for op in expr.operands]
+            gate = self.pool.fresh()
+            for lit in lits:
+                self.cnf.add_clause((gate, -lit))
+            self.cnf.add_clause([-gate] + lits)
+            return gate
+        if isinstance(expr, Implies):
+            a = self.literal(expr.antecedent)
+            b = self.literal(expr.consequent)
+            gate = self.pool.fresh()
+            # gate <-> (¬a ∨ b)
+            self.cnf.add_clause((-gate, -a, b))
+            self.cnf.add_clause((gate, a))
+            self.cnf.add_clause((gate, -b))
+            return gate
+        if isinstance(expr, Iff):
+            a = self.literal(expr.left)
+            b = self.literal(expr.right)
+            gate = self.pool.fresh()
+            self.cnf.add_clause((-gate, -a, b))
+            self.cnf.add_clause((-gate, a, -b))
+            self.cnf.add_clause((gate, a, b))
+            self.cnf.add_clause((gate, -a, -b))
+            return gate
+        if isinstance(expr, Ite):
+            c = self.literal(expr.cond)
+            t = self.literal(expr.then)
+            e = self.literal(expr.orelse)
+            gate = self.pool.fresh()
+            self.cnf.add_clause((-gate, -c, t))
+            self.cnf.add_clause((-gate, c, e))
+            self.cnf.add_clause((gate, -c, -t))
+            self.cnf.add_clause((gate, c, -e))
+            return gate
+        raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def add_expr_to_cnf(expr: Expr, pool: VariablePool, cnf: CNF) -> None:
+    """Assert ``expr`` (add clauses forcing it true) into an existing CNF."""
+    transformer = _Tseitin(pool, cnf)
+    cnf.add_unit(transformer.literal(expr))
+
+
+def to_cnf(expr: Expr, pool: VariablePool | None = None) -> tuple[CNF, VariablePool]:
+    """Tseitin-transform ``expr`` into a fresh equisatisfiable CNF."""
+    pool = pool if pool is not None else VariablePool()
+    cnf = CNF()
+    add_expr_to_cnf(expr, pool, cnf)
+    return cnf, pool
+
+
+def evaluate(expr: Expr, env: dict[str, bool]) -> bool:
+    """Evaluate a formula under a named assignment (used by tests)."""
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, env)
+    if isinstance(expr, And):
+        return all(evaluate(op, env) for op in expr.operands)
+    if isinstance(expr, Or):
+        return any(evaluate(op, env) for op in expr.operands)
+    if isinstance(expr, Implies):
+        return (not evaluate(expr.antecedent, env)) or evaluate(expr.consequent, env)
+    if isinstance(expr, Iff):
+        return evaluate(expr.left, env) == evaluate(expr.right, env)
+    if isinstance(expr, Ite):
+        return evaluate(expr.then, env) if evaluate(expr.cond, env) else evaluate(expr.orelse, env)
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def free_variables(expr: Expr) -> set[str]:
+    """Names of all variables occurring in the formula."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, Not):
+        return free_variables(expr.operand)
+    if isinstance(expr, (And, Or)):
+        out: set[str] = set()
+        for op in expr.operands:
+            out |= free_variables(op)
+        return out
+    if isinstance(expr, Implies):
+        return free_variables(expr.antecedent) | free_variables(expr.consequent)
+    if isinstance(expr, Iff):
+        return free_variables(expr.left) | free_variables(expr.right)
+    if isinstance(expr, Ite):
+        return free_variables(expr.cond) | free_variables(expr.then) | free_variables(expr.orelse)
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,5 @@
+"""The TS baseline algorithm (typestate-style flow-sensitive taint analysis)."""
+
+from repro.typestate.ts import TSReport, TSViolation, TypestateAnalyzer, analyze_commands
+
+__all__ = ["TSReport", "TSViolation", "TypestateAnalyzer", "analyze_commands"]

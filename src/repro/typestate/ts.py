@@ -1,0 +1,200 @@
+"""The TS baseline: typestate-style flow-sensitive taint analysis.
+
+This is the verification algorithm of the authors' earlier WebSSARI
+paper [14], reimplemented as the comparison baseline.  It "essentially
+performs breadth-first searches on control flow graphs and trades space
+for time" (paper §7): a polynomial-time abstract interpretation that
+tracks one lattice value per variable, joining states at control-flow
+merges and iterating loop bodies to a fixpoint.
+
+Its defining limitation — the reason the paper moved to BMC — is that it
+reports each *symptom* (a sink call whose argument may be tainted) as an
+individual error with no counterexample trace, so runtime guards must be
+inserted at every violating call site rather than at the error's root
+cause.  :attr:`TSReport.num_violations` is therefore both the error
+count and the instrumentation count for the TS column of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.commands import (
+    Assign,
+    Command,
+    Const,
+    Expr,
+    If,
+    InputCall,
+    Join,
+    LevelConst,
+    Seq,
+    SinkCall,
+    Stop,
+    VarRef,
+    While,
+)
+from repro.ir.filter import FilterResult, php_name_of
+from repro.lattice import Lattice, two_point_lattice
+from repro.php.span import Span
+
+__all__ = ["TSViolation", "TSReport", "TypestateAnalyzer", "analyze_commands"]
+
+
+@dataclass(frozen=True, slots=True)
+class TSViolation:
+    """One symptom: a sink argument that may hold unsafe data."""
+
+    function: str
+    variable: str
+    level: object
+    required: object
+    span: Span
+    arg_span: Span | None = None
+    vuln_class: object = None
+
+    @property
+    def php_name(self) -> str | None:
+        return php_name_of(self.variable)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.function}(${self.variable}) may receive {self.level} data "
+            f"(requires < {self.required}) at {self.span}"
+        )
+
+
+@dataclass
+class TSReport:
+    violations: list[TSViolation] = field(default_factory=list)
+    #: Sink call sites inspected (violating or not).
+    num_sinks_checked: int = 0
+    #: Distinct violating statements (sink call sites with >= 1 violation).
+    num_violating_sites: int = 0
+
+    @property
+    def num_violations(self) -> int:
+        return len(self.violations)
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+
+State = dict[str, object]
+
+
+class TypestateAnalyzer:
+    """Flow-sensitive forward taint analysis over F(p)."""
+
+    def __init__(self, lattice: Lattice | None = None, max_loop_iterations: int = 64) -> None:
+        self.lattice = lattice if lattice is not None else two_point_lattice()
+        self.max_loop_iterations = max_loop_iterations
+
+    # -- lattice state helpers -------------------------------------------
+
+    def _lookup(self, state: State, name: str) -> object:
+        return state.get(name, self.lattice.bottom)
+
+    def _join_states(self, a: State, b: State) -> State:
+        merged = dict(a)
+        for name, level in b.items():
+            if name in merged:
+                merged[name] = self.lattice.join(merged[name], level)
+            else:
+                merged[name] = level
+        return merged
+
+    def _states_equal(self, a: State, b: State) -> bool:
+        names = set(a) | set(b)
+        return all(self._lookup(a, n) == self._lookup(b, n) for n in names)
+
+    def eval_expr(self, expr: Expr, state: State) -> object:
+        if isinstance(expr, Const):
+            return self.lattice.bottom
+        if isinstance(expr, LevelConst):
+            return expr.level
+        if isinstance(expr, VarRef):
+            return self._lookup(state, expr.name)
+        if isinstance(expr, Join):
+            return self.lattice.join_all(self.eval_expr(op, state) for op in expr.operands)
+        raise TypeError(f"unknown expression {type(expr).__name__}")
+
+    # -- analysis ------------------------------------------------------------
+
+    def run(self, commands: Seq) -> TSReport:
+        report = TSReport()
+        self._transfer(commands, {}, report, reporting=True)
+        sites = {
+            (str(v.span), v.function)
+            for v in report.violations
+        }
+        report.num_violating_sites = len(sites)
+        return report
+
+    def _transfer(self, command: Command, state: State, report: TSReport, reporting: bool) -> State:
+        if isinstance(command, Seq):
+            for child in command.commands:
+                state = self._transfer(child, state, report, reporting)
+            return state
+        if isinstance(command, Assign):
+            new_state = dict(state)
+            new_state[command.target] = self.eval_expr(command.value, state)
+            return new_state
+        if isinstance(command, InputCall):
+            new_state = dict(state)
+            for target in command.targets:
+                new_state[target] = command.level
+            return new_state
+        if isinstance(command, SinkCall):
+            if reporting:
+                report.num_sinks_checked += 1
+                for position, variable in enumerate(command.arguments):
+                    level = self._lookup(state, variable)
+                    if not self.lattice.lt(level, command.required):
+                        arg_span = (
+                            command.arg_spans[position]
+                            if position < len(command.arg_spans)
+                            else None
+                        )
+                        report.violations.append(
+                            TSViolation(
+                                function=command.function,
+                                variable=variable,
+                                level=level,
+                                required=command.required,
+                                span=command.span,
+                                arg_span=arg_span,
+                                vuln_class=command.vuln_class,
+                            )
+                        )
+            return state
+        if isinstance(command, Stop):
+            return state  # over-approximation: fall through
+        if isinstance(command, If):
+            then_state = self._transfer(command.then, state, report, reporting)
+            else_state = self._transfer(command.orelse, state, report, reporting)
+            return self._join_states(then_state, else_state)
+        if isinstance(command, While):
+            # Fixpoint without reporting, then one reporting pass.
+            current = state
+            for _ in range(self.max_loop_iterations):
+                body_out = self._transfer(command.body, current, report, reporting=False)
+                merged = self._join_states(current, body_out)
+                if self._states_equal(merged, current):
+                    break
+                current = merged
+            if reporting:
+                self._transfer(command.body, current, report, reporting=True)
+            return current
+        raise TypeError(f"unknown command {type(command).__name__}")
+
+
+def analyze_commands(
+    commands: Seq | FilterResult,
+    lattice: Lattice | None = None,
+) -> TSReport:
+    """Run the TS baseline on a filtered program."""
+    if isinstance(commands, FilterResult):
+        commands = commands.commands
+    return TypestateAnalyzer(lattice).run(commands)

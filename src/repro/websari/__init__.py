@@ -1,0 +1,18 @@
+"""The WebSSARI pipeline: verify, report, and patch PHP web applications."""
+
+from repro.websari.pipeline import (
+    ProjectReport,
+    VerificationReport,
+    WebSSARI,
+    count_statements,
+)
+from repro.websari.report import render_detailed, render_summary
+
+__all__ = [
+    "ProjectReport",
+    "VerificationReport",
+    "WebSSARI",
+    "count_statements",
+    "render_detailed",
+    "render_summary",
+]

@@ -1,0 +1,169 @@
+"""Cross-referenced HTML reports (the paper's PHPXREF role, §5).
+
+Manually validating TS reports took the authors four working days even
+after they "added a tool called PHPXREF to generate cross-referenced
+HTML documentations of source code".  This module produces the
+equivalent artifact for a verification run: a single self-contained HTML
+page per file with
+
+* line-numbered, anchor-addressable source,
+* every error group as a card linking to its introduction lines and the
+  sink lines it explains,
+* the counterexample trace rendered step by step, each step linking
+  back into the source, and
+* per-variable cross-references (every line a fixing variable occurs on).
+
+Everything is plain stdlib string building; output is deterministic.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.websari.pipeline import VerificationReport
+
+__all__ = ["render_html_report"]
+
+_STYLE = """
+body { font-family: monospace; margin: 2em; background: #fdfdfd; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+.status-safe { color: #0a7d32; font-weight: bold; }
+.status-vuln { color: #b00020; font-weight: bold; }
+table.source { border-collapse: collapse; width: 100%; }
+table.source td { padding: 0 0.6em; vertical-align: top; white-space: pre-wrap; }
+td.lineno { text-align: right; color: #999; user-select: none; border-right: 1px solid #ddd; }
+tr.intro-line { background: #fff3cd; }
+tr.sink-line { background: #f8d7da; }
+.group { border: 1px solid #ccc; border-radius: 4px; padding: 0.8em 1em; margin: 1em 0; background: #fff; }
+.group h3 { margin: 0 0 0.5em 0; font-size: 1em; }
+.trace { color: #555; margin-left: 1em; }
+.xref { color: #777; font-size: 0.9em; }
+a { color: #0645ad; text-decoration: none; } a:hover { text-decoration: underline; }
+.badge { display: inline-block; padding: 0 0.5em; border-radius: 3px; font-size: 0.85em; }
+.badge-fix { background: #fff3cd; } .badge-sink { background: #f8d7da; }
+"""
+
+
+def _line_of_span(span) -> int:
+    return max(span.start.line, 1)
+
+
+def render_html_report(report: "VerificationReport", source: str) -> str:
+    """Render one file's verification results as a standalone HTML page."""
+    lines = source.splitlines()
+    intro_lines: set[int] = set()
+    sink_lines: set[int] = set()
+    for group in report.grouping.groups:
+        for span in group.introduction_spans:
+            intro_lines.add(_line_of_span(span))
+        for trace in group.traces:
+            sink_lines.add(_line_of_span(trace.span))
+    for violation in report.ts.violations:
+        sink_lines.add(_line_of_span(violation.span))
+
+    status_class = "status-safe" if report.safe else "status-vuln"
+    status_text = "SAFE" if report.safe else "VULNERABLE"
+
+    out: list[str] = []
+    out.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    out.append(f"<title>WebSSARI report — {html.escape(report.filename)}</title>")
+    out.append(f"<style>{_STYLE}</style></head><body>")
+    out.append(f"<h1>WebSSARI report — {html.escape(report.filename)} "
+               f"<span class='{status_class}'>{status_text}</span></h1>")
+    out.append(
+        "<p>"
+        f"statements: {report.num_statements} · "
+        f"branches: {report.num_ai_branches} · "
+        f"assertions: {report.num_ai_assertions} · "
+        f"TS errors: {report.ts_error_count} · "
+        f"BMC groups: {report.bmc_group_count}"
+        "</p>"
+    )
+
+    # -- error groups ----------------------------------------------------
+    if report.grouping.groups:
+        out.append("<h2>Error groups (root causes)</h2>")
+    for index, group in enumerate(report.grouping.groups, start=1):
+        display = f"${group.php_name}" if group.php_name else "&lt;expression&gt;"
+        out.append("<div class='group'>")
+        out.append(
+            f"<h3>Group {index}: <span class='badge badge-fix'>{display}</span> "
+            f"— {len(group.traces)} trace(s), {len(group.symptom_sites)} sink(s)</h3>"
+        )
+        intro_links = ", ".join(
+            f"<a href='#L{_line_of_span(span)}'>line {_line_of_span(span)}</a>"
+            for span in group.introduction_spans
+        )
+        out.append(f"<div>introduced at: {intro_links or 'n/a'}</div>")
+        sinks = sorted(
+            {(t.function, _line_of_span(t.span)) for t in group.traces},
+            key=lambda item: item[1],
+        )
+        sink_links = ", ".join(
+            f"<span class='badge badge-sink'>{html.escape(fn)}</span> "
+            f"<a href='#L{line}'>line {line}</a>"
+            for fn, line in sinks
+        )
+        out.append(f"<div>reaches: {sink_links}</div>")
+        if group.traces:
+            out.append("<div class='trace'>example counterexample:<br>")
+            trace = group.traces[0]
+            if trace.deciding_branches:
+                path = ", ".join(
+                    f"{name}={'T' if value else 'F'}"
+                    for name, value in sorted(trace.deciding_branches.items())
+                )
+                out.append(f"path: {html.escape(path)}<br>")
+            for step in trace.steps:
+                line = _line_of_span(step.span)
+                out.append(
+                    f"<a href='#L{line}'>L{line}</a> {html.escape(str(step.target))}"
+                    f" = {html.escape(str(step.expr))}<br>"
+                )
+            for violation in trace.violating:
+                out.append(f"<b>VIOLATION:</b> {html.escape(str(violation))}<br>")
+            out.append("</div>")
+        if group.php_name:
+            xref_lines = _occurrence_lines(lines, group.php_name)
+            if xref_lines:
+                links = ", ".join(f"<a href='#L{n}'>{n}</a>" for n in xref_lines)
+                out.append(f"<div class='xref'>${html.escape(group.php_name)} occurs on lines: {links}</div>")
+        out.append("</div>")
+
+    # -- TS symptom list --------------------------------------------------
+    if report.ts.violations:
+        out.append("<h2>TS symptom sites (for comparison)</h2><ul>")
+        for violation in report.ts.violations:
+            line = _line_of_span(violation.span)
+            name = violation.php_name or violation.variable
+            out.append(
+                f"<li><a href='#L{line}'>line {line}</a>: "
+                f"{html.escape(violation.function)}(${html.escape(name)})</li>"
+            )
+        out.append("</ul>")
+
+    # -- annotated source ---------------------------------------------------
+    out.append("<h2>Source</h2><table class='source'>")
+    for number, text in enumerate(lines, start=1):
+        css = ""
+        if number in intro_lines:
+            css = " class='intro-line'"
+        elif number in sink_lines:
+            css = " class='sink-line'"
+        out.append(
+            f"<tr{css}><td class='lineno' id='L{number}'>{number}</td>"
+            f"<td>{html.escape(text) or '&nbsp;'}</td></tr>"
+        )
+    out.append("</table>")
+    out.append("<p class='xref'>legend: <span class='badge badge-fix'>introduction "
+               "line</span> <span class='badge badge-sink'>sink line</span></p>")
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def _occurrence_lines(lines: list[str], variable: str) -> list[int]:
+    pattern = re.compile(r"\$" + re.escape(variable) + r"\b")
+    return [number for number, text in enumerate(lines, start=1) if pattern.search(text)]

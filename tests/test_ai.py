@@ -1,0 +1,192 @@
+"""Tests for the AI translation (Figure 4) and the renaming ρ (§3.3.2)."""
+
+from repro.ai import (
+    AISeq,
+    AIStop,
+    Assertion,
+    Branch,
+    IndexedVar,
+    RenamedAssert,
+    RenamedAssign,
+    RenamedStop,
+    TypeAssign,
+    assertions_of,
+    branch_variables,
+    count_instructions,
+    rename,
+    translate,
+    translate_filter_result,
+)
+from repro.ir import Const, Join, LevelConst, VarRef, filter_source
+from repro.lattice.types import TAINTED
+
+
+def ai_of(source, **kwargs):
+    return translate_filter_result(filter_source("<?php " + source, **kwargs))
+
+
+def renamed_of(source):
+    return rename(ai_of(source))
+
+
+class TestTranslate:
+    def test_assignment_becomes_type_assign(self):
+        program = ai_of("$x = $y;")
+        (instr,) = list(program)
+        assert isinstance(instr, TypeAssign)
+        assert instr.var == "x"
+        assert instr.expr == VarRef("y")
+
+    def test_sink_becomes_assertion(self):
+        program = ai_of("echo $x;")
+        (instr,) = list(program)
+        assert isinstance(instr, Assertion)
+        assert instr.variables == ("x",)
+        assert instr.required == TAINTED
+        assert instr.function == "echo"
+
+    def test_if_becomes_nondeterministic_branch(self):
+        program = ai_of("if ($c) { $x = 1; } else { $x = 2; }")
+        (branch,) = list(program)
+        assert isinstance(branch, Branch)
+        assert branch.variable == "b1"
+        assert len(branch.then) == 1
+        assert len(branch.orelse) == 1
+
+    def test_while_becomes_selection(self):
+        # Figure 4: while e do c → if b_e then AI(c).
+        program = ai_of("while ($c) { $x = $x . $y; }")
+        branch = next(i for i in program if isinstance(i, Branch))
+        assert len(branch.orelse) == 0
+        assert any(isinstance(i, TypeAssign) for i in branch.then)
+
+    def test_stop_preserved(self):
+        program = ai_of("exit;")
+        (instr,) = list(program)
+        assert isinstance(instr, AIStop)
+
+    def test_branch_ids_sequential(self):
+        program = ai_of("if ($a) {} if ($b) {} if ($c) {}")
+        ids = [i.branch_id for i in program if isinstance(i, Branch)]
+        assert ids == [1, 2, 3]
+        assert program.num_branches == 3
+
+    def test_assert_ids_sequential(self):
+        program = ai_of("echo $a; echo $b;")
+        ids = [i.assert_id for i in assertions_of(program.body)]
+        assert ids == [1, 2]
+        assert program.num_assertions == 2
+
+    def test_count_instructions(self):
+        program = ai_of("if ($c) { $x = 1; } else { $y = 2; } echo $x;")
+        assert count_instructions(program.body) == 4
+
+    def test_branch_variables_inventory(self):
+        program = ai_of("if ($a) { if ($b) {} } if ($c) {}")
+        assert branch_variables(program.body) == ["b1", "b2", "b3"]
+
+    def test_nested_branch_structure(self):
+        program = ai_of("if ($a) { if ($b) { echo $x; } }")
+        outer = next(i for i in program if isinstance(i, Branch))
+        inner = next(i for i in outer.then if isinstance(i, Branch))
+        assert isinstance(inner.then.instructions[0], Assertion)
+
+    def test_filter_warnings_forwarded(self):
+        source = "<?php function r($n){ return r($n); } $x = r($y);"
+        program = translate_filter_result(filter_source(source))
+        assert any("recursion" in w for w in program.warnings)
+
+
+class TestRenaming:
+    def test_sequential_versions(self):
+        renamed = renamed_of("$x = 1; $x = 2; $x = 3;")
+        targets = [e.target for e in renamed.assigns()]
+        assert targets == [IndexedVar("x", 1), IndexedVar("x", 2), IndexedVar("x", 3)]
+        assert renamed.final_versions["x"] == 3
+
+    def test_read_uses_current_version(self):
+        renamed = renamed_of("$x = 1; $y = $x; $x = 2; $z = $x;")
+        assigns = renamed.assigns()
+        assert assigns[1].expr == IndexedVar("x", 1)
+        assert assigns[3].expr == IndexedVar("x", 2)
+
+    def test_read_before_assignment_is_version_zero(self):
+        renamed = renamed_of("$y = $x;")
+        (assign,) = renamed.assigns()
+        assert assign.expr == IndexedVar("x", 0)
+
+    def test_branch_arms_continue_counter(self):
+        # Figure 6: then-branch assigns tmp^{j+1}, else-branch tmp^{j+2}.
+        renamed = renamed_of("if ($c) { $tmp = $a; } else { $tmp = $b; }")
+        targets = [e.target for e in renamed.assigns() if e.target.name == "tmp"]
+        assert targets == [IndexedVar("tmp", 1), IndexedVar("tmp", 2)]
+
+    def test_guards_accumulate(self):
+        renamed = renamed_of("if ($a) { if ($b) { $x = 1; } else { $x = 2; } }")
+        assigns = renamed.assigns()
+        inner_then = assigns[0]
+        inner_else = assigns[1]
+        assert [(g.variable, g.positive) for g in inner_then.guard] == [
+            ("b1", True),
+            ("b2", True),
+        ]
+        assert [(g.variable, g.positive) for g in inner_else.guard] == [
+            ("b1", True),
+            ("b2", False),
+        ]
+
+    def test_top_level_guard_empty(self):
+        renamed = renamed_of("$x = 1;")
+        assert renamed.assigns()[0].guard == ()
+
+    def test_assertion_uses_current_versions(self):
+        renamed = renamed_of("$x = $_GET['a']; echo $x; $x = 1; echo $x;")
+        asserts = renamed.assertions()
+        assert asserts[0].variables == (IndexedVar("x", 1),)
+        assert asserts[1].variables == (IndexedVar("x", 2),)
+
+    def test_join_renamed_recursively(self):
+        renamed = renamed_of("$q = $a . $b;")
+        (assign,) = renamed.assigns()
+        assert assign.expr == Join((IndexedVar("a", 0), IndexedVar("b", 0)))
+
+    def test_stop_event_guarded(self):
+        renamed = renamed_of("if ($c) { exit; }")
+        stops = [e for e in renamed.events if isinstance(e, RenamedStop)]
+        assert len(stops) == 1
+        assert stops[0].guard[0].variable == "b1"
+
+    def test_branch_variable_inventory(self):
+        renamed = renamed_of("if ($a) {} while ($b) {}")
+        assert renamed.branch_variables == ["b1", "b2"]
+
+    def test_figure6_full_shape(self):
+        source = """
+if ($Nick) {
+  $tmp = $_GET["nick"];
+  echo(htmlspecialchars($tmp));
+} else {
+  $tmp = "You are the" . $GuestCount . " guest";
+  echo($tmp);
+}
+"""
+        renamed = renamed_of(source)
+        assigns = renamed.assigns()
+        asserts = renamed.assertions()
+        # Then branch: t_tmp^1 = T (from $_GET), t_tmp^2 = U (sanitizer),
+        # assert on tmp^2.  Else branch: t_tmp^3 = t_GuestCount^0, assert
+        # on tmp^3 — mirroring Figure 6's j+1/j+2 progression.
+        tmp_targets = [a.target.index for a in assigns if a.target.name == "tmp"]
+        assert tmp_targets == [1, 2, 3]
+        assert assigns[0].expr == LevelConst(TAINTED)
+        assert assigns[1].expr == LevelConst("untainted")
+        assert assigns[2].expr == IndexedVar("GuestCount", 0)
+        assert asserts[0].variables == (IndexedVar("tmp", 2),)
+        assert asserts[1].variables == (IndexedVar("tmp", 3),)
+        assert [g.positive for g in asserts[0].guard] == [True]
+        assert [g.positive for g in asserts[1].guard] == [False]
+
+    def test_events_in_program_order(self):
+        renamed = renamed_of("$a = 1; if ($c) { echo $a; } $b = 2;")
+        kinds = [type(e).__name__ for e in renamed.events]
+        assert kinds == ["RenamedAssign", "RenamedAssert", "RenamedAssign"]

@@ -1,0 +1,73 @@
+"""Tests for the fixed-program-diameter computation (paper §3.3)."""
+
+import pytest
+
+from repro.ai import translate_filter_result
+from repro.ai.diameter import ai_diameter, verify_loop_free
+from repro.ir import filter_source
+
+
+def ai_of(source):
+    return translate_filter_result(filter_source("<?php " + source))
+
+
+class TestDiameter:
+    def test_straight_line(self):
+        assert ai_diameter(ai_of("$a = 1; $b = 2; $c = 3;")) == 3
+
+    def test_empty_program(self):
+        assert ai_diameter(ai_of("")) == 0
+
+    def test_branch_counts_longer_arm(self):
+        # then-arm: 2 assigns; else-arm: 1 assign; branch itself: 1.
+        program = ai_of("if ($c) { $a = 1; $b = 2; } else { $a = 3; }")
+        assert ai_diameter(program) == 3
+
+    def test_branch_without_else(self):
+        program = ai_of("if ($c) { $a = 1; } $b = 2;")
+        assert ai_diameter(program) == 3  # branch + longest arm + trailing
+
+    def test_nested_branches(self):
+        program = ai_of("if ($a) { if ($b) { $x = 1; } }")
+        assert ai_diameter(program) == 3
+
+    def test_loop_becomes_single_unfold(self):
+        # while → selection (Figure 4), so the body counts once.
+        program = ai_of("while ($c) { $x = $x . $y; }")
+        straight = ai_of("if ($c) { $x = $x . $y; }")
+        assert ai_diameter(program) == ai_diameter(straight)
+
+    def test_sink_and_stop_count(self):
+        assert ai_diameter(ai_of("echo $x; exit;")) == 2
+
+    def test_diameter_bounds_renamed_event_count(self):
+        # The linear renaming emits every event, so the diameter (longest
+        # single path) can only be smaller or equal.
+        from repro.ai import rename
+
+        source = "if ($a) { $x = 1; $y = 2; } else { $z = 3; } echo $x;"
+        program = ai_of(source)
+        renamed = rename(program)
+        assert ai_diameter(program) <= len(renamed.events) + program.num_branches
+
+
+class TestLoopFree:
+    def test_translated_programs_verify(self):
+        sources = [
+            "$a = 1;",
+            "if ($c) { $a = 1; } else { $b = 2; }",
+            "while ($c) { $x = $x . $y; } echo $x;",
+            "for ($i = 0; $i < 3; $i++) { echo 'x'; }",
+        ]
+        for source in sources:
+            assert verify_loop_free(ai_of(source))
+
+    def test_shared_node_rejected(self):
+        from repro.ai.instructions import AISeq, TypeAssign
+        from repro.ir.commands import Const
+        from repro.php.span import Span
+
+        node = TypeAssign("x", Const(), Span.synthetic())
+        shared = AISeq((node, node))
+        with pytest.raises(ValueError, match="shares"):
+            verify_loop_free(shared)

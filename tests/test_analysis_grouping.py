@@ -1,0 +1,179 @@
+"""Tests for replacement sets and error grouping (paper §3.3.3)."""
+
+from repro.ai import rename, translate_filter_result
+from repro.analysis import group_errors, replacement_sets_for_trace
+from repro.bmc import check_program
+from repro.ir import filter_source
+
+
+def analyze(source):
+    program = rename(translate_filter_result(filter_source("<?php " + source)))
+    return group_errors(check_program(program))
+
+
+def bmc_result(source):
+    program = rename(translate_filter_result(filter_source("<?php " + source)))
+    return check_program(program)
+
+
+class TestReplacementSets:
+    def test_direct_violation_set_is_singleton(self):
+        result = bmc_result("$x = $_GET['q']; echo $x;")
+        (trace,) = result.violated[0].counterexamples
+        (rset,) = replacement_sets_for_trace(trace)
+        assert rset.names == {"x"}
+
+    def test_copy_chain_expands(self):
+        result = bmc_result("$a = $_GET['q']; $b = $a; $c = $b; echo $c;")
+        (trace,) = result.violated[0].counterexamples
+        (rset,) = replacement_sets_for_trace(trace)
+        assert rset.names == {"a", "b", "c"}
+        # Back-trace order: violating variable first, root last.
+        assert [c.name for c in rset.candidates] == ["c", "b", "a"]
+
+    def test_join_stops_expansion(self):
+        # $q = $a . $b is not a unique-r-value single assignment.
+        result = bmc_result("$a = $_GET['x']; $q = $a . $b; mysql_query($q);")
+        (trace,) = result.violated[0].counterexamples
+        (rset,) = replacement_sets_for_trace(trace)
+        assert rset.names == {"q"}
+
+    def test_skipped_version_drops_through(self):
+        # The conditional overwrite is skipped on the violating path; the
+        # chain must continue through the previous version.
+        source = (
+            "$x = $_GET['q'];"
+            "if ($c) { $x = 'safe'; }"
+            "$y = $x; echo $y;"
+        )
+        result = bmc_result(source)
+        (trace,) = result.violated[0].counterexamples
+        (rset,) = replacement_sets_for_trace(trace)
+        assert rset.names == {"x", "y"}
+
+    def test_candidates_have_spans(self):
+        result = bmc_result("$a = $_GET['q']; echo $a;")
+        (trace,) = result.violated[0].counterexamples
+        (rset,) = replacement_sets_for_trace(trace)
+        assert rset.candidates[0].span.filename == "<string>"
+        assert rset.candidates[0].php_name == "a"
+
+
+class TestGrouping:
+    def test_figure7_single_group(self):
+        # Paper Figure 7: $sid taints three queries; the minimal fixing
+        # set is {$sid} — one group instead of three.
+        source = """
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = "SELECT * FROM groups WHERE sid=$sid"; DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid"; DoSQL($i2q);
+$fnq = "SELECT * FROM q WHERE sid='$sid'"; DoSQL($fnq);
+"""
+        grouping = analyze(source)
+        assert grouping.fixing_set == {"sid"}
+        assert grouping.num_groups == 1
+        assert grouping.num_symptom_sites == 3
+        (group,) = grouping.groups
+        assert group.php_name == "sid"
+        assert len(group.traces) == 6  # 3 sinks x 2 paths
+
+    def test_independent_sources_need_independent_fixes(self):
+        source = (
+            "$a = $_GET['a']; echo $a;"
+            "$b = $_POST['b']; echo $b;"
+        )
+        grouping = analyze(source)
+        assert grouping.fixing_set == {"a", "b"}
+        assert grouping.num_groups == 2
+
+    def test_safe_program_has_no_groups(self):
+        grouping = analyze("$x = htmlspecialchars($_GET['q']); echo 'ok';")
+        assert grouping.fixing_set == set()
+        assert grouping.groups == []
+        assert grouping.num_traces == 0
+
+    def test_shared_root_via_copies(self):
+        source = (
+            "$root = $_GET['r'];"
+            "$u1 = $root; echo $u1;"
+            "$u2 = $root; echo $u2;"
+            "$u3 = $root; echo $u3;"
+        )
+        grouping = analyze(source)
+        assert grouping.fixing_set == {"root"}
+        assert grouping.num_symptom_sites == 3
+
+    def test_real_variable_preferred_over_temp(self):
+        # Sink args like "x$a" hoist to temps; the greedy cost makes the
+        # analysis prefer the real variable when it covers the same traces.
+        source = "$a = $_GET['a']; echo \"val=$a\"; echo \"again=$a\";"
+        grouping = analyze(source)
+        assert grouping.fixing_set == {"a"}
+
+    def test_pure_expression_sink_fixes_at_temp(self):
+        # No real variable exists in the chain: the hoisted expression
+        # itself is the only fix point.
+        grouping = analyze("echo 'x' . $_GET['q'] . 'y';")
+        assert grouping.num_groups == 1
+        (group,) = grouping.groups
+        assert group.php_name is None
+
+    def test_groups_cover_all_traces(self):
+        source = """
+$sid = $_GET['sid'];
+$a = $sid; DoSQL($a);
+$b = $_COOKIE['t']; DoSQL($b);
+DoSQL($sid);
+"""
+        grouping = analyze(source)
+        covered = sum(len(g.traces) for g in grouping.groups)
+        assert covered == grouping.num_traces
+        assert grouping.fixing_set == {"sid", "b"}
+
+    def test_mixed_taint_join_needs_sink_side_fix(self):
+        # Two roots joined into one variable: fixing either root alone
+        # does not fix $q, so the fixing set must include q itself.
+        source = "$a = $_GET['a']; $b = $_POST['b']; $q = $a . $b; mysql_query($q);"
+        grouping = analyze(source)
+        assert grouping.fixing_set == {"q"}
+
+    def test_group_symptom_sites(self):
+        source = """
+$sid = $_GET['sid'];
+$iq = $sid; DoSQL($iq);
+$i2q = $sid; DoSQL($i2q);
+"""
+        grouping = analyze(source)
+        (group,) = grouping.groups
+        assert len(group.symptom_sites) == 2
+
+    def test_introduction_spans_recorded(self):
+        grouping = analyze("$sid = $_GET['sid']; DoSQL($sid);")
+        (group,) = grouping.groups
+        assert len(group.introduction_spans) >= 1
+
+    def test_exact_mode_never_larger_than_greedy(self):
+        sources = [
+            "$sid = $_GET['s']; $a = $sid; DoSQL($a); $b = $sid; DoSQL($b);",
+            "$x = $_GET['x']; $y = $_POST['y']; echo $x; echo $y;",
+            "$r = $_COOKIE['c']; echo $r; mysql_query('q' . $r);",
+        ]
+        for source in sources:
+            result = bmc_result(source)
+            greedy = group_errors(result, exact=False)
+            exact = group_errors(result, exact=True)
+            assert exact.num_groups <= greedy.num_groups
+            assert exact.num_traces == greedy.num_traces
+
+    def test_ts_like_vs_bmc_counts(self):
+        # The headline phenomenon: symptom sites > groups.
+        source = """
+$sid = $_GET['sid'];
+$q1 = $sid; DoSQL($q1);
+$q2 = $sid; DoSQL($q2);
+$q3 = $sid; DoSQL($q3);
+$q4 = $sid; DoSQL($q4);
+"""
+        grouping = analyze(source)
+        assert grouping.num_symptom_sites == 4
+        assert grouping.num_groups == 1

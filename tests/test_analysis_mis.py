@@ -1,0 +1,137 @@
+"""Tests for the MINIMUM-INTERSECTING-SET solvers (paper §3.3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    exact_minimum_intersecting_set,
+    greedy_minimum_intersecting_set,
+    is_intersecting_set,
+    vertex_cover_instance,
+)
+
+
+class TestVerifier:
+    def test_accepts_valid(self):
+        assert is_intersecting_set([{1, 2}, {2, 3}], {2})
+
+    def test_rejects_invalid(self):
+        assert not is_intersecting_set([{1, 2}, {3, 4}], {2})
+
+    def test_empty_collection_trivially_intersected(self):
+        assert is_intersecting_set([], set())
+
+
+class TestGreedy:
+    def test_single_shared_element(self):
+        # Figure 7's structure: all sets share the root cause.
+        sets = [{"iq", "sid"}, {"i2q", "sid"}, {"fnq", "sid"}]
+        assert greedy_minimum_intersecting_set(sets) == {"sid"}
+
+    def test_disjoint_sets_need_one_each(self):
+        sets = [{"a"}, {"b"}, {"c"}]
+        assert greedy_minimum_intersecting_set(sets) == {"a", "b", "c"}
+
+    def test_empty_collection(self):
+        assert greedy_minimum_intersecting_set([]) == set()
+
+    def test_empty_member_set_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_minimum_intersecting_set([set()])
+
+    def test_cost_steers_choice(self):
+        # 'tmp' covers both sets but costs more than picking 'x' would...
+        # still picks tmp (1 pick at cost 2 beats 2 picks at cost 1 per
+        # the greedy ratio), so use a cost high enough to flip it.
+        sets = [{"tmp", "x"}, {"tmp", "x"}]
+        cheap = greedy_minimum_intersecting_set(sets, cost={"tmp": 1.5, "x": 1.0})
+        assert cheap == {"x"}
+
+    def test_deterministic_tie_breaking(self):
+        sets = [{"b", "a"}, {"a", "b"}]
+        for _ in range(5):
+            assert greedy_minimum_intersecting_set(sets) == {"a"}
+
+    def test_result_is_intersecting(self):
+        sets = [{1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 5}]
+        result = greedy_minimum_intersecting_set(sets)
+        assert is_intersecting_set(sets, result)
+
+
+class TestExact:
+    def test_finds_true_minimum(self):
+        sets = [{1, 2}, {2, 3}, {3, 4}]
+        result = exact_minimum_intersecting_set(sets)
+        assert is_intersecting_set(sets, result)
+        assert len(result) == 2  # e.g. {2, 3} or {2, 4}
+
+    def test_star_graph_cover(self):
+        # Star K_{1,5}: the center covers all edges.
+        edges = [("c", f"l{i}") for i in range(5)]
+        instance = vertex_cover_instance(edges)
+        assert exact_minimum_intersecting_set(instance) == {"c"}
+
+    def test_triangle_needs_two(self):
+        instance = vertex_cover_instance([("a", "b"), ("b", "c"), ("a", "c")])
+        result = exact_minimum_intersecting_set(instance)
+        assert len(result) == 2
+
+    def test_self_loop_forces_vertex(self):
+        instance = vertex_cover_instance([("a", "a"), ("a", "b")])
+        assert exact_minimum_intersecting_set(instance) == {"a"}
+
+    def test_universe_cap(self):
+        sets = [{i, i + 1} for i in range(30)]
+        with pytest.raises(ValueError, match="limited"):
+            exact_minimum_intersecting_set(sets, max_elements=10)
+
+    def test_empty(self):
+        assert exact_minimum_intersecting_set([]) == set()
+
+
+@st.composite
+def random_instance(draw):
+    num_elements = draw(st.integers(min_value=1, max_value=8))
+    num_sets = draw(st.integers(min_value=1, max_value=8))
+    sets = []
+    for _ in range(num_sets):
+        size = draw(st.integers(min_value=1, max_value=num_elements))
+        members = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=num_elements - 1),
+                min_size=1,
+                max_size=size,
+            )
+        )
+        sets.append(frozenset(members))
+    return sets
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_instance())
+def test_greedy_is_valid_and_within_ln_bound(sets):
+    import math
+
+    greedy = greedy_minimum_intersecting_set(sets)
+    exact = exact_minimum_intersecting_set(sets)
+    assert is_intersecting_set(sets, greedy)
+    assert is_intersecting_set(sets, exact)
+    assert len(exact) <= len(greedy)
+    # Chvátal bound: greedy <= (1 + ln n) * OPT.
+    bound = (1 + math.log(max(len(sets), 1))) * len(exact)
+    assert len(greedy) <= bound + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_instance())
+def test_exact_is_minimal(sets):
+    exact = exact_minimum_intersecting_set(sets)
+    # No strictly smaller subset of the universe intersects everything.
+    import itertools
+
+    universe = sorted({e for s in sets for e in s})
+    if len(exact) == 0:
+        return
+    for combo in itertools.combinations(universe, len(exact) - 1):
+        assert not is_intersecting_set(sets, set(combo))

@@ -1,0 +1,285 @@
+"""Tests for the BMC engine: encoding, checking, counterexample enumeration."""
+
+import pytest
+
+from repro.ai import rename, translate_filter_result
+from repro.bmc import BMCChecker, LatticeEncoding, check_program
+from repro.ir import filter_source
+from repro.lattice import FiniteLattice, LatticeError, linear_lattice, two_point_lattice
+from repro.lattice.types import TAINTED, UNTAINTED
+
+
+def renamed_of(source):
+    return rename(translate_filter_result(filter_source("<?php " + source)))
+
+
+def check(source, **kwargs):
+    return check_program(renamed_of(source), **kwargs)
+
+
+class TestLatticeEncoding:
+    def test_two_point_width_one(self):
+        enc = LatticeEncoding(two_point_lattice())
+        assert enc.width == 1
+        assert enc.irreducibles == [TAINTED]
+        assert enc.bits(UNTAINTED) == frozenset()
+        assert enc.bits(TAINTED) == {0}
+
+    def test_linear_lattice_bits_are_nested(self):
+        enc = LatticeEncoding(linear_lattice(["l0", "l1", "l2", "l3"]))
+        assert enc.width == 3
+        sizes = [len(enc.bits(f"l{i}")) for i in range(4)]
+        assert sizes == [0, 1, 2, 3]
+
+    def test_decode_round_trip(self):
+        lat = linear_lattice(["a", "b", "c"])
+        enc = LatticeEncoding(lat)
+        for element in lat.elements:
+            assert enc.element_of_bits(enc.bits(element)) == element
+
+    def test_diamond_is_distributive(self):
+        # bot < {a,b} < top IS distributive (it's 2x2 boolean).
+        lat = FiniteLattice(
+            {"bot", "a", "b", "top"},
+            {("bot", "a"), ("bot", "b"), ("a", "top"), ("b", "top")},
+        )
+        enc = LatticeEncoding(lat)
+        assert enc.width == 2
+
+    def test_m3_rejected_as_non_distributive(self):
+        lat = FiniteLattice(
+            {"bot", "x", "y", "z", "top"},
+            {
+                ("bot", "x"),
+                ("bot", "y"),
+                ("bot", "z"),
+                ("x", "top"),
+                ("y", "top"),
+                ("z", "top"),
+            },
+        )
+        with pytest.raises(LatticeError, match="distributive"):
+            LatticeEncoding(lat)
+
+
+class TestSafePrograms:
+    def test_constant_echo_is_safe(self):
+        result = check("$x = 'hello'; echo $x;")
+        assert result.safe
+        assert len(result.assertions) == 1
+
+    def test_sanitized_flow_is_safe(self):
+        result = check("$x = $_GET['q']; $y = htmlspecialchars($x); echo $y;")
+        assert result.safe
+
+    def test_intval_flow_is_safe(self):
+        result = check("$id = intval($_GET['id']); mysql_query('q' . $id);")
+        # intval returns bottom; 'q' . $id is a constant join bottom.
+        assert result.safe
+
+    def test_no_assertions_program(self):
+        result = check("$x = $_GET['q'];")
+        assert result.assertions == []
+        assert result.safe
+
+    def test_overwritten_taint_is_safe(self):
+        result = check("$x = $_GET['q']; $x = 'safe'; echo $x;")
+        assert result.safe
+
+    def test_safe_branch_only(self):
+        result = check("if ($c) { $x = 'const'; } echo 'literal';")
+        assert result.safe
+
+
+class TestVulnerablePrograms:
+    def test_direct_taint_violates(self):
+        result = check("$x = $_GET['q']; echo $x;")
+        assert not result.safe
+        (assertion,) = result.assertions
+        assert len(assertion.counterexamples) == 1
+        trace = assertion.counterexamples[0]
+        assert trace.violating_names == {"x"}
+        assert trace.violating[0].level == TAINTED
+
+    def test_taint_through_copy_chain(self):
+        result = check("$a = $_GET['q']; $b = $a; $c = $b; echo $c;")
+        (assertion,) = result.violated
+        trace = assertion.counterexamples[0]
+        targets = [step.target.name for step in trace.steps]
+        assert targets == ["a", "b", "c"]
+
+    def test_taint_through_concatenation(self):
+        result = check("$q = 'SELECT ' . $_GET['id']; mysql_query($q);")
+        assert not result.safe
+
+    def test_referer_sql_injection_figure3(self):
+        result = check("$sql = \"INSERT INTO t VALUES('$HTTP_REFERER')\"; mysql_query($sql);")
+        (assertion,) = result.violated
+        assert assertion.event.function == "mysql_query"
+
+    def test_taint_in_one_branch_only(self):
+        result = check(
+            "if ($c) { $x = $_GET['q']; } else { $x = 'safe'; } echo $x;"
+        )
+        (assertion,) = result.violated
+        assert len(assertion.counterexamples) == 1
+        trace = assertion.counterexamples[0]
+        assert trace.deciding_branches == {"b1": True}
+
+    def test_taint_in_both_branches_two_counterexamples(self):
+        result = check(
+            "if ($c) { $x = $_GET['a']; } else { $x = $_POST['b']; } echo $x;"
+        )
+        (assertion,) = result.violated
+        assert len(assertion.counterexamples) == 2
+        decisions = {
+            tuple(sorted(t.deciding_branches.items()))
+            for t in assertion.counterexamples
+        }
+        assert decisions == {(("b1", True),), (("b1", False),)}
+
+    def test_unconditional_taint_single_counterexample(self):
+        # Branches that don't affect the taint shouldn't multiply traces.
+        result = check("$x = $_GET['q']; if ($c) { $y = 1; } echo $x;")
+        (assertion,) = result.violated
+        assert len(assertion.counterexamples) == 1
+
+    def test_sanitizer_in_one_branch(self):
+        result = check(
+            "$x = $_GET['q']; if ($c) { $x = htmlspecialchars($x); } echo $x;"
+        )
+        (assertion,) = result.violated
+        (trace,) = assertion.counterexamples
+        # Violation only on the path that skips the sanitizer.
+        assert trace.deciding_branches == {"b1": False}
+
+    def test_loop_body_taint(self):
+        result = check(
+            "while ($row = mysql_fetch_array($r)) { echo $row; }"
+        )
+        assert not result.safe
+
+    def test_multiple_assertions_checked_independently(self):
+        result = check(
+            "$sid = $_GET['sid'];"
+            "$iq = 'SELECT ' . $sid; mysql_query($iq);"
+            "$i2q = 'UPDATE ' . $sid; mysql_query($i2q);"
+        )
+        assert len(result.violated) == 2
+
+    def test_figure7_all_three_sinks_violated(self):
+        source = """
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = "SELECT * FROM groups WHERE sid=$sid"; DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid"; DoSQL($i2q);
+$fnq = "SELECT * FROM q WHERE sid='$sid'"; DoSQL($fnq);
+"""
+        result = check(source)
+        assert len(result.violated) == 3
+        # Each sink violates on both branch paths ($sid from GET or POST).
+        for assertion in result.violated:
+            assert len(assertion.counterexamples) == 2
+
+    def test_figure6_then_branch_safe_else_violated(self):
+        source = """
+if ($Nick) {
+  $tmp = $_GET["nick"];
+  echo(htmlspecialchars($tmp));
+} else {
+  $tmp = "You are the" . $GuestCount . " guest";
+  echo($tmp);
+}
+"""
+        result = check(source)
+        results_by_id = {r.assert_id: r for r in result.assertions}
+        assert results_by_id[1].safe  # sanitized echo
+        assert results_by_id[2].safe  # GuestCount is untainted (⊥)
+
+
+class TestCheckerMechanics:
+    def test_formula_stats_populated(self):
+        result = check("$x = $_GET['q']; echo $x;")
+        assert result.num_vars > 0
+        assert result.num_clauses > 0
+        assert result.solve_seconds >= 0
+
+    def test_max_counterexamples_truncates(self):
+        # 4 independent taint branches -> up to 16 paths; cap at 3.
+        source = (
+            "$x = '';"
+            + "".join(f"if ($c{i}) {{ $x = $x . $_GET['a{i}']; }}" for i in range(4))
+            + "echo $x;"
+        )
+        result = check(source, max_counterexamples=3)
+        (assertion,) = result.violated
+        assert assertion.truncated
+        assert len(assertion.counterexamples) == 3
+
+    def test_enumeration_is_exhaustive_and_distinct(self):
+        source = (
+            "if ($a) { $x = $_GET['p']; } else { $x = $_GET['q']; }"
+            "if ($b) { $y = $x; } else { $y = $x; }"
+            "echo $y;"
+        )
+        result = check(source)
+        (assertion,) = result.violated
+        traces = assertion.counterexamples
+        keys = {tuple(sorted(t.deciding_branches.items())) for t in traces}
+        assert len(keys) == len(traces) == 4
+
+    def test_accumulate_always_silences_downstream(self):
+        # The literal reading of the paper: conjoining a violated
+        # assertion's constraint contradicts the unconditional taint and
+        # silences the later assertions (see module docstring).
+        source = (
+            "$sid = $_GET['sid'];"
+            "mysql_query('a' . $sid);"
+            "mysql_query('b' . $sid);"
+        )
+        default = check(source, accumulate="safe-only")
+        literal = check(source, accumulate="always")
+        assert len(default.violated) == 2
+        assert len(literal.violated) == 1
+
+    def test_accumulate_never_matches_safe_only_on_results(self):
+        source = "$x = $_GET['q']; echo $x; echo 'const' . $x;"
+        a = check(source, accumulate="never")
+        b = check(source, accumulate="safe-only")
+        assert [len(r.counterexamples) for r in a.assertions] == [
+            len(r.counterexamples) for r in b.assertions
+        ]
+
+    def test_multilevel_lattice(self):
+        from repro.policy import Prelude
+
+        lattice = linear_lattice(["public", "internal", "secret"])
+        prelude = Prelude(lattice)
+        prelude.add_superglobal("_GET", "secret")
+        prelude.add_sink("echo", "internal")  # requires level < internal
+        prelude.add_sink("log_write", "secret")  # tolerates internal
+        filtered = filter_source(
+            "<?php $x = $_GET['q']; echo $x; log_write($x);", prelude=prelude
+        )
+        program = rename(translate_filter_result(filtered))
+        result = check_program(program, lattice=lattice)
+        by_id = {r.assert_id: r for r in result.assertions}
+        assert not by_id[1].safe  # secret !< internal
+        assert not by_id[2].safe  # secret !< secret (not strict)
+
+    def test_multilevel_lattice_passing_level(self):
+        from repro.policy import Prelude
+
+        lattice = linear_lattice(["public", "internal", "secret"])
+        prelude = Prelude(lattice)
+        prelude.add_superglobal("_GET", "internal")
+        prelude.add_sink("log_write", "secret")
+        filtered = filter_source("<?php $x = $_GET['q']; log_write($x);", prelude=prelude)
+        program = rename(translate_filter_result(filtered))
+        result = check_program(program, lattice=lattice)
+        assert result.safe  # internal < secret
+
+    def test_trace_describe_smoke(self):
+        result = check("$x = $_GET['q']; echo $x;")
+        text = result.violated[0].counterexamples[0].describe()
+        assert "VIOLATION" in text
+        assert "x" in text

@@ -1,0 +1,218 @@
+"""Differential testing: BMC vs exhaustive path enumeration.
+
+The paper claims the BMC is *sound and complete* for this problem class
+(loop-free AI → fixed diameter).  These tests check that claim against a
+reference oracle: because every nondeterministic branch variable is
+boolean and the AI is loop-free, ALL executions can be enumerated
+exhaustively for small programs.  For every assertion:
+
+* soundness: if BMC says safe, no enumerated path violates;
+* completeness: if any path violates, BMC reports the assertion;
+* counterexample coverage: the set of violating full branch
+  assignments equals the union of extensions of the BMC's
+  deciding-branch dictionaries (each counterexample summarizes exactly
+  the paths that share its violating slice);
+* violating-variable agreement on each path.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ai import rename, translate_filter_result
+from repro.ai.renaming import RenamedAssert, RenamedAssign, RenamedProgram
+from repro.bmc import check_program
+from repro.ir import filter_source
+from repro.ir.commands import Const, Join, LevelConst
+from repro.ai.renaming import IndexedVar
+from repro.lattice import two_point_lattice
+
+
+LATTICE = two_point_lattice()
+
+
+def _eval_expr(expr, state):
+    if isinstance(expr, Const):
+        return LATTICE.bottom
+    if isinstance(expr, LevelConst):
+        return expr.level
+    if isinstance(expr, IndexedVar):
+        return state.get(expr.name, LATTICE.bottom)
+    if isinstance(expr, Join):
+        return LATTICE.join_all(_eval_expr(op, state) for op in expr.operands)
+    raise TypeError(type(expr).__name__)
+
+
+def reference_oracle(renamed: RenamedProgram):
+    """Enumerate all branch assignments; return per-assertion violations.
+
+    Result: {assert_id: {frozenset(env.items()): frozenset(violating names)}}
+    """
+    branch_vars = renamed.branch_variables
+    results: dict[int, dict[frozenset, frozenset]] = {}
+    for values in itertools.product([False, True], repeat=len(branch_vars)):
+        env = dict(zip(branch_vars, values))
+
+        def satisfied(guard):
+            return all(env[lit.variable] == lit.positive for lit in guard)
+
+        state: dict[str, object] = {}
+        for event in renamed.events:
+            if isinstance(event, RenamedAssign):
+                if satisfied(event.guard):
+                    state[event.target.name] = _eval_expr(event.expr, state)
+            elif isinstance(event, RenamedAssert):
+                if not satisfied(event.guard):
+                    continue
+                violating = frozenset(
+                    var.name
+                    for var in event.variables
+                    if not LATTICE.lt(state.get(var.name, LATTICE.bottom), event.required)
+                )
+                if violating:
+                    results.setdefault(event.assert_id, {})[
+                        frozenset(env.items())
+                    ] = violating
+    return results
+
+
+def extensions(deciding: dict[str, bool], branch_vars: list[str]) -> set[frozenset]:
+    """All full assignments consistent with a deciding dictionary."""
+    free = [v for v in branch_vars if v not in deciding]
+    out = set()
+    for values in itertools.product([False, True], repeat=len(free)):
+        env = dict(deciding)
+        env.update(zip(free, values))
+        out.add(frozenset(env.items()))
+    return out
+
+
+def run_differential(source: str) -> None:
+    renamed = rename(translate_filter_result(filter_source("<?php " + source)))
+    if len(renamed.branch_variables) > 10:
+        return  # keep the oracle exhaustive but cheap
+    oracle = reference_oracle(renamed)
+    result = check_program(renamed, accumulate="never", max_counterexamples=4096)
+
+    for assertion_result in result.assertions:
+        assert_id = assertion_result.assert_id
+        expected = oracle.get(assert_id, {})
+        # Soundness + completeness of the verdict.
+        assert assertion_result.safe == (not expected), (
+            f"assert#{assert_id}: BMC safe={assertion_result.safe} but oracle "
+            f"found {len(expected)} violating paths\nsource:\n{source}"
+        )
+        if assertion_result.safe:
+            continue
+        # Counterexample coverage.
+        covered: set[frozenset] = set()
+        for trace in assertion_result.counterexamples:
+            exts = extensions(trace.deciding_branches, renamed.branch_variables)
+            # Every extension of a reported slice must genuinely violate.
+            for env in exts:
+                assert env in expected, (
+                    f"assert#{assert_id}: reported slice {trace.deciding_branches} "
+                    f"covers non-violating path {dict(env)}\nsource:\n{source}"
+                )
+                # Violating variable names agree with the oracle.
+                assert trace.violating_names == set(expected[env]), (
+                    f"assert#{assert_id}: violating vars {trace.violating_names} "
+                    f"!= oracle {set(expected[env])} on {dict(env)}\nsource:\n{source}"
+                )
+            covered |= exts
+        assert covered == set(expected), (
+            f"assert#{assert_id}: counterexamples cover {len(covered)} paths, "
+            f"oracle has {len(expected)}\nsource:\n{source}"
+        )
+
+
+class TestDifferentialFixedCases:
+    def test_unconditional(self):
+        run_differential("$x = $_GET['q']; echo $x;")
+
+    def test_branch_one_side(self):
+        run_differential("if ($c) { $x = $_GET['q']; } else { $x = 'v'; } echo $x;")
+
+    def test_sanitizer_on_one_path(self):
+        run_differential(
+            "$x = $_GET['q']; if ($c) { $x = htmlspecialchars($x); } echo $x;"
+        )
+
+    def test_figure7(self):
+        run_differential(
+            "$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}"
+            "$iq = 'a' . $sid; DoSQL($iq); $i2q = 'b' . $sid; DoSQL($i2q);"
+        )
+
+    def test_join_of_branch_values(self):
+        run_differential(
+            "if ($a) { $x = $_GET['p']; } else { $x = 'v'; }"
+            "if ($b) { $y = $_POST['q']; } else { $y = 'w'; }"
+            "$z = $x . $y; echo $z;"
+        )
+
+    def test_loop_unfold(self):
+        run_differential("while ($c) { $x = $x . $_GET['q']; } echo $x;")
+
+    def test_irrelevant_branches(self):
+        run_differential(
+            "$x = $_GET['q']; if ($a) { $u = 1; } if ($b) { $v = 2; } echo $x;"
+        )
+
+    def test_multi_arg_assertion(self):
+        run_differential(
+            "$a = $_GET['a']; $b = 'safe'; echo \"$a$b\";"
+        )
+
+
+# -- property-based differential testing -----------------------------------
+
+
+@st.composite
+def random_program(draw):
+    variables = ["a", "b", "c"]
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=7))):
+        kind = draw(
+            st.sampled_from(
+                ["taint", "const", "copy", "concat", "sanitize", "sink", "branch", "loop"]
+            )
+        )
+        var = draw(st.sampled_from(variables))
+        src = draw(st.sampled_from(variables))
+        other = draw(st.sampled_from(variables))
+        if kind == "taint":
+            lines.append(f"${var} = $_GET['k'];")
+        elif kind == "const":
+            lines.append(f"${var} = 'v';")
+        elif kind == "copy":
+            lines.append(f"${var} = ${src};")
+        elif kind == "concat":
+            lines.append(f"${var} = ${src} . ${other};")
+        elif kind == "sanitize":
+            lines.append(f"${var} = htmlspecialchars(${src});")
+        elif kind == "sink":
+            lines.append(f"echo ${var};")
+        elif kind == "branch":
+            then = draw(st.sampled_from(["taint", "copy", "const", "sanitize"]))
+            body = {
+                "taint": f"${var} = $_POST['p'];",
+                "copy": f"${var} = ${src};",
+                "const": f"${var} = 'w';",
+                "sanitize": f"${var} = htmlspecialchars(${var});",
+            }[then]
+            has_else = draw(st.booleans())
+            orelse = f" else {{ ${var} = ${other}; }}" if has_else else ""
+            lines.append(f"if ($cond) {{ {body} }}{orelse}")
+        else:  # loop
+            lines.append(f"while ($w) {{ ${var} = ${var} . ${src}; }}")
+    return "\n".join(lines)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_program())
+def test_bmc_matches_exhaustive_oracle(source):
+    run_differential(source)

@@ -1,0 +1,70 @@
+"""Tests for the cross-referenced HTML report."""
+
+from repro import WebSSARI
+from repro.websari.htmlreport import render_html_report
+
+FIGURE7 = """<?php
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = "SELECT * FROM groups WHERE sid=$sid"; DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid"; DoSQL($i2q);
+"""
+
+
+def render(source):
+    report = WebSSARI().verify_source(source, filename="app.php")
+    return report, render_html_report(report, source)
+
+
+class TestHtmlReport:
+    def test_well_formed_shell(self):
+        _, html = render("<?php echo 'ok';")
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</html>")
+        assert "app.php" in html
+
+    def test_safe_status(self):
+        _, html = render("<?php echo 'ok';")
+        assert "status-safe" in html
+        assert "SAFE" in html
+
+    def test_vulnerable_status_and_groups(self):
+        report, html = render(FIGURE7)
+        assert "status-vuln" in html
+        assert "Group 1" in html
+        assert "$sid" in html
+        assert "DoSQL" in html
+
+    def test_line_anchors_exist_for_all_lines(self):
+        _, html = render(FIGURE7)
+        for number in range(1, FIGURE7.count("\n") + 1):
+            assert f"id='L{number}'" in html
+
+    def test_introduction_and_sink_highlighting(self):
+        _, html = render(FIGURE7)
+        assert "intro-line" in html
+        assert "sink-line" in html
+
+    def test_counterexample_rendered(self):
+        _, html = render(FIGURE7)
+        assert "VIOLATION" in html
+        assert "counterexample" in html
+
+    def test_source_is_escaped(self):
+        source = "<?php echo '<script>alert(1)</script>';"
+        _, html = render(source)
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_cross_references_listed(self):
+        _, html = render(FIGURE7)
+        # $sid occurs on several lines; the xref section links them.
+        assert "occurs on lines" in html
+
+    def test_ts_symptom_section(self):
+        _, html = render(FIGURE7)
+        assert "TS symptom sites" in html
+
+    def test_deterministic(self):
+        _, first = render(FIGURE7)
+        _, second = render(FIGURE7)
+        assert first == second

@@ -1,0 +1,133 @@
+"""Tests for guards and the instrumentor."""
+
+from repro import WebSSARI
+from repro.instrument import (
+    GUARD_FUNCTION_NAME,
+    GUARD_PHP_SOURCE,
+    html_escape,
+    sanitize_value,
+    sql_escape,
+)
+from repro.interp import HttpRequest, run_php
+
+
+class TestGuards:
+    def test_html_escape(self):
+        assert html_escape("<a href=\"x\">&'") == "&lt;a href=&quot;x&quot;&gt;&amp;&#039;"
+
+    def test_sql_escape(self):
+        assert sql_escape("a'b\"c\\d") == "a\\'b\\\"c\\\\d"
+        assert sql_escape("x\0y") == "x\\0y"
+
+    def test_sanitize_value_strings(self):
+        out = sanitize_value("<script>'\"")
+        assert "<" not in out and ">" not in out
+        # HTML escaping already entity-encodes the quotes, which also
+        # neutralizes them for SQL.
+        assert "'" not in out and '"' not in out
+
+    def test_sanitize_value_non_strings_pass(self):
+        assert sanitize_value(42) == 42
+        assert sanitize_value(None) is None
+
+    def test_guard_php_source_is_runnable(self):
+        source = "<?php " + GUARD_PHP_SOURCE + "echo __webssari_sanitize($_GET['x']);"
+        env = run_php(source, request=HttpRequest(get={"x": "<i>"}))
+        assert "&lt;i&gt;" in env.response_body()
+
+
+class TestInstrumentorEdgeCases:
+    def setup_method(self):
+        self.websari = WebSSARI()
+
+    def test_bmc_patch_inserts_after_introduction(self):
+        source = "<?php\n$sid = $_GET['sid'];\nDoSQL($sid);\n"
+        _, patched = self.websari.patch_source(source, strategy="bmc")
+        lines = patched.source.splitlines()
+        # Guard appears on the introduction line, before the sink line.
+        assert GUARD_FUNCTION_NAME in lines[1]
+        assert GUARD_FUNCTION_NAME not in lines[2]
+
+    def test_ts_patch_inserts_before_each_sink(self):
+        source = "<?php\n$sid = $_GET['sid'];\nDoSQL($sid);\nDoSQL($sid);\n"
+        _, patched = self.websari.patch_source(source, strategy="ts")
+        assert patched.source.count(GUARD_FUNCTION_NAME) == 2
+        assert patched.num_guards == 2
+
+    def test_guard_counts_vs_edit_counts(self):
+        # One fixing variable with two introduction points (the if/else
+        # assignments) still counts as ONE guard, even with two edits.
+        source = (
+            "<?php\n"
+            "if ($c) { $x = $_GET['a']; } else { $x = $_POST['b']; }\n"
+            "echo $x;\n"
+        )
+        report, patched = self.websari.patch_source(source, strategy="bmc")
+        assert patched.num_guards == 1
+        assert patched.num_edits == 2
+        assert self.websari.verify_source(patched.source).safe
+
+    def test_hoisted_expression_sink_wrapped(self):
+        source = "<?php\necho 'Hello ' . $_GET['name'] . '!';\n"
+        _, patched = self.websari.patch_source(source, strategy="bmc")
+        assert GUARD_FUNCTION_NAME in patched.source
+        assert self.websari.verify_source(patched.source).safe
+
+    def test_hoisted_expression_runtime_behaviour(self):
+        source = "<?php\necho 'Hello ' . $_GET['name'] . '!';\n"
+        _, patched = self.websari.patch_source(source, strategy="bmc")
+        env = run_php(patched.source, request=HttpRequest(get={"name": "<script>x</script>"}))
+        body = env.response_body()
+        assert "<script>" not in body
+        assert body.startswith("Hello ")
+
+    def test_idempotent_edits_deduplicated(self):
+        # Two traces through the same introduction span produce one edit.
+        source = (
+            "<?php\n"
+            "$x = $_GET['q'];\n"
+            "if ($a) { $y = $x; } else { $y = $x; }\n"
+            "echo $y;\n"
+        )
+        _, patched = self.websari.patch_source(source, strategy="bmc")
+        assert patched.source.count(GUARD_FUNCTION_NAME) == 1
+
+    def test_same_line_assignment_and_sink(self):
+        # Figure 7's layout: assignment and sink on one line.
+        source = "<?php\n$q = \"S $_GET[id]\"; DoSQL($q);\n"
+        _, patched_ts = self.websari.patch_source(source, strategy="ts")
+        assert self.websari.verify_source(patched_ts.source).safe
+
+    def test_patch_of_safe_source_is_identity(self):
+        source = "<?php echo 'nothing to do';"
+        _, patched = self.websari.patch_source(source, strategy="bmc")
+        assert patched.source == source
+        assert patched.num_guards == 0
+        assert patched.num_edits == 0
+
+    def test_loop_sink_patch(self):
+        source = (
+            "<?php\n"
+            "while ($row = mysql_fetch_array($r)) {\n"
+            "  echo $row;\n"
+            "}\n"
+        )
+        _, patched = self.websari.patch_source(source, strategy="bmc")
+        assert self.websari.verify_source(patched.source).safe
+
+    def test_figure6_patch_only_else_branch_needed(self):
+        # The then-branch is already sanitized; only tainted flows from
+        # the nick variable need no patch at all (GuestCount is clean),
+        # so figure 6 verifies safe and needs zero guards.
+        source = """<?php
+if ($Nick) {
+  $tmp = $_GET["nick"];
+  echo(htmlspecialchars($tmp));
+} else {
+  $tmp = "You are the" . $GuestCount . " guest";
+  echo($tmp);
+}
+"""
+        report, patched = self.websari.patch_source(source, strategy="bmc")
+        assert report.safe
+        assert patched.num_guards == 0

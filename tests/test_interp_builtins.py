@@ -1,0 +1,87 @@
+"""Tests for the extended builtin function library."""
+
+import pytest
+
+from repro.interp import run_php
+
+
+def out(source):
+    return run_php("<?php " + source).response_body()
+
+
+class TestArrayBuiltins:
+    def test_array_push(self):
+        assert out("$a = array('x'); array_push($a, 'y', 'z'); echo implode(',', $a);") == "x,y,z"
+
+    def test_array_push_returns_count(self):
+        assert out("$a = array(); echo array_push($a, 'x');") == "1"
+
+    def test_array_pop(self):
+        assert out("$a = array('x', 'y'); echo array_pop($a); echo count($a);") == "y1"
+
+    def test_array_pop_empty(self):
+        assert out("$a = array(); echo array_pop($a) === null ? 'n' : 'v';") == "n"
+
+    def test_array_shift(self):
+        assert out("$a = array('x', 'y'); echo array_shift($a); echo count($a);") == "x1"
+
+    def test_array_slice(self):
+        assert out("$a = array(1, 2, 3, 4); echo implode(',', array_slice($a, 1, 2));") == "2,3"
+
+    def test_array_slice_to_end(self):
+        assert out("$a = array(1, 2, 3); echo implode(',', array_slice($a, 1));") == "2,3"
+
+    def test_array_reverse(self):
+        assert out("$a = array(1, 2, 3); echo implode(',', array_reverse($a));") == "3,2,1"
+
+    def test_array_unique(self):
+        assert out("$a = array('x', 'y', 'x'); echo count(array_unique($a));") == "2"
+
+    def test_sort(self):
+        assert out("$a = array(3, 1, 2); sort($a); echo implode(',', $a);") == "1,2,3"
+
+    def test_range(self):
+        assert out("echo implode(',', range(2, 5));") == "2,3,4,5"
+
+
+class TestStringBuiltins:
+    def test_str_pad_right(self):
+        assert out("echo str_pad('ab', 5, '-');") == "ab---"
+
+    def test_str_pad_left(self):
+        assert out("echo str_pad('ab', 5, '-', 0);") == "---ab"
+
+    def test_str_pad_noop_when_wide_enough(self):
+        assert out("echo str_pad('abcdef', 3);") == "abcdef"
+
+    def test_strpos_found(self):
+        assert out("echo strpos('hello', 'll');") == "2"
+
+    def test_strpos_not_found_is_false(self):
+        assert out("echo strpos('hello', 'z') === false ? 'F' : 'T';") == "F"
+
+    def test_strpos_with_offset(self):
+        assert out("echo strpos('aXaX', 'X', 2);") == "3"
+
+    def test_ucwords(self):
+        assert out("echo ucwords('hello php world');") == "Hello Php World"
+
+    def test_lcfirst(self):
+        assert out("echo lcfirst('Hello');") == "hello"
+
+    def test_htmlspecialchars_decode(self):
+        assert out("echo htmlspecialchars_decode('&lt;b&gt;&amp;');") == "<b>&"
+
+
+class TestMathBuiltins:
+    def test_max_min(self):
+        assert out("echo max(3, 9, 1); echo min(3, 9, 1);") == "91"
+
+    def test_abs(self):
+        assert out("echo abs(-5);") == "5"
+
+    def test_round_floor_ceil(self):
+        assert out("echo round(2.6); echo floor(2.6); echo ceil(2.2);") == "323"
+
+    def test_gettype(self):
+        assert out("echo gettype('x'); echo '/'; echo gettype(1);") == "string/integer"

@@ -1,0 +1,143 @@
+"""Unit tests for the F(p) command/expression data types."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.commands import (
+    Assign,
+    Const,
+    If,
+    InputCall,
+    Join,
+    LevelConst,
+    Seq,
+    SinkCall,
+    Stop,
+    VarRef,
+    While,
+    count_commands,
+    join_exprs,
+    variables_of_expr,
+)
+from repro.php.span import Span
+
+SPAN = Span.synthetic()
+
+
+class TestJoinExprs:
+    def test_empty_is_const(self):
+        assert join_exprs([]) == Const()
+
+    def test_all_consts_collapse(self):
+        assert join_exprs([Const(), Const()]) == Const()
+
+    def test_singleton_unwraps(self):
+        assert join_exprs([VarRef("x")]) == VarRef("x")
+
+    def test_consts_dropped(self):
+        assert join_exprs([Const(), VarRef("x"), Const()]) == VarRef("x")
+
+    def test_nested_joins_flatten(self):
+        inner = Join((VarRef("a"), VarRef("b")))
+        result = join_exprs([inner, VarRef("c")])
+        assert result == Join((VarRef("a"), VarRef("b"), VarRef("c")))
+
+    def test_level_consts_kept(self):
+        result = join_exprs([LevelConst("tainted"), Const()])
+        assert result == LevelConst("tainted")
+
+
+class TestVariablesOfExpr:
+    def test_var_ref(self):
+        assert variables_of_expr(VarRef("x")) == {"x"}
+
+    def test_consts_have_none(self):
+        assert variables_of_expr(Const()) == set()
+        assert variables_of_expr(LevelConst("t")) == set()
+
+    def test_join_unions(self):
+        expr = Join((VarRef("a"), Join((VarRef("b"), Const())), VarRef("a")))
+        assert variables_of_expr(expr) == {"a", "b"}
+
+
+class TestCountCommands:
+    def test_atomic(self):
+        assert count_commands(Assign("x", Const(), SPAN)) == 1
+        assert count_commands(Stop(SPAN)) == 1
+        assert count_commands(SinkCall("echo", ("x",), "t", SPAN)) == 1
+        assert count_commands(InputCall("extract", (), "t", SPAN)) == 1
+
+    def test_seq_sums(self):
+        seq = Seq((Assign("x", Const(), SPAN), Stop(SPAN)))
+        assert count_commands(seq) == 2
+
+    def test_if_counts_itself_and_branches(self):
+        branch = If(
+            Seq((Assign("a", Const(), SPAN),)),
+            Seq((Assign("b", Const(), SPAN), Assign("c", Const(), SPAN))),
+            SPAN,
+        )
+        assert count_commands(branch) == 4
+
+    def test_while_counts_body(self):
+        loop = While(Seq((Assign("a", Const(), SPAN),)), SPAN)
+        assert count_commands(loop) == 2
+
+    def test_empty_seq(self):
+        assert count_commands(Seq(())) == 0
+
+
+class TestStringRendering:
+    def test_command_strs(self):
+        assert str(Assign("x", VarRef("y"), SPAN)) == "$x := $y"
+        assert str(Stop(SPAN)) == "stop"
+        assert "pre: <" in str(SinkCall("echo", ("x",), "tainted", SPAN))
+        assert "post:" in str(InputCall("extract", ("a",), "tainted", SPAN))
+        assert "while *" in str(While(Seq(()), SPAN))
+        assert "if *" in str(If(Seq(()), Seq(()), SPAN))
+
+    def test_expr_strs(self):
+        assert str(VarRef("x")) == "$x"
+        assert str(Const()) == "const"
+        assert str(LevelConst("tainted")) == "<tainted>"
+        assert str(Join((VarRef("a"), VarRef("b")))) == "($a ~ $b)"
+
+    def test_seq_iteration(self):
+        seq = Seq((Stop(SPAN), Stop(SPAN)))
+        assert len(seq) == 2
+        assert all(isinstance(c, Stop) for c in seq)
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@st.composite
+def random_expr(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return draw(
+            st.sampled_from(
+                [Const(), LevelConst("tainted"), VarRef("a"), VarRef("b"), VarRef("c")]
+            )
+        )
+    width = draw(st.integers(min_value=0, max_value=3))
+    return join_exprs([draw(random_expr(depth=depth - 1)) for _ in range(width)])
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(random_expr(), max_size=5))
+def test_join_exprs_never_nests_joins(operands):
+    result = join_exprs(operands)
+    if isinstance(result, Join):
+        assert len(result.operands) >= 2
+        assert not any(isinstance(op, Join) for op in result.operands)
+        assert not any(isinstance(op, Const) for op in result.operands)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(random_expr(), max_size=5))
+def test_join_exprs_preserves_variables(operands):
+    result = join_exprs(operands)
+    expected = set()
+    for op in operands:
+        expected |= variables_of_expr(op)
+    assert variables_of_expr(result) == expected

@@ -1,0 +1,463 @@
+"""Tests for the F(p) filter (paper §3.2)."""
+
+import pytest
+
+from repro.ir import (
+    Assign,
+    Const,
+    If,
+    InputCall,
+    Join,
+    LevelConst,
+    Seq,
+    SinkCall,
+    Stop,
+    VarRef,
+    While,
+    count_commands,
+    filter_source,
+    php_name_of,
+)
+from repro.lattice.types import TAINTED
+
+
+def commands_of(source, **kwargs):
+    return list(filter_source("<?php " + source, **kwargs).commands)
+
+
+def flatten(commands):
+    """All atomic commands in order, descending into branches/loops."""
+    out = []
+    for command in commands:
+        if isinstance(command, Seq):
+            out.extend(flatten(command.commands))
+        elif isinstance(command, If):
+            out.append(command)
+            out.extend(flatten(command.then.commands))
+            out.extend(flatten(command.orelse.commands))
+        elif isinstance(command, While):
+            out.append(command)
+            out.extend(flatten(command.body.commands))
+        else:
+            out.append(command)
+    return out
+
+
+def sinks(commands):
+    return [c for c in flatten(commands) if isinstance(c, SinkCall)]
+
+
+def assigns(commands):
+    return [c for c in flatten(commands) if isinstance(c, Assign)]
+
+
+class TestAssignments:
+    def test_constant_assignment(self):
+        cmds = commands_of("$x = 1;")
+        assert cmds == [Assign("x", Const(), cmds[0].span)]
+
+    def test_variable_copy(self):
+        (cmd,) = commands_of("$y = $x;")
+        assert cmd.target == "y"
+        assert cmd.value == VarRef("x")
+
+    def test_superglobal_read_is_tainted(self):
+        (cmd,) = commands_of("$x = $_GET['q'];")
+        assert cmd.value == LevelConst(TAINTED)
+
+    def test_referer_is_tainted(self):
+        # Paper §2.2: developers forget that HTTP_REFERER is untrusted.
+        (cmd,) = commands_of("$sql = $HTTP_REFERER;")
+        assert cmd.value == LevelConst(TAINTED)
+
+    def test_concatenation_joins(self):
+        (cmd,) = commands_of("$q = $a . $b;")
+        assert cmd.value == Join((VarRef("a"), VarRef("b")))
+
+    def test_concatenation_with_constant_drops_const(self):
+        (cmd,) = commands_of("$q = 'SELECT ' . $x;")
+        assert cmd.value == VarRef("x")
+
+    def test_interpolation_joins(self):
+        (cmd,) = commands_of('$q = "a $x b $y";')
+        assert cmd.value == Join((VarRef("x"), VarRef("y")))
+
+    def test_compound_concat_joins_old_value(self):
+        (cmd,) = commands_of("$q .= $x;")
+        assert cmd.value == Join((VarRef("q"), VarRef("x")))
+
+    def test_chained_assignment(self):
+        cmds = commands_of("$a = $b = $x;")
+        assert [c.target for c in cmds] == ["b", "a"]
+        assert all(c.value == VarRef("x") for c in cmds)
+
+    def test_array_element_read_uses_base(self):
+        (cmd,) = commands_of("$x = $row['name'];")
+        assert cmd.value == VarRef("row")
+
+    def test_array_element_write_is_weak_update(self):
+        (cmd,) = commands_of("$a['k'] = $x;")
+        assert cmd.target == "a"
+        assert cmd.value == Join((VarRef("a"), VarRef("x")))
+
+    def test_property_is_field_sensitive(self):
+        cmds = commands_of("$o->p = $x; $y = $o->p;")
+        assert cmds[0].target == "o->p"
+        assert cmds[1].value == VarRef("o->p")
+
+    def test_unset_resets_to_bottom(self):
+        cmds = commands_of("unset($x);")
+        assert cmds == [Assign("x", Const(), cmds[0].span)]
+
+    def test_comparison_result_is_constant(self):
+        (cmd,) = commands_of("$b = $x == $y;")
+        assert cmd.value == Const()
+
+    def test_boolean_not_is_constant(self):
+        (cmd,) = commands_of("$b = !$x;")
+        assert cmd.value == Const()
+
+    def test_numeric_cast_sanitizes(self):
+        (cmd,) = commands_of("$n = (int)$x;")
+        assert cmd.value == Const()
+
+    def test_string_cast_preserves(self):
+        (cmd,) = commands_of("$s = (string)$x;")
+        assert cmd.value == VarRef("x")
+
+    def test_ternary_joins_branches(self):
+        (cmd,) = commands_of("$r = $c ? $a : $b;")
+        assert cmd.value == Join((VarRef("a"), VarRef("b")))
+
+    def test_list_assign(self):
+        cmds = commands_of("list($a, $b) = $parts;")
+        assert {c.target for c in cmds} == {"a", "b"}
+        assert all(c.value == VarRef("parts") for c in cmds)
+
+
+class TestSinks:
+    def test_echo_variable(self):
+        (sink,) = sinks(commands_of("echo $x;"))
+        assert sink.function == "echo"
+        assert sink.arguments == ("x",)
+        assert sink.required == TAINTED
+
+    def test_echo_constant_is_dropped(self):
+        assert sinks(commands_of("echo 'hello';")) == []
+
+    def test_echo_compound_arg_hoisted_to_temp(self):
+        cmds = commands_of('echo "hi $a$b";')
+        (sink,) = sinks(cmds)
+        (temp_assign,) = assigns(cmds)
+        assert sink.arguments == (temp_assign.target,)
+        assert temp_assign.value == Join((VarRef("a"), VarRef("b")))
+        assert php_name_of(temp_assign.target) is None
+
+    def test_mysql_query_sink(self):
+        (sink,) = sinks(commands_of("mysql_query($q);"))
+        assert sink.function == "mysql_query"
+        assert sink.arguments == ("q",)
+
+    def test_suppressed_sink_still_checked(self):
+        # Figure 1 uses @mysql_query(...).
+        (sink,) = sinks(commands_of("@mysql_query($q);"))
+        assert sink.function == "mysql_query"
+
+    def test_print_expression_sink(self):
+        (sink,) = sinks(commands_of("print $x;"))
+        assert sink.function == "print"
+
+    def test_exit_with_argument_sinks_then_stops(self):
+        cmds = commands_of("exit($msg);")
+        assert isinstance(cmds[0], SinkCall)
+        assert isinstance(cmds[1], Stop)
+
+    def test_method_sink(self):
+        (sink,) = sinks(commands_of("$db->query($sql);"))
+        assert sink.function == "->query"
+        assert sink.arguments == ("sql",)
+
+    def test_echo_multiple_args_multiple_sinks(self):
+        result = sinks(commands_of("echo $a, $b;"))
+        assert len(result) == 2
+
+
+class TestSourcesAndSanitizers:
+    def test_db_fetch_is_source(self):
+        (cmd,) = commands_of("$row = mysql_fetch_array($r);")
+        assert cmd.value == LevelConst(TAINTED)
+
+    def test_sanitizer_on_variable_updates_it_in_place(self):
+        # Paper Figure 6: uf_i(tmp) gives the postcondition t_tmp = U.
+        cmds = commands_of("$safe = htmlspecialchars($x);")
+        assert cmds[0].target == "x"
+        assert cmds[0].value == LevelConst("untainted")
+        assert cmds[1].target == "safe"
+        assert cmds[1].value == VarRef("x")
+
+    def test_sanitizer_on_compound_arg_returns_level(self):
+        (cmd,) = commands_of("$safe = htmlspecialchars($a . $b);")
+        assert cmd.value == LevelConst("untainted")
+
+    def test_intval_sanitizes(self):
+        (cmd,) = commands_of("$n = intval($_GET['id']);")
+        assert cmd.value == LevelConst("untainted")
+
+    def test_propagator_joins_args(self):
+        (cmd,) = commands_of("$part = substr($x, 0, 5);")
+        assert cmd.value == VarRef("x")
+
+    def test_unknown_function_propagates(self):
+        (cmd,) = commands_of("$r = totally_unknown_fn($a, $b);")
+        assert cmd.value == Join((VarRef("a"), VarRef("b")))
+
+    def test_extract_marks_environment(self):
+        cmds = commands_of("extract($row); echo $never_assigned;")
+        inputs = [c for c in flatten(cmds) if isinstance(c, InputCall)]
+        assert len(inputs) == 1
+        # The echo of a never-assigned variable becomes a tainted temp sink.
+        (sink,) = sinks(cmds)
+        temp = [a for a in assigns(cmds) if a.target == sink.arguments[0]]
+        assert temp and temp[0].value == LevelConst(TAINTED)
+
+    def test_extract_does_not_taint_assigned_vars(self):
+        cmds = commands_of("extract($row); $x = 'safe'; echo $x;")
+        (sink,) = sinks(cmds)
+        assert sink.arguments == ("x",)
+
+
+class TestControlFlow:
+    def test_if_else_branches(self):
+        cmds = commands_of("if ($c) { $x = $_GET['a']; } else { $x = 1; }")
+        branch = next(c for c in cmds if isinstance(c, If))
+        assert len(branch.then) == 1
+        assert len(branch.orelse) == 1
+
+    def test_elseif_nests_in_orelse(self):
+        cmds = commands_of("if ($a) { $x = 1; } elseif ($b) { $x = 2; } else { $x = 3; }")
+        outer = next(c for c in cmds if isinstance(c, If))
+        inner = [c for c in outer.orelse if isinstance(c, If)]
+        assert len(inner) == 1
+        assert len(inner[0].orelse) == 1
+
+    def test_condition_side_effects_emitted(self):
+        cmds = commands_of("if ($x = $_POST['a']) { echo $x; }")
+        top_assigns = [c for c in cmds if isinstance(c, Assign)]
+        assert top_assigns and top_assigns[0].value == LevelConst(TAINTED)
+
+    def test_while_becomes_loop_with_condition_replay(self):
+        cmds = commands_of("while ($row = mysql_fetch_array($r)) { echo $row; }")
+        pre = [c for c in cmds if isinstance(c, Assign)]
+        loop = next(c for c in cmds if isinstance(c, While))
+        assert pre[0].target == "row"
+        replay = [c for c in loop.body if isinstance(c, Assign)]
+        assert any(c.target == "row" for c in replay)
+
+    def test_for_loop(self):
+        cmds = commands_of("for ($i = 0; $i < 3; $i++) { $s = $s . $x; }")
+        loop = next(c for c in cmds if isinstance(c, While))
+        body_assigns = [c for c in loop.body if isinstance(c, Assign)]
+        assert any(c.target == "s" for c in body_assigns)
+
+    def test_foreach_assigns_value_var_in_body(self):
+        cmds = commands_of("foreach ($rows as $row) { echo $row; }")
+        loop = next(c for c in cmds if isinstance(c, While))
+        first = loop.body.commands[0]
+        assert isinstance(first, Assign) and first.target == "row"
+        assert first.value == VarRef("rows")
+
+    def test_foreach_key_var(self):
+        cmds = commands_of("foreach ($rows as $k => $v) {}")
+        loop = next(c for c in cmds if isinstance(c, While))
+        targets = [c.target for c in loop.body if isinstance(c, Assign)]
+        assert targets == ["k", "v"]
+
+    def test_switch_cases_become_optional_branches(self):
+        cmds = commands_of(
+            "switch ($x) { case 1: $a = $_GET['a']; break; case 2: $a = 1; break; }"
+        )
+        branches = [c for c in cmds if isinstance(c, If)]
+        assert len(branches) == 2
+        assert all(len(b.orelse) == 0 for b in branches)
+
+    def test_top_level_return_is_stop(self):
+        cmds = commands_of("$x = 1; return; $y = 2;")
+        assert any(isinstance(c, Stop) for c in cmds)
+
+    def test_inline_html_discarded(self):
+        result = filter_source("<b>static</b><?php $x = 1;")
+        assert len(list(result.commands)) == 1
+
+    def test_count_commands(self):
+        cmds = filter_source("<?php if ($c) { $a = 1; } else { $b = 2; } $d = 3;").commands
+        assert count_commands(cmds) == 4  # if + 2 assigns + 1 assign
+
+
+class TestFunctionUnfolding:
+    def test_simple_call_inlined(self):
+        source = """
+function greet($name) { echo $name; }
+greet($_GET['who']);
+"""
+        cmds = commands_of(source)
+        flat = flatten(cmds)
+        param_assign = next(c for c in flat if isinstance(c, Assign))
+        assert param_assign.target.endswith("::name")
+        assert param_assign.value == LevelConst(TAINTED)
+        (sink,) = sinks(cmds)
+        assert sink.arguments[0].endswith("::name")
+
+    def test_return_value_flows(self):
+        source = """
+function fetch_subject() { return $_POST['subject']; }
+$s = fetch_subject();
+echo $s;
+"""
+        cmds = commands_of(source)
+        ret_assign = next(
+            c for c in flatten(cmds) if isinstance(c, Assign) and c.target.endswith("%ret")
+        )
+        assert ret_assign.value == LevelConst(TAINTED)
+        s_assign = next(c for c in flatten(cmds) if isinstance(c, Assign) and c.target == "s")
+        assert isinstance(s_assign.value, VarRef)
+        assert s_assign.value.name.endswith("%ret")
+
+    def test_two_calls_get_distinct_scopes(self):
+        source = """
+function ident($v) { return $v; }
+$a = ident($x);
+$b = ident($y);
+"""
+        cmds = commands_of(source)
+        params = [
+            c.target for c in flatten(cmds) if isinstance(c, Assign) and c.target.endswith("::v")
+        ]
+        assert len(params) == 2
+        assert params[0] != params[1]
+
+    def test_global_statement_shares_variable(self):
+        source = """
+function show() { global $msg; echo $msg; }
+$msg = $_GET['m'];
+show();
+"""
+        (sink,) = sinks(commands_of(source))
+        assert sink.arguments == ("msg",)
+
+    def test_locals_do_not_leak(self):
+        source = """
+function f() { $local = $_GET['x']; }
+f();
+echo $local;
+"""
+        (sink,) = sinks(commands_of(source))
+        # The echoed $local is the (uninitialized) global, not f's local.
+        assert sink.arguments == ("local",)
+
+    def test_by_reference_parameter_copies_back(self):
+        source = """
+function fill(&$out) { $out = $_GET['x']; }
+fill($data);
+echo $data;
+"""
+        cmds = commands_of(source)
+        (sink,) = sinks(cmds)
+        assert sink.arguments == ("data",)
+        copy_back = [c for c in flatten(cmds) if isinstance(c, Assign) and c.target == "data"]
+        assert copy_back
+
+    def test_default_parameter_used(self):
+        source = """
+function f($a, $b = 'safe') { echo $b; }
+f($x);
+"""
+        cmds = commands_of(source)
+        b_assign = next(
+            c for c in flatten(cmds) if isinstance(c, Assign) and c.target.endswith("::b")
+        )
+        assert b_assign.value == Const()
+
+    def test_recursion_depth_limited(self):
+        source = """
+function rec($n) { return rec($n); }
+$r = rec($x);
+"""
+        result = filter_source("<?php " + source)
+        assert any("recursion" in w for w in result.warnings)
+
+    def test_nested_user_calls(self):
+        source = """
+function inner($v) { return $v; }
+function outer($v) { return inner($v); }
+echo outer($_GET['q']);
+"""
+        (sink,) = sinks(commands_of(source))
+        assert sink.arguments[0].endswith("%ret")
+
+    def test_case_insensitive_function_names(self):
+        source = """
+function DoSQL($q) { mysql_query($q); }
+dosql($x);
+"""
+        user_sinks = sinks(commands_of(source))
+        assert len(user_sinks) == 1
+        assert user_sinks[0].function == "mysql_query"
+
+
+class TestPaperFigures:
+    def test_figure7_produces_three_sinks(self):
+        source = """
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = "SELECT * FROM groups WHERE sid=$sid"; DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid"; DoSQL($i2q);
+$fnq = "SELECT * FROM q WHERE sid='$sid'"; DoSQL($fnq);
+"""
+        cmds = commands_of(source)
+        all_sinks = sinks(cmds)
+        assert len(all_sinks) == 3
+        assert {s.arguments[0] for s in all_sinks} == {"iq", "i2q", "fnq"}
+
+    def test_figure6_guestbook_shape(self):
+        source = """
+if ($Nick) {
+  $tmp = $_GET["nick"];
+  echo(htmlspecialchars($tmp));
+} else {
+  $tmp = "You are the" . $GuestCount . " guest";
+  echo($tmp);
+}
+"""
+        cmds = commands_of(source)
+        branch = next(c for c in cmds if isinstance(c, If))
+        # Then-branch mirrors the paper's AI: t_tmp = T; t_tmp = U;
+        # assert(t_tmp < T) — the sanitizer updates tmp in place, and the
+        # sink assertion is still emitted (and will verify as safe).
+        then_assigns = [c for c in branch.then if isinstance(c, Assign)]
+        assert [a.value for a in then_assigns] == [
+            LevelConst(TAINTED),
+            LevelConst("untainted"),
+        ]
+        then_sinks = [c for c in branch.then if isinstance(c, SinkCall)]
+        assert len(then_sinks) == 1
+        assert then_sinks[0].arguments == ("tmp",)
+        else_sinks = [c for c in branch.orelse if isinstance(c, SinkCall)]
+        assert len(else_sinks) == 1
+        assert else_sinks[0].arguments == ("tmp",)
+
+    def test_figure1_figure2_pipeline(self):
+        source = """
+$query = "INSERT INTO t VALUES('{$u}', '{$s}')";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+  echo "$row[subject]";
+}
+"""
+        cmds = commands_of(source)
+        all_sinks = sinks(cmds)
+        assert {s.function for s in all_sinks} == {"mysql_query", "echo"}
+
+
+class TestWarnings:
+    def test_unfiltered_result_has_no_warnings_for_clean_code(self):
+        result = filter_source("<?php $x = 1; echo 'ok';")
+        assert result.warnings == []

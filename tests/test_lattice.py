@@ -1,0 +1,294 @@
+"""Tests for the security-type lattice framework (paper §3.1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice import (
+    TAINTED,
+    UNTAINTED,
+    FiniteLattice,
+    LatticeError,
+    is_monotone,
+    linear_lattice,
+    powerset_lattice,
+    product_lattice,
+    two_point_lattice,
+)
+
+
+@pytest.fixture
+def taint():
+    return two_point_lattice()
+
+
+@pytest.fixture
+def diamond():
+    # bottom <= {a, b} <= top, a and b incomparable
+    return FiniteLattice(
+        {"bot", "a", "b", "top"},
+        {("bot", "a"), ("bot", "b"), ("a", "top"), ("b", "top")},
+    )
+
+
+class TestTwoPointLattice:
+    def test_bottom_is_untainted(self, taint):
+        assert taint.bottom == UNTAINTED
+
+    def test_top_is_tainted(self, taint):
+        assert taint.top == TAINTED
+
+    def test_order(self, taint):
+        assert taint.leq(UNTAINTED, TAINTED)
+        assert not taint.leq(TAINTED, UNTAINTED)
+
+    def test_strict_order(self, taint):
+        assert taint.lt(UNTAINTED, TAINTED)
+        assert not taint.lt(UNTAINTED, UNTAINTED)
+
+    def test_join_taints(self, taint):
+        assert taint.join(UNTAINTED, TAINTED) == TAINTED
+        assert taint.join(UNTAINTED, UNTAINTED) == UNTAINTED
+
+    def test_meet_untaints(self, taint):
+        assert taint.meet(UNTAINTED, TAINTED) == UNTAINTED
+        assert taint.meet(TAINTED, TAINTED) == TAINTED
+
+    def test_join_all_empty_is_bottom(self, taint):
+        # Paper §3.1: ⊔Y = ⊥ for empty Y.
+        assert taint.join_all([]) == UNTAINTED
+
+    def test_meet_all_empty_is_top(self, taint):
+        assert taint.meet_all([]) == TAINTED
+
+    def test_nonmember_rejected(self, taint):
+        with pytest.raises(LatticeError):
+            taint.leq("nonsense", TAINTED)
+
+
+class TestDiamondLattice:
+    def test_incomparable_elements(self, diamond):
+        assert not diamond.leq("a", "b")
+        assert not diamond.leq("b", "a")
+
+    def test_join_of_incomparables_is_top(self, diamond):
+        assert diamond.join("a", "b") == "top"
+
+    def test_meet_of_incomparables_is_bottom(self, diamond):
+        assert diamond.meet("a", "b") == "bot"
+
+    def test_covers(self, diamond):
+        assert diamond.covers() == {
+            ("bot", "a"),
+            ("bot", "b"),
+            ("a", "top"),
+            ("b", "top"),
+        }
+
+    def test_join_absorbs(self, diamond):
+        for x in diamond.elements:
+            assert diamond.join(x, "bot") == x
+            assert diamond.join(x, "top") == "top"
+
+
+class TestLatticeValidation:
+    def test_cycle_rejected(self):
+        with pytest.raises(LatticeError):
+            FiniteLattice({"a", "b"}, {("a", "b"), ("b", "a")})
+
+    def test_two_maximal_rejected(self):
+        # a and b both maximal: no top.
+        with pytest.raises(LatticeError):
+            FiniteLattice({"bot", "a", "b"}, {("bot", "a"), ("bot", "b")})
+
+    def test_empty_carrier_rejected(self):
+        with pytest.raises(LatticeError):
+            FiniteLattice(set(), set())
+
+    def test_foreign_order_pair_rejected(self):
+        with pytest.raises(LatticeError):
+            FiniteLattice({"a"}, {("a", "z")})
+
+    def test_hexagon_non_lattice_rejected(self):
+        # bot <= {a,b} <= {c,d} <= top with a,b both below c,d: join(a,b)
+        # has two minimal upper bounds, so this poset is not a lattice.
+        with pytest.raises(LatticeError):
+            FiniteLattice(
+                {"bot", "a", "b", "c", "d", "top"},
+                {
+                    ("bot", "a"),
+                    ("bot", "b"),
+                    ("a", "c"),
+                    ("a", "d"),
+                    ("b", "c"),
+                    ("b", "d"),
+                    ("c", "top"),
+                    ("d", "top"),
+                },
+            )
+
+
+class TestLinearLattice:
+    def test_three_levels(self):
+        lat = linear_lattice(["public", "internal", "secret"])
+        assert lat.bottom == "public"
+        assert lat.top == "secret"
+        assert lat.join("public", "internal") == "internal"
+        assert lat.meet("internal", "secret") == "internal"
+
+    def test_single_level(self):
+        lat = linear_lattice(["only"])
+        assert lat.bottom == lat.top == "only"
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(LatticeError):
+            linear_lattice(["a", "a"])
+
+    def test_total_order(self):
+        levels = ["l0", "l1", "l2", "l3"]
+        lat = linear_lattice(levels)
+        for i, a in enumerate(levels):
+            for j, b in enumerate(levels):
+                assert lat.leq(a, b) == (i <= j)
+
+
+class TestProductLattice:
+    def test_componentwise_order(self):
+        lat = product_lattice(two_point_lattice(), two_point_lattice())
+        bot = (UNTAINTED, UNTAINTED)
+        top = (TAINTED, TAINTED)
+        assert lat.bottom == bot
+        assert lat.top == top
+        assert lat.join((UNTAINTED, TAINTED), (TAINTED, UNTAINTED)) == top
+        assert lat.meet((UNTAINTED, TAINTED), (TAINTED, UNTAINTED)) == bot
+
+    def test_mixed_components_incomparable(self):
+        lat = product_lattice(two_point_lattice(), two_point_lattice())
+        assert not lat.leq((UNTAINTED, TAINTED), (TAINTED, UNTAINTED))
+
+
+class TestPowersetLattice:
+    def test_subset_order(self):
+        lat = powerset_lattice(["get", "post", "cookie"])
+        assert lat.bottom == frozenset()
+        assert lat.top == frozenset({"get", "post", "cookie"})
+        a = frozenset({"get"})
+        b = frozenset({"post"})
+        assert lat.join(a, b) == frozenset({"get", "post"})
+        assert lat.meet(a, b) == frozenset()
+
+    def test_generator_limit(self):
+        with pytest.raises(LatticeError):
+            powerset_lattice(range(11))
+
+
+class TestMonotonicity:
+    def test_identity_is_monotone(self, taint):
+        assert is_monotone(taint, lambda t: t)
+
+    def test_constant_bottom_is_monotone(self, taint):
+        assert is_monotone(taint, lambda t: taint.bottom)
+
+    def test_swap_is_not_monotone(self, taint):
+        swap = {UNTAINTED: TAINTED, TAINTED: UNTAINTED}
+        assert not is_monotone(taint, lambda t: swap[t])
+
+
+# -- property-based tests on the lattice laws -----------------------------
+
+
+def _lattices():
+    return st.sampled_from(
+        [
+            two_point_lattice(),
+            linear_lattice(["l0", "l1", "l2", "l3"]),
+            FiniteLattice(
+                {"bot", "a", "b", "top"},
+                {("bot", "a"), ("bot", "b"), ("a", "top"), ("b", "top")},
+            ),
+            powerset_lattice(["g", "p", "c"]),
+        ]
+    )
+
+
+@st.composite
+def _lattice_and_elements(draw, count=2):
+    lat = draw(_lattices())
+    elems = sorted(lat.elements, key=repr)
+    picked = [draw(st.sampled_from(elems)) for _ in range(count)]
+    return (lat, *picked)
+
+
+@given(_lattice_and_elements(count=2))
+def test_join_commutative(case):
+    lat, a, b = case
+    assert lat.join(a, b) == lat.join(b, a)
+
+
+@given(_lattice_and_elements(count=2))
+def test_meet_commutative(case):
+    lat, a, b = case
+    assert lat.meet(a, b) == lat.meet(b, a)
+
+
+@given(_lattice_and_elements(count=3))
+def test_join_associative(case):
+    lat, a, b, c = case
+    assert lat.join(a, lat.join(b, c)) == lat.join(lat.join(a, b), c)
+
+
+@given(_lattice_and_elements(count=3))
+def test_meet_associative(case):
+    lat, a, b, c = case
+    assert lat.meet(a, lat.meet(b, c)) == lat.meet(lat.meet(a, b), c)
+
+
+@given(_lattice_and_elements(count=1))
+def test_join_idempotent(case):
+    lat, a = case
+    assert lat.join(a, a) == a
+
+
+@given(_lattice_and_elements(count=2))
+def test_absorption(case):
+    lat, a, b = case
+    assert lat.join(a, lat.meet(a, b)) == a
+    assert lat.meet(a, lat.join(a, b)) == a
+
+
+@given(_lattice_and_elements(count=2))
+def test_join_is_upper_bound(case):
+    lat, a, b = case
+    j = lat.join(a, b)
+    assert lat.leq(a, j) and lat.leq(b, j)
+
+
+@given(_lattice_and_elements(count=2))
+def test_meet_is_lower_bound(case):
+    lat, a, b = case
+    m = lat.meet(a, b)
+    assert lat.leq(m, a) and lat.leq(m, b)
+
+
+@given(_lattice_and_elements(count=2))
+def test_leq_iff_join_is_upper(case):
+    # Paper §3.1: τ1 = τ2 iff τ1 <= τ2 and τ2 <= τ1.
+    lat, a, b = case
+    assert lat.leq(a, b) == (lat.join(a, b) == b)
+
+
+@given(_lattice_and_elements(count=1))
+def test_bounds(case):
+    lat, a = case
+    assert lat.leq(lat.bottom, a)
+    assert lat.leq(a, lat.top)
+
+
+def test_join_all_matches_pairwise():
+    lat = powerset_lattice(["g", "p", "c"])
+    elems = sorted(lat.elements, key=repr)
+    for combo in itertools.combinations(elems, 3):
+        expected = lat.join(lat.join(combo[0], combo[1]), combo[2])
+        assert lat.join_all(combo) == expected

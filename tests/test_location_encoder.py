@@ -1,0 +1,112 @@
+"""Tests for the xBMC0.1 location-variable encoding (ablation baseline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ai import rename, translate_filter_result
+from repro.bmc import check_program
+from repro.bmc.location_encoder import LocationBMC
+from repro.ir import filter_source
+
+
+def ai_of(source):
+    return translate_filter_result(filter_source("<?php " + source))
+
+
+def location_verdicts(source):
+    return LocationBMC(ai_of(source)).run()
+
+
+def renaming_verdicts(source):
+    result = check_program(rename(ai_of(source)))
+    return {r.assert_id: not r.safe for r in result.assertions}
+
+
+class TestLocationBMC:
+    def test_safe_program(self):
+        result = location_verdicts("$x = 'lit'; echo $x;")
+        assert result.safe
+        assert result.verdicts == {1: False}
+
+    def test_direct_taint(self):
+        result = location_verdicts("$x = $_GET['q']; echo $x;")
+        assert result.verdicts == {1: True}
+
+    def test_branch_taint(self):
+        result = location_verdicts(
+            "if ($c) { $x = $_GET['q']; } else { $x = 'lit'; } echo $x;"
+        )
+        assert result.verdicts == {1: True}
+
+    def test_sanitizer(self):
+        result = location_verdicts(
+            "$x = $_GET['q']; $x = htmlspecialchars($x); echo $x;"
+        )
+        assert result.verdicts == {1: False}
+
+    def test_stop_prevents_later_taint(self):
+        # Unlike the renaming encoder (which follows the paper's
+        # C(stop,g)=true), the location encoding is path-accurate: after
+        # stop, the sink location is unreachable.
+        result = location_verdicts("$x = $_GET['q']; exit; echo $x;")
+        assert result.verdicts == {1: False}
+
+    def test_multiple_assertions(self):
+        result = location_verdicts(
+            "$a = $_GET['a']; echo $a; $b = 'lit'; echo $b;"
+        )
+        assert result.verdicts == {1: True, 2: False}
+
+    def test_loop_body_taint(self):
+        result = location_verdicts("while ($c) { echo $_GET['x']; }")
+        assert result.verdicts == {1: True}
+
+    def test_formula_stats_reported(self):
+        result = location_verdicts("$x = $_GET['q']; echo $x;")
+        assert result.num_steps > 0
+        assert result.num_locations >= 3
+        assert result.num_vars > 0
+
+    def test_formula_larger_than_renaming_encoding(self):
+        # The whole point of §3.3.2: per-step full-state copies blow up.
+        source = (
+            "$a = $_GET['a']; $b = $a; $c = $b; $d = $c; $e = $d; echo $e;"
+        )
+        location = location_verdicts(source)
+        renaming = check_program(rename(ai_of(source)))
+        assert location.num_vars > renaming.num_vars
+        assert location.num_clauses > renaming.num_clauses
+
+
+# Property: both encodings agree on every assertion verdict for programs
+# without `exit` (where the renaming encoder intentionally over-approximates).
+
+
+@st.composite
+def straightline_program(draw):
+    lines = []
+    variables = ["a", "b", "c"]
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        kind = draw(st.sampled_from(["taint", "const", "copy", "sink", "branch", "sanitize"]))
+        var = draw(st.sampled_from(variables))
+        src = draw(st.sampled_from(variables))
+        if kind == "taint":
+            lines.append(f"${var} = $_GET['k'];")
+        elif kind == "const":
+            lines.append(f"${var} = 'v';")
+        elif kind == "copy":
+            lines.append(f"${var} = ${src};")
+        elif kind == "sanitize":
+            lines.append(f"${var} = htmlspecialchars(${src});")
+        elif kind == "sink":
+            lines.append(f"echo ${var};")
+        else:
+            lines.append(f"if ($c) {{ ${var} = ${src}; }} else {{ ${var} = 'w'; }}")
+    return "\n".join(lines)
+
+
+@settings(max_examples=30, deadline=None)
+@given(straightline_program())
+def test_encodings_agree(source):
+    assert location_verdicts(source).verdicts == renaming_verdicts(source)

@@ -1,0 +1,76 @@
+"""Knowledge capture: the Figure 6 in-place sanitizer model is unsound.
+
+The paper models sanitization as a UIC postcondition on the argument
+variable itself (Figure 6: ``echo(htmlspecialchars($tmp))`` yields
+``t_tmp = U``).  For the idiomatic uses the paper shows — sanitizing at
+the sink, or ``$x = htmlspecialchars($x)`` — this is fine, but when the
+sanitizer's *result is stored elsewhere and the original is reused*::
+
+    $b = htmlspecialchars($a);
+    echo $a;                      // $a is still raw at runtime!
+
+the model marks ``$a`` clean and calls the program safe — a false
+negative, demonstrated concretely against the interpreter below.  The
+reproduction keeps the paper-faithful behaviour as the default and
+offers ``sanitize_in_place=False`` (pure-function semantics: only the
+call's result is clean) which is sound on this pattern.
+
+Found by the end-to-end property test
+(tests/test_end_to_end_soundness.py) during the reproduction.
+"""
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, run_php
+
+FALSE_NEGATIVE = """<?php
+$a = $_GET['k'];
+$b = htmlspecialchars($a);
+echo $a;
+"""
+
+PAYLOAD = "<script>x</script>"
+
+
+class TestPaperModel:
+    def test_paper_model_calls_it_safe(self):
+        report = WebSSARI(sanitize_in_place=True).verify_source(FALSE_NEGATIVE)
+        assert report.safe  # the false negative, reproduced
+
+    def test_runtime_disagrees(self):
+        env = run_php(FALSE_NEGATIVE, request=HttpRequest(get={"k": PAYLOAD}))
+        assert "<script>" in env.response_body()
+
+    def test_figure6_idiom_still_handled(self):
+        # The idiom the paper actually shows is fine in both modes.
+        source = "<?php $tmp = $_GET['n']; echo htmlspecialchars($tmp);"
+        assert WebSSARI(sanitize_in_place=True).verify_source(source).safe
+        env = run_php(source, request=HttpRequest(get={"n": PAYLOAD}))
+        assert "<script>" not in env.response_body()
+
+
+class TestSoundMode:
+    def test_sound_mode_flags_it(self):
+        report = WebSSARI(sanitize_in_place=False).verify_source(FALSE_NEGATIVE)
+        assert not report.safe
+
+    def test_sound_mode_keeps_self_sanitize_safe(self):
+        source = "<?php $a = $_GET['k']; $a = htmlspecialchars($a); echo $a;"
+        assert WebSSARI(sanitize_in_place=False).verify_source(source).safe
+
+    def test_sound_mode_keeps_sink_wrap_safe(self):
+        source = "<?php echo htmlspecialchars($_GET['k']);"
+        assert WebSSARI(sanitize_in_place=False).verify_source(source).safe
+
+    def test_sound_mode_result_variable_is_clean(self):
+        source = "<?php $a = $_GET['k']; $b = htmlspecialchars($a); echo $b;"
+        assert WebSSARI(sanitize_in_place=False).verify_source(source).safe
+
+    def test_modes_agree_on_figure7(self):
+        source = """<?php
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = 'a' . $sid; DoSQL($iq);
+"""
+        paper = WebSSARI(sanitize_in_place=True).verify_source(source)
+        sound = WebSSARI(sanitize_in_place=False).verify_source(source)
+        assert not paper.safe and not sound.safe
+        assert paper.bmc_group_count == sound.bmc_group_count == 1

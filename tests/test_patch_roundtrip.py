@@ -1,0 +1,81 @@
+"""Patch round-trip over randomly generated projects.
+
+For arbitrary generated vulnerability topologies, the BMC project patch
+must (a) produce sources that still parse, (b) re-verify safe, and
+(c) use exactly one guard per error group — even when a cluster's taint
+crosses an include boundary, where the guard lands in the included file.
+The TS patch must also re-verify safe with one guard per symptom.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import WebSSARI
+from repro.corpus import ProjectSpec, generate_project
+from repro.php.parser import parse
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_bmc_patch_roundtrip(groups, extra, seed):
+    websari = WebSSARI()
+    spec = ProjectSpec(
+        name=f"patch{seed}", ts_errors=groups + extra, bmc_groups=groups, seed=seed
+    )
+    generated = generate_project(spec)
+    report, patched_project, results = websari.patch_project(generated.project)
+    for path in patched_project.paths():
+        parse(patched_project.source(path), path)  # must still be valid PHP
+    total_guards = sum(r.num_guards for r in results.values())
+    assert total_guards == groups, f"seed {seed}"
+    re_report = websari.verify_project(patched_project)
+    assert re_report.safe, f"seed {seed}: " + ", ".join(
+        r.filename for r in re_report.vulnerable_reports
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_ts_patch_roundtrip(groups, extra, seed):
+    websari = WebSSARI()
+    ts_errors = groups + extra
+    spec = ProjectSpec(
+        name=f"tspatch{seed}", ts_errors=ts_errors, bmc_groups=groups, seed=seed
+    )
+    generated = generate_project(spec)
+    report, patched_project, results = websari.patch_project(
+        generated.project, strategy="ts"
+    )
+    for path in patched_project.paths():
+        parse(patched_project.source(path), path)
+    total_guards = sum(r.num_guards for r in results.values())
+    assert total_guards == ts_errors, f"seed {seed}"
+    re_report = websari.verify_project(patched_project)
+    assert re_report.safe, f"seed {seed}"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_bmc_patch_is_never_larger_than_ts_patch(groups, extra, seed):
+    websari = WebSSARI()
+    spec = ProjectSpec(
+        name=f"cmp{seed}", ts_errors=groups + extra, bmc_groups=groups, seed=seed
+    )
+    generated = generate_project(spec)
+    _, _, bmc_results = websari.patch_project(generated.project, strategy="bmc")
+    _, _, ts_results = websari.patch_project(generated.project, strategy="ts")
+    bmc_guards = sum(r.num_guards for r in bmc_results.values())
+    ts_guards = sum(r.num_guards for r in ts_results.values())
+    assert bmc_guards <= ts_guards

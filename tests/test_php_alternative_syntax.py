@@ -1,0 +1,113 @@
+"""Tests for PHP's alternative (template) statement syntax."""
+
+import pytest
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, run_php
+from repro.php import ParseError, parse
+from repro.php import ast_nodes as ast
+
+
+def first_stmt(source):
+    return parse("<?php " + source).statements[0]
+
+
+class TestParsing:
+    def test_if_endif(self):
+        stmt = first_stmt("if ($c): $x = 1; endif;")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then.statements) == 1
+
+    def test_if_else_endif(self):
+        stmt = first_stmt("if ($c): $x = 1; else: $x = 2; endif;")
+        assert stmt.orelse is not None
+
+    def test_if_elseif_chain(self):
+        stmt = first_stmt("if ($a): $x = 1; elseif ($b): $x = 2; else: $x = 3; endif;")
+        assert len(stmt.elseifs) == 1
+        assert stmt.orelse is not None
+
+    def test_while_endwhile(self):
+        stmt = first_stmt("while ($c): $i++; endwhile;")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_endfor(self):
+        stmt = first_stmt("for ($i = 0; $i < 3; $i++): echo $i; endfor;")
+        assert isinstance(stmt, ast.For)
+
+    def test_foreach_endforeach(self):
+        stmt = first_stmt("foreach ($rows as $row): echo $row; endforeach;")
+        assert isinstance(stmt, ast.Foreach)
+
+    def test_switch_endswitch(self):
+        stmt = first_stmt("switch ($x): case 1: echo 'a'; break; default: echo 'b'; endswitch;")
+        assert isinstance(stmt, ast.Switch)
+        assert len(stmt.cases) == 2
+
+    def test_template_interleaving_with_html(self):
+        # The reason this syntax exists: statements spanning tag breaks.
+        source = "<?php if ($loggedin): ?><b>Welcome!</b><?php else: ?>Log in<?php endif; ?>"
+        program = parse(source)
+        branch = program.statements[0]
+        assert isinstance(branch, ast.If)
+        assert isinstance(branch.then.statements[0], ast.InlineHTML)
+        assert isinstance(branch.orelse.statements[0], ast.InlineHTML)
+
+    def test_nested_alternative_blocks(self):
+        source = "if ($a): if ($b): $x = 1; endif; endif;"
+        stmt = first_stmt(source)
+        inner = stmt.then.statements[0]
+        assert isinstance(inner, ast.If)
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse("<?php if ($c): $x = 1;")
+
+    def test_wrong_terminator_rejected(self):
+        with pytest.raises(ParseError):
+            parse("<?php if ($c): $x = 1; endwhile;")
+
+
+class TestAnalysisAndExecution:
+    def test_taint_through_alternative_if(self):
+        source = "<?php if ($c): $x = $_GET['q']; endif; echo $x;"
+        assert not WebSSARI().verify_source(source).safe
+
+    def test_alternative_template_executes(self):
+        source = (
+            "<?php if ($_GET['in'] == '1'): ?>"
+            "<b>Welcome</b>"
+            "<?php else: ?>"
+            "Please log in"
+            "<?php endif; ?>"
+        )
+        assert "Welcome" in run_php(source, request=HttpRequest(get={"in": "1"})).response_body()
+        assert "log in" in run_php(source, request=HttpRequest(get={"in": "0"})).response_body()
+
+    def test_foreach_template_loop(self):
+        source = (
+            "<?php $items = array('a', 'b'); foreach ($items as $item): ?>"
+            "<li><?= $item ?></li>"
+            "<?php endforeach; ?>"
+        )
+        assert run_php(source).response_body() == "<li>a</li><li>b</li>"
+
+    def test_alternative_while_runs(self):
+        source = "<?php $i = 0; while ($i < 3): echo $i; $i++; endwhile;"
+        assert run_php(source).response_body() == "012"
+
+    def test_alternative_switch_runs(self):
+        source = "<?php switch (2): case 1: echo 'a'; break; case 2: echo 'b'; break; endswitch;"
+        assert run_php(source).response_body() == "b"
+
+    def test_template_xss_detected_and_patched(self):
+        source = (
+            "<?php if ($_GET['greet'] == '1'): $name = $_GET['name']; ?>"
+            "Hello <?= $name ?>!"
+            "<?php endif; ?>"
+        )
+        websari = WebSSARI()
+        report = websari.verify_source(source)
+        assert not report.safe
+        _, patched = websari.patch_source(source, strategy="bmc")
+        assert websari.verify_source(patched.source).safe

@@ -1,0 +1,230 @@
+"""Tests for PHP class support across parser, filter/BMC, and interpreter."""
+
+import pytest
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, run_php
+from repro.php import ParseError, parse
+from repro.php import ast_nodes as ast
+
+
+def first_stmt(source):
+    return parse("<?php " + source).statements[0]
+
+
+class TestClassParsing:
+    def test_empty_class(self):
+        decl = first_stmt("class Foo {}")
+        assert isinstance(decl, ast.ClassDecl)
+        assert decl.name == "Foo"
+        assert decl.parent is None
+
+    def test_extends(self):
+        decl = first_stmt("class Child extends Base {}")
+        assert decl.parent == "Base"
+
+    def test_var_properties(self):
+        decl = first_stmt("class C { var $a; var $b = 3; }")
+        assert [p.name for p in decl.properties] == ["a", "b"]
+        assert decl.properties[1].default.value == 3
+
+    def test_visibility_properties(self):
+        decl = first_stmt("class C { public $a; private $b; protected $c; }")
+        assert [p.visibility for p in decl.properties] == ["public", "private", "protected"]
+
+    def test_comma_separated_properties(self):
+        decl = first_stmt("class C { var $a, $b; }")
+        assert [p.name for p in decl.properties] == ["a", "b"]
+
+    def test_methods(self):
+        decl = first_stmt("class C { function m($x) { return $x; } }")
+        assert decl.methods[0].name == "m"
+        assert decl.method("M") is not None  # case-insensitive
+
+    def test_public_function(self):
+        decl = first_stmt("class C { public function m() {} }")
+        assert decl.methods[0].name == "m"
+
+    def test_php4_constructor(self):
+        decl = first_stmt("class Ticket { function Ticket($s) { $this->s = $s; } }")
+        assert decl.constructor is not None
+        assert decl.constructor.name == "Ticket"
+
+    def test_php5_constructor(self):
+        decl = first_stmt("class C { function __construct() {} }")
+        assert decl.constructor is not None
+
+    def test_garbage_in_class_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse("<?php class C { $loose = 1; }")
+
+    def test_unterminated_class(self):
+        with pytest.raises(ParseError):
+            parse("<?php class C { function m() {}")
+
+
+class TestClassAnalysis:
+    @pytest.fixture(scope="class")
+    def websari(self):
+        return WebSSARI()
+
+    def test_taint_through_property(self, websari):
+        source = """<?php
+class Ticket {
+  var $subject;
+  function Ticket($s) { $this->subject = $s; }
+  function render() { echo $this->subject; }
+}
+$t = new Ticket($_POST['subject']);
+$t->render();
+"""
+        report = websari.verify_source(source)
+        assert not report.safe
+        assert report.ts_error_count == 1
+
+    def test_sanitized_constructor_is_safe(self, websari):
+        source = """<?php
+class Ticket {
+  var $subject;
+  function Ticket($s) { $this->subject = htmlspecialchars($s); }
+  function render() { echo $this->subject; }
+}
+$t = new Ticket($_POST['subject']);
+$t->render();
+"""
+        assert websari.verify_source(source).safe
+
+    def test_method_return_value_flows(self, websari):
+        source = """<?php
+class Req {
+  function param($k) { return $_GET[$k]; }
+}
+$r = new Req();
+echo $r->param('q');
+"""
+        assert not websari.verify_source(source).safe
+
+    def test_property_default_is_safe(self, websari):
+        source = """<?php
+class C { var $msg = 'hello'; }
+$c = new C();
+echo $c->msg;
+"""
+        assert websari.verify_source(source).safe
+
+    def test_two_instances_are_independent(self, websari):
+        source = """<?php
+class Box { var $v; function fill($x) { $this->v = $x; } }
+$dirty = new Box(); $dirty->fill($_GET['x']);
+$clean = new Box(); $clean->fill('lit');
+echo $clean->v;
+"""
+        assert websari.verify_source(source).safe
+
+    def test_tainted_instance_flagged(self, websari):
+        source = """<?php
+class Box { var $v; function fill($x) { $this->v = $x; } }
+$dirty = new Box(); $dirty->fill($_GET['x']);
+echo $dirty->v;
+"""
+        assert not websari.verify_source(source).safe
+
+    def test_inherited_method(self, websari):
+        source = """<?php
+class Base { function show($x) { echo $x; } }
+class Child extends Base { }
+$c = new Child();
+$c->show($_GET['q']);
+"""
+        assert not websari.verify_source(source).safe
+
+    def test_grouping_fixes_at_property_root(self, websari):
+        source = """<?php
+class M { var $v; function M($x) { $this->v = $x; } }
+$m = new M($_GET['q']);
+echo $m->v;
+DoSQL($m->v);
+"""
+        report = websari.verify_source(source)
+        assert report.ts_error_count == 2
+        assert report.bmc_group_count == 1
+
+
+class TestClassExecution:
+    def test_construct_and_method(self):
+        source = """<?php
+class Greeter {
+  var $name;
+  function Greeter($n) { $this->name = $n; }
+  function greet() { return 'Hello ' . $this->name; }
+}
+$g = new Greeter('World');
+echo $g->greet();
+"""
+        assert run_php(source).response_body() == "Hello World"
+
+    def test_php5_constructor_runs(self):
+        source = """<?php
+class C { var $v; function __construct() { $this->v = 'built'; } }
+$c = new C();
+echo $c->v;
+"""
+        assert run_php(source).response_body() == "built"
+
+    def test_property_defaults_initialized(self):
+        source = "<?php class C { var $x = 7; } $c = new C(); echo $c->x;"
+        assert run_php(source).response_body() == "7"
+
+    def test_inheritance_and_override(self):
+        source = """<?php
+class Animal {
+  function speak() { return 'generic'; }
+  function describe() { return 'I say ' . $this->speak(); }
+}
+class Dog extends Animal {
+  function speak() { return 'woof'; }
+}
+$d = new Dog();
+echo $d->describe();
+"""
+        assert run_php(source).response_body() == "I say woof"
+
+    def test_method_mutates_state(self):
+        source = """<?php
+class Counter {
+  var $n = 0;
+  function bump() { $this->n = $this->n + 1; }
+}
+$c = new Counter();
+$c->bump(); $c->bump(); $c->bump();
+echo $c->n;
+"""
+        assert run_php(source).response_body() == "3"
+
+    def test_static_call_on_declared_class(self):
+        source = """<?php
+class Util { function shout($s) { return strtoupper($s); } }
+echo Util::shout('hi');
+"""
+        assert run_php(source).response_body() == "HI"
+
+    def test_end_to_end_class_xss(self):
+        source = """<?php
+class Page {
+  var $title;
+  function Page($t) { $this->title = $t; }
+  function render() { echo '<h1>' . $this->title . '</h1>'; }
+}
+$p = new Page($_GET['t']);
+$p->render();
+"""
+        websari = WebSSARI()
+        report = websari.verify_source(source)
+        assert not report.safe
+        env = run_php(source, request=HttpRequest(get={"t": "<script>x</script>"}))
+        assert "<script>" in env.response_body()
+        # Patch and confirm runtime neutralization.
+        _, patched = websari.patch_source(source, strategy="ts")
+        assert websari.verify_source(patched.source).safe
+        env = run_php(patched.source, request=HttpRequest(get={"t": "<script>x</script>"}))
+        assert "<script>" not in env.response_body()

@@ -1,0 +1,149 @@
+"""Tests for include/require resolution across project files."""
+
+import pytest
+
+from repro.php import IncludeError, SourceProject, resolve_includes
+from repro.php import ast_nodes as ast
+
+
+def project(**files):
+    return SourceProject({name.replace("__", "/"): text for name, text in files.items()})
+
+
+class TestSourceProject:
+    def test_add_and_get(self):
+        p = SourceProject({"a.php": "<?php $x;"})
+        assert p.has("a.php")
+        assert p.source("a.php") == "<?php $x;"
+
+    def test_normalization(self):
+        p = SourceProject({"./lib/a.php": "<?php $x;"})
+        assert p.has("lib/a.php")
+        assert p.has("lib/../lib/a.php")
+
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "index.php").write_text("<?php $a;")
+        (tmp_path / "sub" / "lib.php").write_text("<?php $b;")
+        (tmp_path / "notes.txt").write_text("not php")
+        p = SourceProject.from_directory(tmp_path)
+        assert p.paths() == ["index.php", "sub/lib.php"]
+
+    def test_len(self):
+        assert len(project(**{"a.php": "<?php"})) == 1
+
+
+class TestResolveIncludes:
+    def test_simple_include_spliced(self):
+        p = project(**{
+            "index.php": "<?php include 'lib.php'; echo $x;",
+            "lib.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        kinds = [type(s).__name__ for s in result.program.statements]
+        assert kinds == ["ExpressionStatement", "Echo"]
+        assert result.included_files == ["lib.php"]
+
+    def test_nested_includes(self):
+        p = project(**{
+            "a.php": "<?php include 'b.php'; $a = 1;",
+            "b.php": "<?php include 'c.php'; $b = 1;",
+            "c.php": "<?php $c = 1;",
+        })
+        result = resolve_includes(p, "a.php")
+        assert result.included_files == ["b.php", "c.php"]
+        assert len(result.program.statements) == 3
+
+    def test_include_inside_if(self):
+        p = project(**{
+            "index.php": "<?php if ($admin) { include 'admin.php'; }",
+            "admin.php": "<?php $secret = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        branch = result.program.statements[0].then
+        assert isinstance(branch.statements[0], ast.ExpressionStatement)
+
+    def test_include_once_deduplicated(self):
+        p = project(**{
+            "index.php": "<?php include_once 'lib.php'; include_once 'lib.php';",
+            "lib.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        assert result.included_files == ["lib.php"]
+        assert len(result.program.statements) == 1
+
+    def test_plain_include_duplicates(self):
+        p = project(**{
+            "index.php": "<?php include 'lib.php'; include 'lib.php';",
+            "lib.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        assert len(result.program.statements) == 2
+
+    def test_relative_to_including_file(self):
+        p = project(**{
+            "sub/page.php": "<?php include 'helper.php';",
+            "sub/helper.php": "<?php $h = 1;",
+        })
+        result = resolve_includes(p, "sub/page.php")
+        assert result.included_files == ["sub/helper.php"]
+
+    def test_cycle_detected(self):
+        p = project(**{
+            "a.php": "<?php include 'b.php';",
+            "b.php": "<?php include 'a.php';",
+        })
+        with pytest.raises(IncludeError, match="cycle"):
+            resolve_includes(p, "a.php")
+
+    def test_self_include_once_is_fine(self):
+        p = project(**{"a.php": "<?php include_once 'a.php'; $x = 1;"})
+        result = resolve_includes(p, "a.php")
+        assert len(result.program.statements) == 1
+
+    def test_missing_require_raises(self):
+        p = project(**{"index.php": "<?php require 'gone.php';"})
+        with pytest.raises(IncludeError, match="not found"):
+            resolve_includes(p, "index.php")
+
+    def test_missing_include_warns(self):
+        p = project(**{"index.php": "<?php include 'gone.php'; $x = 1;"})
+        result = resolve_includes(p, "index.php")
+        assert len(result.warnings) == 1
+        assert len(result.program.statements) == 1
+
+    def test_dynamic_include_left_unresolved(self):
+        p = project(**{"index.php": "<?php include $page; $x = 1;"})
+        result = resolve_includes(p, "index.php")
+        assert len(result.unresolved) == 1
+        assert len(result.program.statements) == 2
+
+    def test_constant_concatenation_resolves(self):
+        p = project(**{
+            "index.php": "<?php include 'li' . 'b.php';",
+            "lib.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        assert result.included_files == ["lib.php"]
+
+    def test_suppressed_include_resolves(self):
+        p = project(**{
+            "index.php": "<?php @include 'lib.php';",
+            "lib.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        assert result.included_files == ["lib.php"]
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(IncludeError, match="entry"):
+            resolve_includes(project(), "nope.php")
+
+    def test_include_inside_function_body(self):
+        p = project(**{
+            "index.php": "<?php function f() { include 'lib.php'; }",
+            "lib.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        fn = result.program.statements[0]
+        assert isinstance(fn, ast.FunctionDecl)
+        assert isinstance(fn.body.statements[0], ast.ExpressionStatement)

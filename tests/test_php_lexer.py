@@ -1,0 +1,305 @@
+"""Tests for the PHP lexer."""
+
+import pytest
+
+from repro.php import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def php(source):
+    """Tokenize a snippet inside <?php ... ?>, dropping OPEN/EOF bookkeeping."""
+    return [t for t in tokenize("<?php " + source) if t.kind is not TokenKind.EOF]
+
+
+class TestTags:
+    def test_pure_html(self):
+        tokens = tokenize("<html><body>hi</body></html>")
+        assert [t.kind for t in tokens] == [TokenKind.INLINE_HTML, TokenKind.EOF]
+        assert tokens[0].value == "<html><body>hi</body></html>"
+
+    def test_html_then_php(self):
+        tokens = tokenize("<b>x</b><?php $a = 1;")
+        assert tokens[0].kind is TokenKind.INLINE_HTML
+        assert tokens[1].kind is TokenKind.VARIABLE
+        assert tokens[1].value == "a"
+
+    def test_close_tag_returns_to_html(self):
+        tokens = tokenize("<?php $a; ?>rest")
+        values = [(t.kind, t.value) for t in tokens]
+        assert (TokenKind.INLINE_HTML, "rest") in values
+
+    def test_short_echo_tag(self):
+        tokens = tokenize("<?= $x ?>")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].value == "echo"
+        assert tokens[1].kind is TokenKind.VARIABLE
+
+    def test_short_echo_after_html(self):
+        tokens = tokenize("hi<?= $x ?>")
+        assert tokens[0].kind is TokenKind.INLINE_HTML
+        assert tokens[1].is_keyword("echo")
+
+    def test_newline_after_close_tag_swallowed(self):
+        tokens = tokenize("<?php $a; ?>\nrest")
+        html = [t for t in tokens if t.kind is TokenKind.INLINE_HTML]
+        assert html[0].value == "rest"
+
+    def test_bare_short_open_tag(self):
+        tokens = tokenize("<? $a;")
+        assert tokens[0].kind is TokenKind.VARIABLE
+
+
+class TestVariablesAndIdentifiers:
+    def test_variable(self):
+        tok = php("$ticketsubject")[0]
+        assert tok.kind is TokenKind.VARIABLE
+        assert tok.value == "ticketsubject"
+
+    def test_superglobal(self):
+        tok = php("$_GET")[0]
+        assert tok.value == "_GET"
+
+    def test_dollar_without_name_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("<?php $ ;")
+
+    def test_keywords_case_insensitive(self):
+        for text in ("IF", "If", "if", "WHILE", "Echo"):
+            tok = php(text)[0]
+            assert tok.kind is TokenKind.KEYWORD
+            assert tok.value == text.lower()
+
+    def test_identifier(self):
+        tok = php("mysql_query")[0]
+        assert tok.kind is TokenKind.IDENTIFIER
+        assert tok.value == "mysql_query"
+
+
+class TestNumbers:
+    def test_int(self):
+        assert php("42")[0].value == 42
+
+    def test_float(self):
+        assert php("3.25")[0].value == 3.25
+
+    def test_exponent(self):
+        assert php("1e3")[0].value == 1000.0
+        assert php("2.5e-2")[0].value == 0.025
+
+    def test_hex(self):
+        assert php("0xFF")[0].value == 255
+
+    def test_octal(self):
+        assert php("0755")[0].value == 0o755
+        assert php("0644")[0].value == 0o644
+
+    def test_zero_is_just_zero(self):
+        assert php("0")[0].value == 0
+
+    def test_leading_zero_decimal_not_octal(self):
+        # 0123.5 and 0129 continue into decimal territory.
+        assert php("0123.5")[0].value == 123.5
+        tokens = php("0129")
+        assert tokens[0].value == 129
+
+    def test_octal_then_operator(self):
+        tokens = php("0755 + 1")
+        assert tokens[0].value == 0o755
+        assert tokens[2].value == 1
+
+    def test_leading_dot_float(self):
+        tokens = php(".5")
+        assert tokens[0].kind is TokenKind.FLOAT
+
+    def test_trailing_dot_at_eof(self):
+        # Regression: '' is a substring of any string, so an unguarded
+        # `peek() in "0123456789"` check spun forever at end-of-input.
+        tokens = php("$x .")
+        assert [t.kind for t in tokens] == [TokenKind.VARIABLE, TokenKind.DOT]
+
+    def test_unicode_digit_is_not_a_number(self):
+        with pytest.raises(LexError):
+            tokenize("<?php ¹;")
+
+    def test_int_then_member_dot(self):
+        # `1 . $x` is concatenation, not a float.
+        tokens = php("1 . $x")
+        assert [t.kind for t in tokens] == [
+            TokenKind.INT,
+            TokenKind.DOT,
+            TokenKind.VARIABLE,
+        ]
+
+
+class TestStrings:
+    def test_single_quoted_literal(self):
+        tok = php(r"'no $interp \n'")[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "no $interp \\n"
+
+    def test_single_quoted_escapes(self):
+        assert php(r"'it\'s'")[0].value == "it's"
+        assert php(r"'a\\b'")[0].value == "a\\b"
+
+    def test_double_quoted_plain(self):
+        tok = php('"hello"')[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "hello"
+
+    def test_double_quoted_escapes(self):
+        assert php(r'"a\nb\tc"')[0].value == "a\nb\tc"
+        assert php(r'"\$x"')[0].value == "$x"
+
+    def test_interpolation_simple(self):
+        tok = php('"hi $name!"')[0]
+        assert tok.kind is TokenKind.TEMPLATE_STRING
+        assert tok.value == [("text", "hi "), ("var", "name"), ("text", "!")]
+
+    def test_interpolation_array_subscript(self):
+        tok = php('"x=$row[name]"')[0]
+        assert ("index", "row", "name") in tok.value
+
+    def test_interpolation_numeric_subscript(self):
+        tok = php('"x=$row[0]"')[0]
+        assert ("index", "row", 0) in tok.value
+
+    def test_interpolation_property(self):
+        tok = php('"x=$obj->prop"')[0]
+        assert ("prop", "obj", "prop") in tok.value
+
+    def test_interpolation_braced(self):
+        tok = php('"x={$name}y"')[0]
+        assert tok.value == [("text", "x="), ("var", "name"), ("text", "y")]
+
+    def test_interpolation_braced_subscript(self):
+        tok = php("\"{$row['key']}\"")[0]
+        assert tok.value == [("index", "row", "key")]
+
+    def test_figure1_style_query(self):
+        # The paper's Figure 1 builds SQL by interpolation.
+        tok = php('"INSERT INTO t VALUES(\'$subject\')"')[0]
+        assert tok.kind is TokenKind.TEMPLATE_STRING
+        assert ("var", "subject") in tok.value
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('<?php "oops')
+        with pytest.raises(LexError):
+            tokenize("<?php 'oops")
+
+    def test_dollar_not_followed_by_name_is_text(self):
+        tok = php('"cost: $5"')[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "cost: $5"
+
+
+class TestHeredoc:
+    def test_heredoc_plain(self):
+        source = "<?php $x = <<<EOT\nline1\nline2\nEOT;\n"
+        tokens = [t for t in tokenize(source) if t.kind is not TokenKind.EOF]
+        string = tokens[2]
+        assert string.kind is TokenKind.STRING
+        assert string.value == "line1\nline2"
+
+    def test_heredoc_interpolates(self):
+        source = '<?php $x = <<<EOT\nhello $name\nEOT;\n'
+        string = [t for t in tokenize(source)][2]
+        assert string.kind is TokenKind.TEMPLATE_STRING
+        assert ("var", "name") in string.value
+
+    def test_nowdoc_literal(self):
+        source = "<?php $x = <<<'EOT'\nhello $name\nEOT;\n"
+        string = [t for t in tokenize(source)][2]
+        assert string.kind is TokenKind.STRING
+        assert "$name" in string.value
+
+    def test_unterminated_heredoc(self):
+        with pytest.raises(LexError):
+            tokenize("<?php $x = <<<EOT\nno end")
+
+
+class TestComments:
+    def test_line_comments(self):
+        assert [t.kind for t in php("// gone\n$x")] == [TokenKind.VARIABLE]
+        assert [t.kind for t in php("# gone\n$x")] == [TokenKind.VARIABLE]
+
+    def test_block_comment(self):
+        assert [t.kind for t in php("/* gone \n over lines */$x")] == [TokenKind.VARIABLE]
+
+    def test_line_comment_ends_at_close_tag(self):
+        tokens = tokenize("<?php // comment ?>html")
+        html = [t for t in tokens if t.kind is TokenKind.INLINE_HTML]
+        assert html and html[0].value == "html"
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("<?php /* forever")
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        tokens = php("=== == = !== != <= < .= .")
+        assert [t.kind for t in tokens] == [
+            TokenKind.IDENTICAL,
+            TokenKind.EQ,
+            TokenKind.ASSIGN,
+            TokenKind.NOT_IDENTICAL,
+            TokenKind.NEQ,
+            TokenKind.LE,
+            TokenKind.LT,
+            TokenKind.DOT_ASSIGN,
+            TokenKind.DOT,
+        ]
+
+    def test_arrow_and_double_arrow(self):
+        tokens = php("-> =>")
+        assert [t.kind for t in tokens] == [TokenKind.ARROW, TokenKind.DOUBLE_ARROW]
+
+    def test_increment_vs_plus(self):
+        tokens = php("++ + --")
+        assert [t.kind for t in tokens] == [
+            TokenKind.INCREMENT,
+            TokenKind.PLUS,
+            TokenKind.DECREMENT,
+        ]
+
+    def test_at_suppression(self):
+        tokens = php("@mysql_query")
+        assert tokens[0].kind is TokenKind.AT
+
+    def test_casts(self):
+        assert php("(int)")[0].kind is TokenKind.CAST
+        assert php("(int)")[0].value == "int"
+        assert php("( string )")[0].value == "string"
+
+    def test_paren_not_cast(self):
+        tokens = php("($x)")
+        assert tokens[0].kind is TokenKind.LPAREN
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("<?php `backtick`")
+
+
+class TestSpans:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("<?php\n$a;\n  $b;")
+        a = next(t for t in tokens if t.value == "a")
+        b = next(t for t in tokens if t.value == "b")
+        assert a.span.start.line == 2
+        assert a.span.start.column == 1
+        assert b.span.start.line == 3
+        assert b.span.start.column == 3
+
+    def test_filename_recorded(self):
+        tokens = tokenize("<?php $a;", filename="index.php")
+        assert tokens[0].span.filename == "index.php"
+
+    def test_offsets_cover_token_text(self):
+        source = "<?php $abc;"
+        tokens = tokenize(source)
+        var = tokens[0]
+        assert source[var.span.start.offset : var.span.end.offset] == "$abc"

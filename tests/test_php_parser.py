@@ -1,0 +1,460 @@
+"""Tests for the PHP parser."""
+
+import pytest
+
+from repro.php import ParseError, parse
+from repro.php import ast_nodes as ast
+
+
+def parse_php(source):
+    return parse("<?php " + source)
+
+
+def first_stmt(source):
+    return parse_php(source).statements[0]
+
+
+def expr_of(source):
+    stmt = first_stmt(source)
+    assert isinstance(stmt, ast.ExpressionStatement)
+    return stmt.expression
+
+
+class TestStatements:
+    def test_empty_program(self):
+        assert parse("").statements == ()
+
+    def test_inline_html_statement(self):
+        program = parse("<h1>title</h1>")
+        assert isinstance(program.statements[0], ast.InlineHTML)
+
+    def test_expression_statement(self):
+        stmt = first_stmt("$x = 1;")
+        assert isinstance(stmt, ast.ExpressionStatement)
+        assert isinstance(stmt.expression, ast.Assign)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_php("$x = 1 $y = 2;")
+
+    def test_close_tag_terminates_statement(self):
+        program = parse("<?php $x = 1 ?>done")
+        assert isinstance(program.statements[0], ast.ExpressionStatement)
+        assert isinstance(program.statements[1], ast.InlineHTML)
+
+    def test_echo_single(self):
+        stmt = first_stmt("echo $x;")
+        assert isinstance(stmt, ast.Echo)
+        assert len(stmt.arguments) == 1
+
+    def test_echo_multiple(self):
+        stmt = first_stmt("echo $a, $b, 'c';")
+        assert len(stmt.arguments) == 3
+
+    def test_block(self):
+        stmt = first_stmt("{ $a = 1; $b = 2; }")
+        assert isinstance(stmt, ast.Block)
+        assert len(stmt.statements) == 2
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_php("{ $a = 1;")
+
+    def test_global_statement(self):
+        stmt = first_stmt("global $db, $cfg;")
+        assert isinstance(stmt, ast.GlobalStatement)
+        assert stmt.names == ("db", "cfg")
+
+    def test_static_statement(self):
+        stmt = first_stmt("static $count = 0;")
+        assert isinstance(stmt, ast.StaticStatement)
+        assert stmt.variables[0].name == "count"
+
+    def test_unset_statement(self):
+        stmt = first_stmt("unset($a, $b['k']);")
+        assert isinstance(stmt, ast.UnsetStatement)
+        assert len(stmt.operands) == 2
+
+
+class TestIf:
+    def test_if_only(self):
+        stmt = first_stmt("if ($x) { $y = 1; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is None
+        assert stmt.elseifs == ()
+
+    def test_if_else(self):
+        stmt = first_stmt("if ($x) $a = 1; else $a = 2;")
+        assert isinstance(stmt.orelse, ast.ExpressionStatement)
+
+    def test_elseif_chain(self):
+        stmt = first_stmt("if ($x) {} elseif ($y) {} elseif ($z) {} else {}")
+        assert len(stmt.elseifs) == 2
+        assert stmt.orelse is not None
+
+    def test_else_if_two_words(self):
+        stmt = first_stmt("if ($x) {} else if ($y) {} else {}")
+        assert len(stmt.elseifs) == 1
+        assert stmt.orelse is not None
+
+    def test_paper_figure7_line1(self):
+        # $sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+        program = parse_php("$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}")
+        cond = program.statements[1].condition
+        assert isinstance(cond, ast.Unary) and cond.op == "!"
+
+
+class TestLoops:
+    def test_while(self):
+        stmt = first_stmt("while ($row = mysql_fetch_array($r)) { echo $row; }")
+        assert isinstance(stmt, ast.While)
+        assert isinstance(stmt.condition, ast.Assign)
+
+    def test_do_while(self):
+        stmt = first_stmt("do { $i = $i + 1; } while ($i < 10);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for(self):
+        stmt = first_stmt("for ($i = 0; $i < 10; $i++) { echo $i; }")
+        assert isinstance(stmt, ast.For)
+        assert len(stmt.init) == 1
+        assert len(stmt.condition) == 1
+        assert len(stmt.update) == 1
+
+    def test_for_empty_clauses(self):
+        stmt = first_stmt("for (;;) { break; }")
+        assert stmt.init == () and stmt.condition == () and stmt.update == ()
+
+    def test_foreach_value(self):
+        stmt = first_stmt("foreach ($rows as $row) { echo $row; }")
+        assert isinstance(stmt, ast.Foreach)
+        assert stmt.key_var is None
+        assert stmt.value_var.name == "row"
+
+    def test_foreach_key_value(self):
+        stmt = first_stmt("foreach ($rows as $k => $v) {}")
+        assert stmt.key_var.name == "k"
+        assert stmt.value_var.name == "v"
+
+    def test_foreach_by_reference(self):
+        stmt = first_stmt("foreach ($rows as &$row) {}")
+        assert stmt.by_reference
+
+    def test_break_continue_levels(self):
+        program = parse_php("while (1) { break 2; continue; }")
+        body = program.statements[0].body
+        assert isinstance(body.statements[0], ast.Break)
+        assert body.statements[0].level == 2
+        assert isinstance(body.statements[1], ast.Continue)
+
+
+class TestSwitch:
+    def test_switch_cases(self):
+        stmt = first_stmt(
+            "switch ($x) { case 1: echo 'a'; break; case 2: echo 'b'; break; default: echo 'c'; }"
+        )
+        assert isinstance(stmt, ast.Switch)
+        assert len(stmt.cases) == 3
+        assert stmt.cases[2].test is None
+
+    def test_switch_semicolon_label(self):
+        stmt = first_stmt("switch ($x) { case 1; echo 'a'; }")
+        assert len(stmt.cases) == 1
+
+    def test_malformed_switch(self):
+        with pytest.raises(ParseError):
+            parse_php("switch ($x) { $y = 1; }")
+
+
+class TestFunctions:
+    def test_function_declaration(self):
+        stmt = first_stmt("function DoSQL($query) { return mysql_query($query); }")
+        assert isinstance(stmt, ast.FunctionDecl)
+        assert stmt.name == "DoSQL"
+        assert stmt.parameters[0].name == "query"
+
+    def test_default_parameters(self):
+        stmt = first_stmt("function f($a, $b = 3) {}")
+        assert stmt.parameters[1].default.value == 3
+
+    def test_by_reference_parameter(self):
+        stmt = first_stmt("function f(&$out) {}")
+        assert stmt.parameters[0].by_reference
+
+    def test_return_value(self):
+        stmt = first_stmt("function f() { return 1; }")
+        body_stmt = stmt.body.statements[0]
+        assert isinstance(body_stmt, ast.Return)
+        assert body_stmt.value.value == 1
+
+    def test_bare_return(self):
+        stmt = first_stmt("function f() { return; }")
+        assert stmt.body.statements[0].value is None
+
+
+class TestExpressions:
+    def test_assignment_right_associative(self):
+        expr = expr_of("$a = $b = 5;")
+        assert isinstance(expr.value, ast.Assign)
+        assert expr.target.name == "a"
+
+    def test_compound_assignments(self):
+        for op_text, op in ((".=", "."), ("+=", "+"), ("*=", "*")):
+            expr = expr_of(f"$a {op_text} $b;")
+            assert expr.op == op
+
+    def test_reference_assignment(self):
+        expr = expr_of("$a =& $b;")
+        assert expr.by_reference
+
+    def test_concatenation_left_associative(self):
+        expr = expr_of("$a . $b . $c;")
+        assert expr.op == "."
+        assert isinstance(expr.left, ast.Binary)
+
+    def test_precedence_mul_over_add(self):
+        expr = expr_of("$a + $b * $c;")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_bool(self):
+        expr = expr_of("$a < 3 && $b > 4;")
+        assert expr.op == "&&"
+
+    def test_word_operators_lowest(self):
+        # `$x = $a or die()` parses as `($x = $a) or die()`.
+        expr = expr_of("$x = $a or exit;")
+        assert expr.op == "or"
+        assert isinstance(expr.left, ast.Assign)
+
+    def test_ternary(self):
+        expr = expr_of("$a ? $b : $c;")
+        assert isinstance(expr, ast.Ternary)
+        assert expr.then is not None
+
+    def test_short_ternary(self):
+        expr = expr_of("$a ?: $c;")
+        assert isinstance(expr, ast.Ternary)
+        assert expr.then is None
+
+    def test_unary_not(self):
+        expr = expr_of("!$a;")
+        assert isinstance(expr, ast.Unary) and expr.op == "!"
+
+    def test_negative_literal(self):
+        expr = expr_of("-5;")
+        assert isinstance(expr, ast.Unary) and expr.op == "-"
+
+    def test_cast(self):
+        expr = expr_of("(int)$x;")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target == "int"
+
+    def test_error_suppression(self):
+        expr = expr_of("@mysql_query($q);")
+        assert isinstance(expr, ast.ErrorSuppress)
+        assert isinstance(expr.operand, ast.FunctionCall)
+
+    def test_increment_postfix(self):
+        expr = expr_of("$i++;")
+        assert isinstance(expr, ast.IncDec) and not expr.prefix
+
+    def test_increment_prefix(self):
+        expr = expr_of("++$i;")
+        assert expr.prefix
+
+
+class TestCallsAndAccess:
+    def test_function_call(self):
+        expr = expr_of("htmlspecialchars($tmp);")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "htmlspecialchars"
+        assert len(expr.args) == 1
+
+    def test_nested_calls(self):
+        expr = expr_of("a(b(c($x)));")
+        assert expr.args[0].args[0].name == "c"
+
+    def test_array_dim(self):
+        expr = expr_of("$_GET['sid'];")
+        assert isinstance(expr, ast.ArrayDim)
+        assert expr.base.name == "_GET"
+        assert expr.index.value == "sid"
+
+    def test_nested_array_dim(self):
+        expr = expr_of("$a['x']['y'];")
+        assert isinstance(expr.base, ast.ArrayDim)
+
+    def test_array_push_form(self):
+        expr = expr_of("$a[] = 1;")
+        assert isinstance(expr.target, ast.ArrayDim)
+        assert expr.target.index is None
+
+    def test_method_call(self):
+        expr = expr_of("$db->query($sql);")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.method == "query"
+
+    def test_property_fetch(self):
+        expr = expr_of("$row->name;")
+        assert isinstance(expr, ast.PropertyFetch)
+
+    def test_static_call(self):
+        expr = expr_of("DB::connect($dsn);")
+        assert isinstance(expr, ast.StaticCall)
+        assert expr.class_name == "DB"
+
+    def test_static_property(self):
+        expr = expr_of("Config::$instance;")
+        assert isinstance(expr, ast.StaticPropertyFetch)
+
+    def test_new(self):
+        expr = expr_of("new Mailer($cfg);")
+        assert isinstance(expr, ast.New)
+        assert expr.class_name == "Mailer"
+
+    def test_new_without_args(self):
+        expr = expr_of("new Mailer;")
+        assert expr.args == ()
+
+    def test_bare_constant(self):
+        expr = expr_of("PHP_EOL;")
+        assert isinstance(expr, ast.Literal)
+        assert expr.value == "PHP_EOL"
+
+
+class TestSpecialExpressions:
+    def test_isset(self):
+        expr = expr_of("isset($a, $b);")
+        assert isinstance(expr, ast.IssetExpr)
+        assert len(expr.operands) == 2
+
+    def test_empty(self):
+        expr = expr_of("empty($a);")
+        assert isinstance(expr, ast.EmptyExpr)
+
+    def test_exit_forms(self):
+        assert isinstance(expr_of("exit;"), ast.ExitExpr)
+        assert isinstance(expr_of("die();"), ast.ExitExpr)
+        expr = expr_of("die('bye');")
+        assert expr.argument.value == "bye"
+
+    def test_print_is_expression(self):
+        expr = expr_of("print $x;")
+        assert isinstance(expr, ast.PrintExpr)
+
+    def test_include_forms(self):
+        for kind in ("include", "include_once", "require", "require_once"):
+            expr = expr_of(f"{kind} 'lib.php';")
+            assert isinstance(expr, ast.IncludeExpr)
+            assert expr.kind == kind
+
+    def test_array_literal(self):
+        expr = expr_of("array('a' => 1, 2);")
+        assert isinstance(expr, ast.ArrayLiteral)
+        assert expr.items[0].key.value == "a"
+        assert expr.items[1].key is None
+
+    def test_list_assign(self):
+        expr = expr_of("list($a, , $c) = $parts;")
+        assert isinstance(expr, ast.ListAssign)
+        assert expr.targets[1] is None
+
+    def test_interpolated_string_becomes_expression(self):
+        expr = expr_of('"hi $name";')
+        assert isinstance(expr, ast.InterpolatedString)
+        assert isinstance(expr.parts[1], ast.Variable)
+
+    def test_interpolated_subscript(self):
+        expr = expr_of('"$row[tickets_subject]";')
+        part = expr.parts[0]
+        assert isinstance(part, ast.ArrayDim)
+        assert part.index.value == "tickets_subject"
+
+
+class TestPaperExamples:
+    """The paper's Figures 1, 2, 3, and 7 must parse."""
+
+    def test_figure1_insert(self):
+        source = """<?php
+$query = "INSERT INTO tickets_tickets(tickets_id, tickets_username) VALUES('{$u}', '{$s}')";
+$result = @mysql_query($query);
+"""
+        program = parse(source)
+        assert len(program.statements) == 2
+
+    def test_figure2_display(self):
+        source = """<?php
+$query = "SELECT tickets_id, tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+  extract($row);
+  echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+"""
+        program = parse(source)
+        assert isinstance(program.statements[2], ast.While)
+
+    def test_figure3_referer(self):
+        source = """<?php
+$sql = "INSERT INTO track_temp VALUES('$HTTP_REFERER');";
+mysql_query($sql);
+"""
+        program = parse(source)
+        assign = program.statements[0].expression
+        assert isinstance(assign.value, ast.InterpolatedString)
+
+    def test_figure7_surveyor(self):
+        source = """<?php
+$sid = $_GET['sid']; if (!$sid) {$sid = $_POST['sid'];}
+$iq = "SELECT * FROM groups WHERE sid=$sid"; DoSQL($iq);
+$i2q = "SELECT * FROM ans WHERE sid=$sid"; DoSQL($i2q);
+$fnquery = "SELECT * FROM questions, surveys WHERE questions.sid=surveys.sid AND questions.sid='$sid'";
+DoSQL($fnquery);
+"""
+        program = parse(source)
+        calls = [
+            s.expression
+            for s in program.statements
+            if isinstance(s, ast.ExpressionStatement)
+            and isinstance(s.expression, ast.FunctionCall)
+        ]
+        assert len(calls) == 3
+        assert all(c.name == "DoSQL" for c in calls)
+
+    def test_figure6_guestbook(self):
+        source = """<?php
+if ($Nick) {
+  $tmp = $_GET["nick"];
+  echo(htmlspecialchars($tmp));
+} else {
+  $tmp = "You are the" . $GuestCount . " guest";
+  echo($tmp);
+}
+"""
+        program = parse(source)
+        stmt = program.statements[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+
+class TestErrorReporting:
+    def test_error_has_span(self):
+        try:
+            parse("<?php if (")
+        except ParseError as err:
+            assert err.span is not None
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse_php("$x = ;")
+
+    def test_bad_function_name(self):
+        with pytest.raises(ParseError):
+            parse_php("function () {}")
+
+    def test_bad_foreach(self):
+        with pytest.raises(ParseError):
+            parse_php("foreach ($a) {}")

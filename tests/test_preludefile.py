@@ -1,0 +1,125 @@
+"""Tests for the textual prelude file format."""
+
+import pytest
+
+from repro import WebSSARI
+from repro.policy import EffectKind, Prelude, VulnClass, default_php_prelude
+from repro.policy.preludefile import (
+    PreludeSyntaxError,
+    load_prelude,
+    parse_prelude,
+    render_prelude,
+)
+
+
+class TestParsing:
+    def test_empty_text_gives_default_policy(self):
+        prelude = parse_prelude("")
+        assert prelude.function_effect("mysql_query").kind is EffectKind.SINK
+        assert prelude.is_superglobal("_GET")
+
+    def test_comments_and_blanks_ignored(self):
+        prelude = parse_prelude("# comment\n\n   # more\n")
+        assert prelude.is_superglobal("_GET")
+
+    def test_extends_default(self):
+        prelude = parse_prelude("sink my_custom_sink tainted sql\n")
+        effect = prelude.function_effect("my_custom_sink")
+        assert effect.kind is EffectKind.SINK
+        assert effect.vuln_class is VulnClass.SQL
+        # Defaults still present.
+        assert prelude.function_effect("echo").kind is EffectKind.SINK
+
+    def test_from_scratch_base(self):
+        prelude = parse_prelude("sink only_sink\n", base=Prelude())
+        assert prelude.function_effect("echo") is None
+        assert prelude.function_effect("only_sink") is not None
+
+    def test_all_directives(self):
+        text = """
+superglobal _MYGLOBAL tainted
+source read_feed tainted
+sink log_it tainted other
+sanitizer clean untainted
+propagator shuffle
+tainter slurp_vars
+method_sink rawquery tainted sql
+"""
+        prelude = parse_prelude(text)
+        assert prelude.is_superglobal("_MYGLOBAL")
+        assert prelude.function_effect("read_feed").kind is EffectKind.SOURCE
+        assert prelude.function_effect("log_it").kind is EffectKind.SINK
+        assert prelude.function_effect("clean").kind is EffectKind.SANITIZER
+        assert prelude.function_effect("shuffle").kind is EffectKind.PROPAGATE
+        assert prelude.function_effect("slurp_vars").kind is EffectKind.TAINT_ENVIRONMENT
+        assert prelude.method_effect("rawquery").vuln_class is VulnClass.SQL
+
+    def test_linear_lattice_directive(self):
+        text = """
+lattice linear public internal secret
+superglobal _GET internal
+sink render internal
+"""
+        prelude = parse_prelude(text)
+        assert prelude.lattice.bottom == "public"
+        assert prelude.lattice.top == "secret"
+        assert prelude.superglobal_level("_GET") == "internal"
+
+    def test_taint_lattice_directive(self):
+        prelude = parse_prelude("lattice taint\nsink f tainted\n")
+        assert prelude.lattice.top == "tainted"
+
+    def test_lattice_must_be_first(self):
+        with pytest.raises(PreludeSyntaxError, match="precede"):
+            parse_prelude("sink f\nlattice taint\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(PreludeSyntaxError, match="unknown directive"):
+            parse_prelude("frobnicate f\n")
+
+    def test_unknown_level(self):
+        with pytest.raises(PreludeSyntaxError, match="unknown lattice level"):
+            parse_prelude("sink f hyperspace\n")
+
+    def test_unknown_vuln_class(self):
+        with pytest.raises(PreludeSyntaxError, match="vulnerability class"):
+            parse_prelude("sink f tainted bogus\n")
+
+    def test_bad_lattice_kind(self):
+        with pytest.raises(PreludeSyntaxError, match="unknown lattice kind"):
+            parse_prelude("lattice hypercube a b\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_prelude("# c\n\nnonsense here\n")
+        except PreludeSyntaxError as err:
+            assert err.line_number == 3
+        else:
+            pytest.fail("expected PreludeSyntaxError")
+
+
+class TestRoundTrip:
+    def test_render_parse_round_trip(self):
+        original = default_php_prelude()
+        original.add_sink("custom_exec", vuln_class=VulnClass.COMMAND)
+        text = render_prelude(original)
+        reparsed = parse_prelude(text, base=Prelude())
+        assert reparsed.sink_names() == original.sink_names()
+        assert reparsed.sanitizer_names() == original.sanitizer_names()
+        assert reparsed.function_effect("custom_exec").vuln_class is VulnClass.COMMAND
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "policy.prelude"
+        path.write_text("sink audit tainted other\n")
+        prelude = load_prelude(path)
+        assert prelude.function_effect("audit") is not None
+
+
+class TestEndToEnd:
+    def test_custom_prelude_changes_verdict(self):
+        source = "<?php $x = read_config(); show($x);"
+        # Default: unknown functions propagate, no sink => safe.
+        assert WebSSARI().verify_source(source).safe
+        prelude = parse_prelude("source read_config tainted\nsink show tainted xss\n")
+        report = WebSSARI(prelude=prelude).verify_source(source)
+        assert not report.safe

@@ -1,0 +1,131 @@
+"""Tests for the single-offender join refinement in replacement sets.
+
+The paper's Lemma 1 expands replacement sets through pure copies
+(``v_α = v_β``).  With trace levels available, a join with exactly one
+violating variable operand also qualifies: the other operands are below
+τ_r on the trace, so sanitizing the offender fixes the trace.  Without
+the lattice, the literal (copies-only) rule applies.
+"""
+
+from repro.ai import rename, translate_filter_result
+from repro.analysis import group_errors, replacement_sets_for_trace
+from repro.bmc import check_program
+from repro.ir import filter_source
+from repro.lattice import two_point_lattice
+from repro.lattice.types import TAINTED
+
+
+def bmc_result(source):
+    program = rename(translate_filter_result(filter_source("<?php " + source)))
+    return check_program(program)
+
+
+def first_trace(result):
+    return result.violated[0].counterexamples[0]
+
+
+LATTICE = two_point_lattice()
+
+
+class TestLiteralRule:
+    def test_join_stops_without_lattice(self):
+        result = bmc_result("$a = $_GET['x']; $q = $a . $b; mysql_query($q);")
+        (rset,) = replacement_sets_for_trace(first_trace(result))
+        assert rset.names == {"q"}
+
+    def test_copy_still_expands_without_lattice(self):
+        result = bmc_result("$a = $_GET['x']; $q = $a; mysql_query($q);")
+        (rset,) = replacement_sets_for_trace(first_trace(result))
+        assert rset.names == {"q", "a"}
+
+
+class TestSingleOffenderRefinement:
+    def test_join_with_one_tainted_operand_expands(self):
+        result = bmc_result("$a = $_GET['x']; $b = 'lit'; $q = $a . $b; mysql_query($q);")
+        (rset,) = replacement_sets_for_trace(
+            first_trace(result), lattice=LATTICE, required=TAINTED
+        )
+        assert rset.names == {"q", "a"}
+
+    def test_join_with_two_tainted_operands_stops(self):
+        result = bmc_result(
+            "$a = $_GET['x']; $b = $_POST['y']; $q = $a . $b; mysql_query($q);"
+        )
+        (rset,) = replacement_sets_for_trace(
+            first_trace(result), lattice=LATTICE, required=TAINTED
+        )
+        assert rset.names == {"q"}
+
+    def test_chain_through_refined_joins(self):
+        source = (
+            "$root = $_COOKIE['c'];"
+            "$mid = 'pre' . $root;"
+            "$q = $mid . 'post';"
+            "mysql_query($q);"
+        )
+        result = bmc_result(source)
+        (rset,) = replacement_sets_for_trace(
+            first_trace(result), lattice=LATTICE, required=TAINTED
+        )
+        assert rset.names == {"q", "mid", "root"}
+
+    def test_level_const_offender_stops(self):
+        # The offending operand is a direct superglobal read (a fixed
+        # tainted level), not a variable: nothing upstream to sanitize.
+        result = bmc_result("$q = 'SELECT ' . $_GET['id']; mysql_query($q);")
+        (rset,) = replacement_sets_for_trace(
+            first_trace(result), lattice=LATTICE, required=TAINTED
+        )
+        assert rset.names == {"q"}
+
+    def test_untainted_operand_through_skipped_version(self):
+        # $b is overwritten to a constant on the violating path (branch
+        # taken), so only $a offends at the join.
+        source = (
+            "$a = $_GET['x']; $b = $_POST['y'];"
+            "if ($c) { $b = 'safe'; }"
+            "$q = $a . $b; mysql_query($q);"
+        )
+        result = bmc_result(source)
+        traces = result.violated[0].counterexamples
+        by_branch = {t.deciding_branches.get("b1"): t for t in traces}
+        safe_b_trace = by_branch[True]
+        (rset,) = replacement_sets_for_trace(
+            safe_b_trace, lattice=LATTICE, required=TAINTED
+        )
+        assert rset.names == {"q", "a"}
+        both_tainted_trace = by_branch[False]
+        (rset,) = replacement_sets_for_trace(
+            both_tainted_trace, lattice=LATTICE, required=TAINTED
+        )
+        assert rset.names == {"q"}
+
+
+class TestGroupingUsesRefinement:
+    def test_mixed_constant_concat_groups_at_root(self):
+        source = (
+            "$root = $_GET['r'];"
+            "$q1 = 'a' . $root . 'z'; mysql_query($q1);"
+            "$q2 = 'b' . $root; mysql_query($q2);"
+            "$q3 = $root . 'c'; mysql_query($q3);"
+        )
+        grouping = group_errors(bmc_result(source))
+        assert grouping.fixing_set == {"root"}
+        assert grouping.num_groups == 1
+
+    def test_object_property_groups_through_render_join(self):
+        source = """
+class T {
+  var $s;
+  function T($x) { $this->s = $x; }
+  function row() { echo '<td>' . $this->s . '</td>'; }
+  function save() { mysql_query("INSERT INTO t VALUES ('{$this->s}')"); }
+}
+$t = new T($_POST['s']);
+$t->row();
+$t->save();
+"""
+        grouping = group_errors(bmc_result(source))
+        assert grouping.num_groups == 1
+        (group,) = grouping.groups
+        assert group.fix_variable == "t->s"

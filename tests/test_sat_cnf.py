@@ -1,0 +1,119 @@
+"""Tests for the CNF representation and the variable pool."""
+
+import pytest
+
+from repro.sat import CNF, VariablePool, lit_to_str
+
+
+class TestVariablePool:
+    def test_fresh_variables_are_sequential(self):
+        pool = VariablePool()
+        assert pool.fresh() == 1
+        assert pool.fresh() == 2
+        assert pool.num_vars == 2
+
+    def test_named_is_idempotent(self):
+        pool = VariablePool()
+        a = pool.named("t_x^1")
+        assert pool.named("t_x^1") == a
+        assert pool.num_vars == 1
+
+    def test_name_round_trip(self):
+        pool = VariablePool()
+        v = pool.named("b_Nick")
+        assert pool.name_of(v) == "b_Nick"
+        assert pool.name_of(-v) == "b_Nick"
+        assert pool.var_of("b_Nick") == v
+
+    def test_duplicate_explicit_name_rejected(self):
+        pool = VariablePool()
+        pool.fresh("x")
+        with pytest.raises(ValueError):
+            pool.fresh("x")
+
+    def test_anonymous_variables_have_no_name(self):
+        pool = VariablePool()
+        v = pool.fresh()
+        assert pool.name_of(v) is None
+
+    def test_names_snapshot(self):
+        pool = VariablePool()
+        pool.named("a")
+        pool.named("b")
+        assert pool.names() == {"a": 1, "b": 2}
+
+
+class TestCNF:
+    def test_add_clause_tracks_num_vars(self):
+        cnf = CNF()
+        cnf.add_clause((1, -5))
+        assert cnf.num_vars == 5
+        assert cnf.num_clauses == 1
+
+    def test_tautology_dropped(self):
+        cnf = CNF()
+        cnf.add_clause((1, -1))
+        assert cnf.num_clauses == 0
+
+    def test_duplicate_literals_removed(self):
+        cnf = CNF()
+        cnf.add_clause((2, 2, 3))
+        assert cnf.clauses[0] == (2, 3)
+
+    def test_empty_clause_flags_unsat(self):
+        cnf = CNF()
+        cnf.add_clause(())
+        assert cnf.has_empty_clause
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause((1, 0))
+
+    def test_evaluate_total_assignment(self):
+        cnf = CNF([(1, 2), (-1, 3)])
+        assert cnf.evaluate({1: True, 2: False, 3: True})
+        assert not cnf.evaluate({1: True, 2: False, 3: False})
+
+    def test_evaluate_partial_assignment_raises(self):
+        cnf = CNF([(1, 2)])
+        with pytest.raises(KeyError):
+            cnf.evaluate({1: False})
+
+    def test_is_satisfied_by_literal_set(self):
+        cnf = CNF([(1, 2), (-1, 3)])
+        assert cnf.is_satisfied_by({1, -2, 3})
+        assert not cnf.is_satisfied_by({1, -2, -3})
+
+    def test_copy_is_independent(self):
+        cnf = CNF([(1, 2)])
+        dup = cnf.copy()
+        dup.add_clause((3,))
+        assert cnf.num_clauses == 1
+        assert dup.num_clauses == 2
+
+    def test_variables(self):
+        cnf = CNF([(1, -4), (2,)])
+        assert cnf.variables() == {1, 2, 4}
+
+    def test_extend_vars(self):
+        cnf = CNF([(1,)])
+        cnf.extend_vars(10)
+        assert cnf.num_vars == 10
+
+    def test_iteration_and_len(self):
+        cnf = CNF([(1,), (2, 3)])
+        assert len(cnf) == 2
+        assert list(cnf) == [(1,), (2, 3)]
+
+
+class TestLitToStr:
+    def test_unnamed(self):
+        assert lit_to_str(3) == "x3"
+        assert lit_to_str(-3) == "¬x3"
+
+    def test_named(self):
+        pool = VariablePool()
+        v = pool.named("t_sid")
+        assert lit_to_str(v, pool) == "t_sid"
+        assert lit_to_str(-v, pool) == "¬t_sid"

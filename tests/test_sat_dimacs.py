@@ -1,0 +1,101 @@
+"""Tests for DIMACS parsing and serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CNF, DimacsError, parse_dimacs, write_dimacs
+from repro.sat.dimacs import parse_dimacs_file, write_dimacs_file
+
+
+class TestParse:
+    def test_basic(self):
+        cnf = parse_dimacs("p cnf 3 2\n1 -3 0\n2 3 -1 0\n")
+        assert cnf.num_vars == 3
+        assert list(cnf.clauses) == [(1, -3), (2, 3, -1)]
+
+    def test_comments_ignored(self):
+        cnf = parse_dimacs("c header\np cnf 2 1\nc mid\n1 2 0\nc trailing\n")
+        assert cnf.num_clauses == 1
+
+    def test_percent_lines_ignored(self):
+        # SATLIB benchmark files end with '%' and a stray '0' line.
+        cnf = parse_dimacs("p cnf 2 1\n1 2 0\n%\n")
+        assert cnf.num_clauses == 1
+
+    def test_clause_spanning_lines(self):
+        cnf = parse_dimacs("p cnf 3 1\n1\n2\n3 0\n")
+        assert cnf.clauses[0] == (1, 2, 3)
+
+    def test_missing_final_terminator(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 2")
+        assert cnf.clauses[0] == (1, 2)
+
+    def test_no_problem_line(self):
+        cnf = parse_dimacs("1 2 0\n-1 0\n")
+        assert cnf.num_clauses == 2
+
+    def test_declared_vars_extend(self):
+        cnf = parse_dimacs("p cnf 10 1\n1 0\n")
+        assert cnf.num_vars == 10
+
+    def test_literal_beyond_declared_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n5 0\n")
+
+    def test_bad_problem_line_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf nope 1\n1 0\n")
+        with pytest.raises(DimacsError):
+            parse_dimacs("p sat 2 1\n1 0\n")
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+    def test_too_many_clauses_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n1 0\n2 0\n")
+
+    def test_fewer_clauses_than_declared_tolerated(self):
+        cnf = parse_dimacs("p cnf 2 5\n1 0\n")
+        assert cnf.num_clauses == 1
+
+
+class TestWrite:
+    def test_round_trip(self):
+        original = CNF([(1, -2), (3,), (-1, -3, 2)])
+        text = write_dimacs(original)
+        parsed = parse_dimacs(text)
+        assert list(parsed.clauses) == list(original.clauses)
+        assert parsed.num_vars == original.num_vars
+
+    def test_comment_emitted(self):
+        text = write_dimacs(CNF([(1,)]), comment="hello\nworld")
+        assert text.startswith("c hello\nc world\n")
+
+    def test_file_round_trip(self, tmp_path):
+        original = CNF([(1, 2), (-2,)])
+        path = tmp_path / "f.cnf"
+        write_dimacs_file(original, path)
+        parsed = parse_dimacs_file(path)
+        assert list(parsed.clauses) == list(original.clauses)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=8).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        max_size=10,
+    )
+)
+def test_write_parse_round_trip_property(clause_lists):
+    original = CNF(clause_lists)
+    parsed = parse_dimacs(write_dimacs(original))
+    assert list(parsed.clauses) == list(original.clauses)

@@ -1,0 +1,198 @@
+"""Tests for the boolean formula language and the Tseitin transformation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    FALSE,
+    TRUE,
+    CDCLSolver,
+    Iff,
+    Var,
+    VariablePool,
+    add_expr_to_cnf,
+    conj,
+    disj,
+    evaluate,
+    ite,
+    to_cnf,
+)
+from repro.sat.cnf import CNF
+from repro.sat.tseitin import free_variables
+
+
+def satisfying_env(expr, variables):
+    """Brute-force a satisfying named assignment, or None."""
+    names = sorted(variables)
+    for values in itertools.product([False, True], repeat=len(names)):
+        env = dict(zip(names, values))
+        if evaluate(expr, env):
+            return env
+    return None
+
+
+def tseitin_satisfiable(expr):
+    cnf, pool = to_cnf(expr)
+    result = CDCLSolver(cnf).solve()
+    return result, pool
+
+
+class TestOperators:
+    def test_and_or_not(self):
+        a, b = Var("a"), Var("b")
+        assert evaluate(a & b, {"a": True, "b": True})
+        assert not evaluate(a & b, {"a": True, "b": False})
+        assert evaluate(a | b, {"a": False, "b": True})
+        assert evaluate(~a, {"a": False})
+
+    def test_implication(self):
+        a, b = Var("a"), Var("b")
+        assert evaluate(a >> b, {"a": False, "b": False})
+        assert not evaluate(a >> b, {"a": True, "b": False})
+
+    def test_iff(self):
+        a, b = Var("a"), Var("b")
+        assert evaluate(Iff(a, b), {"a": True, "b": True})
+        assert not evaluate(Iff(a, b), {"a": True, "b": False})
+
+    def test_ite(self):
+        c, t, e = Var("c"), Var("t"), Var("e")
+        expr = ite(c, t, e)
+        assert evaluate(expr, {"c": True, "t": True, "e": False})
+        assert not evaluate(expr, {"c": False, "t": True, "e": False})
+
+    def test_constants(self):
+        assert evaluate(TRUE, {})
+        assert not evaluate(FALSE, {})
+
+    def test_conj_simplifications(self):
+        a = Var("a")
+        assert conj([]) is TRUE
+        assert conj([a]) is a
+        assert conj([a, FALSE]) is FALSE
+        assert conj([a, TRUE]) is a
+
+    def test_disj_simplifications(self):
+        a = Var("a")
+        assert disj([]) is FALSE
+        assert disj([a]) is a
+        assert disj([a, TRUE]) is TRUE
+        assert disj([a, FALSE]) is a
+
+    def test_free_variables(self):
+        a, b, c = Var("a"), Var("b"), Var("c")
+        assert free_variables(ite(a, b & c, ~a)) == {"a", "b", "c"}
+
+    def test_repr_smoke(self):
+        a, b = Var("a"), Var("b")
+        for expr in (a & b, a | b, ~a, a >> b, Iff(a, b), ite(a, a, b), TRUE, FALSE):
+            assert repr(expr)
+
+
+class TestTseitin:
+    def test_tautology_is_sat(self):
+        a = Var("a")
+        result, _ = tseitin_satisfiable(a | ~a)
+        assert result.satisfiable is True
+
+    def test_contradiction_is_unsat(self):
+        a = Var("a")
+        result, _ = tseitin_satisfiable(a & ~a)
+        assert result.satisfiable is False
+
+    def test_model_maps_back_to_names(self):
+        a, b = Var("a"), Var("b")
+        result, pool = tseitin_satisfiable(a & ~b)
+        assert result.satisfiable is True
+        assert result.model[pool.var_of("a")] is True
+        assert result.model[pool.var_of("b")] is False
+
+    def test_constants_encode_correctly(self):
+        a = Var("a")
+        result, _ = tseitin_satisfiable(a & TRUE)
+        assert result.satisfiable is True
+        result, _ = tseitin_satisfiable(a & FALSE)
+        assert result.satisfiable is False
+
+    def test_add_expr_into_existing_cnf(self):
+        pool = VariablePool()
+        cnf = CNF()
+        add_expr_to_cnf(Var("x") >> Var("y"), pool, cnf)
+        add_expr_to_cnf(Var("x"), pool, cnf)
+        result = CDCLSolver(cnf).solve()
+        assert result.satisfiable is True
+        assert result.model[pool.var_of("y")] is True
+
+    def test_unknown_node_rejected(self):
+        class Bogus:
+            pass
+
+        with pytest.raises(TypeError):
+            to_cnf(Bogus())  # type: ignore[arg-type]
+
+    def test_ite_all_branches(self):
+        # Assert ite(c,t,e) together with each valuation of c/t/e via units.
+        c, t, e = Var("c"), Var("t"), Var("e")
+        for cv, tv, ev in itertools.product([True, False], repeat=3):
+            pool = VariablePool()
+            cnf = CNF()
+            add_expr_to_cnf(ite(c, t, e), pool, cnf)
+            cnf.add_unit(pool.named("c") if cv else -pool.named("c"))
+            cnf.add_unit(pool.named("t") if tv else -pool.named("t"))
+            cnf.add_unit(pool.named("e") if ev else -pool.named("e"))
+            expected = tv if cv else ev
+            assert CDCLSolver(cnf).solve().satisfiable is expected
+
+
+# -- property: Tseitin preserves satisfiability ----------------------------
+
+
+@st.composite
+def random_expr(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.sampled_from([Var("a"), Var("b"), Var("c"), Var("d"), TRUE, FALSE])
+        )
+    kind = draw(st.sampled_from(["var", "not", "and", "or", "implies", "iff", "ite"]))
+    sub = lambda: draw(random_expr(depth=depth - 1))  # noqa: E731
+    if kind == "var":
+        return draw(st.sampled_from([Var("a"), Var("b"), Var("c"), Var("d")]))
+    if kind == "not":
+        return ~sub()
+    if kind == "and":
+        return sub() & sub()
+    if kind == "or":
+        return sub() | sub()
+    if kind == "implies":
+        return sub() >> sub()
+    if kind == "iff":
+        return Iff(sub(), sub())
+    return ite(sub(), sub(), sub())
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_expr())
+def test_tseitin_equisatisfiable(expr):
+    names = free_variables(expr)
+    env = satisfying_env(expr, names)
+    result, pool = tseitin_satisfiable(expr)
+    assert result.satisfiable is (env is not None)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_expr())
+def test_tseitin_model_satisfies_original(expr):
+    result, pool = tseitin_satisfiable(expr)
+    if not result.satisfiable:
+        return
+    env = {
+        name: result.model[var]
+        for name, var in pool.names().items()
+        if not name.startswith("__const_")
+    }
+    for name in free_variables(expr):
+        env.setdefault(name, False)
+    assert evaluate(expr, env)

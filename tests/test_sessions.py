@@ -1,0 +1,101 @@
+"""Session support: $_SESSION as an untrusted channel and at runtime."""
+
+from repro import WebSSARI
+from repro.interp import HttpRequest, MockDatabase, run_php
+
+
+class TestSessionPolicy:
+    def test_session_read_is_tainted(self):
+        report = WebSSARI().verify_source("<?php echo $_SESSION['username'];")
+        assert not report.safe
+
+    def test_figure1_session_and_post(self):
+        # Figure 1 of the paper inserts both $_SESSION['username'] and
+        # $_POST values into SQL without sanitization.
+        source = """<?php
+$query = "INSERT INTO tickets_tickets (tickets_username, tickets_subject, tickets_question)
+          VALUES ('{$_SESSION['username']}', '{$_POST['ticketsubject']}', '{$_POST['message']}')";
+$result = @mysql_query($query);
+"""
+        report = WebSSARI().verify_source(source)
+        assert not report.safe
+        assert report.ts_error_count == 1  # one sink site
+        assert report.bmc_group_count == 1
+
+    def test_sanitized_session_is_safe(self):
+        source = "<?php echo htmlspecialchars($_SESSION['name']);"
+        assert WebSSARI().verify_source(source).safe
+
+
+class TestSessionRuntime:
+    def test_session_persists_across_requests(self):
+        session: dict = {}
+        login = """<?php
+session_start();
+$_SESSION['username'] = $_POST['user'];
+echo 'logged in';
+"""
+        profile = """<?php
+session_start();
+echo 'Hello ' . $_SESSION['username'];
+"""
+        run_php(login, request=HttpRequest(post={"user": "alice"}), session=session)
+        assert session["username"] == "alice"
+        env = run_php(profile, session=session)
+        assert env.response_body() == "Hello alice"
+
+    def test_session_destroy(self):
+        session = {"username": "bob"}
+        source = "<?php session_start(); session_destroy();"
+        run_php(source, session=session)
+        assert session == {}
+
+    def test_without_session_start_no_session(self):
+        env = run_php("<?php echo isset($_SESSION) ? 'y' : 'n';")
+        assert env.response_body() == "n"
+
+    def test_session_xss_end_to_end(self):
+        """Stored XSS via the session: payload set at login, delivered on
+        a later page — then blocked by the patched page."""
+        websari = WebSSARI()
+        session: dict = {}
+        payload = "<script>hijack()</script>"
+        login = "<?php session_start(); $_SESSION['username'] = $_POST['user'];"
+        greet = "<?php session_start(); echo 'Welcome ' . $_SESSION['username'];"
+
+        run_php(login, request=HttpRequest(post={"user": payload}), session=session)
+        env = run_php(greet, session=session)
+        assert "<script>" in env.response_body()
+
+        report, patched = websari.patch_source(greet, strategy="bmc")
+        assert websari.verify_source(patched.source).safe
+        env = run_php(patched.source, session=session)
+        assert "<script>" not in env.response_body()
+
+    def test_paper_figure1_full_scenario(self):
+        """Figure 1 + Figure 2 with a session username, end to end."""
+        db = MockDatabase()
+        db.create_table("tickets_tickets", [])
+        session = {"username": "support_user"}
+        submit = """<?php
+session_start();
+$query = "INSERT INTO tickets_tickets (tickets_username, tickets_subject) VALUES ('{$_SESSION['username']}', '{$_POST['ticketsubject']}')";
+@mysql_query($query);
+"""
+        display = """<?php
+$result = @mysql_query("SELECT tickets_username, tickets_subject FROM tickets_tickets");
+while ($row = @mysql_fetch_array($result)) {
+  extract($row);
+  echo "$tickets_username: $tickets_subject<BR>";
+}
+"""
+        run_php(
+            submit,
+            request=HttpRequest(post={"ticketsubject": "<script>x</script>"}),
+            database=db,
+            session=session,
+        )
+        env = run_php(display, database=db)
+        body = env.response_body()
+        assert "support_user" in body
+        assert "<script>" in body  # the stored XSS fires
