@@ -21,12 +21,14 @@ from repro.corpus import FIGURE_10, PAPER_TOTALS, catalog_totals
 from repro.corpus.generator import generate_catalog_project
 
 
-def run_figure10_sweep():
+def run_figure10_sweep(jobs: int | None = None):
+    """Verify all 38 generated projects; ``jobs`` > 1 routes each
+    project's entries through the batch-audit engine (repro.engine)."""
     websari = WebSSARI()
     rows = []
     for entry in FIGURE_10:
         generated = generate_catalog_project(entry)
-        report = websari.verify_project(generated.project)
+        report = websari.verify_project(generated.project, jobs=jobs)
         rows.append(
             {
                 "name": entry.name,

@@ -1,0 +1,7 @@
+<?php
+// Stored-XSS shape from the paper's Figure 1: untrusted POST data
+// echoed back without sanitization.
+$poster = $_POST['poster'];
+$message = $_POST['message'];
+echo "<b>$poster</b> wrote:";
+echo "<blockquote>$message</blockquote>";

@@ -1,0 +1,5 @@
+<?php
+// SQL injection through HTTP_REFERER (the paper's Figure 3 shape).
+$ref = $_SERVER['HTTP_REFERER'];
+$sql = "INSERT INTO referers (url) VALUES ('$ref')";
+DoSQL($sql);

@@ -1,0 +1,7 @@
+<?php
+// Properly sanitized page: every tainted value is escaped before the
+// sink, so the verifier reports it SAFE.
+$name = htmlspecialchars($_GET['name']);
+$bio = htmlspecialchars($_POST['bio']);
+echo '<h1>' . $name . '</h1>';
+echo '<p>' . $bio . '</p>';

@@ -2,12 +2,24 @@
 
 ```
 python -m repro verify  file.php [dir/ ...] [--detailed] [--prelude P]
+python -m repro audit   dir/ [--jobs N] [--timeout S] [--cache-dir D]
+                        [--no-cache] [--jsonl out.jsonl] [--detailed]
 python -m repro patch   file.php [-o out.php] [--strategy bmc|ts]
 python -m repro html    file.php [-o report.html]
-python -m repro figure10
+python -m repro figure10 [--jobs N]
 ```
 
-``verify`` exits 1 when any analyzed file is vulnerable (CI-friendly);
+``verify`` walks files sequentially in-process; ``audit`` is the batch
+engine — a worker pool with per-file timeouts, crash isolation, and a
+content-addressed result cache (see ``repro.engine``).  Both share the
+CI-friendly exit-code contract:
+
+* ``0`` — every analyzed file verified safe;
+* ``1`` — at least one file has a confirmed vulnerability (takes
+  precedence over errors);
+* ``2`` — no vulnerabilities found, but at least one file could not be
+  analyzed (parse/read error, timeout, worker crash) or no input files.
+
 ``patch`` writes instrumented source; ``html`` writes the
 cross-referenced report; ``figure10`` regenerates the paper's table.
 """
@@ -15,6 +27,7 @@ cross-referenced report; ``figure10`` regenerates the paper's table.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -24,6 +37,20 @@ from repro.websari.htmlreport import render_html_report
 from repro.websari.pipeline import WebSSARI
 
 __all__ = ["main", "build_parser"]
+
+EXIT_CODES_HELP = (
+    "exit codes: 0 = all analyzed files safe; "
+    "1 = confirmed vulnerability in at least one file (takes precedence "
+    "over errors); 2 = no vulnerabilities but at least one file failed "
+    "to analyze, or no input files"
+)
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,9 +67,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    verify = sub.add_parser("verify", help="verify PHP files or directories")
+    verify = sub.add_parser(
+        "verify", help="verify PHP files or directories", epilog=EXIT_CODES_HELP
+    )
     verify.add_argument("paths", nargs="+", type=Path)
     verify.add_argument("--detailed", action="store_true", help="print counterexample traces")
+
+    audit = sub.add_parser(
+        "audit",
+        help="batch-verify in parallel with result caching",
+        description="Fan file-level verification over a worker pool with "
+        "per-file timeouts, crash isolation, and a content-addressed "
+        "result cache keyed on source + policy + engine version "
+        "(unchanged files are skipped on re-audit).",
+        epilog=EXIT_CODES_HELP,
+    )
+    audit.add_argument("paths", nargs="+", type=Path)
+    audit.add_argument(
+        "--jobs", "-j", type=int, default=os.cpu_count() or 1,
+        help="worker processes (default: CPU count; 1 = run in-process)",
+    )
+    audit.add_argument(
+        "--timeout", type=_positive_float, default=None,
+        help="per-file wall-clock limit in seconds (needs --jobs >= 2)",
+    )
+    audit.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-audit)",
+    )
+    audit.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    audit.add_argument(
+        "--jsonl", type=Path, default=None,
+        help="stream per-file records and final stats to this JSONL file",
+    )
+    audit.add_argument("--detailed", action="store_true", help="print counterexample traces")
+    audit.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-file reports (stats only)"
+    )
 
     patch = sub.add_parser("patch", help="verify and insert runtime guards")
     patch.add_argument("path", type=Path)
@@ -53,17 +114,52 @@ def build_parser() -> argparse.ArgumentParser:
     html.add_argument("path", type=Path)
     html.add_argument("-o", "--output", type=Path, default=None, help="default: <file>.report.html")
 
-    sub.add_parser("figure10", help="regenerate the paper's Figure 10 table")
+    figure10 = sub.add_parser("figure10", help="regenerate the paper's Figure 10 table")
+    figure10.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="verify each project's entry files over N worker processes",
+    )
     return parser
 
 
 def _collect_php_files(paths: list[Path]) -> list[Path]:
+    """Expand files and directories into a deduplicated list of PHP files.
+
+    Passing a directory plus a file inside it yields the file once; files
+    discovered during a directory walk that cannot be read are skipped
+    with a warning rather than crashing the walk (explicitly named files
+    are kept, so their failure is reported per-file downstream).
+    """
     files: list[Path] = []
+    seen: set[Path] = set()
+
+    def add(path: Path) -> None:
+        try:
+            identity = path.resolve()
+        except OSError:
+            identity = path
+        if identity not in seen:
+            seen.add(identity)
+            files.append(path)
+
     for path in paths:
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.php")))
+            for candidate in sorted(path.rglob("*.php")):
+                if not candidate.is_file():
+                    print(
+                        f"warning: skipping {candidate} (not a readable file)",
+                        file=sys.stderr,
+                    )
+                    continue
+                if not os.access(candidate, os.R_OK):
+                    print(
+                        f"warning: skipping {candidate} (permission denied)",
+                        file=sys.stderr,
+                    )
+                    continue
+                add(candidate)
         else:
-            files.append(path)
+            add(path)
     return files
 
 
@@ -94,9 +190,76 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(report.detailed_report() if args.detailed else report.summary())
         print()
         any_vulnerable = any_vulnerable or not report.safe
-    if any_error:
+    if any_error and any_vulnerable:
+        # Both conditions hold: report both, vulnerabilities win the exit
+        # code (an un-analyzable file must not mask confirmed findings).
+        print(
+            "note: some files failed to analyze AND vulnerabilities were "
+            "confirmed; exiting 1 (vulnerabilities take precedence)",
+            file=sys.stderr,
+        )
+    if any_vulnerable:
+        return 1
+    return 2 if any_error else 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        AuditEngine,
+        AuditTask,
+        EngineConfig,
+        JsonlSink,
+        ResultCache,
+        default_cache_dir,
+    )
+
+    websari = _make_websari(args)
+    files = _collect_php_files(args.paths)
+    if not files:
+        print("no PHP files found", file=sys.stderr)
         return 2
-    return 1 if any_vulnerable else 0
+
+    tasks: list[AuditTask] = []
+    any_read_error = False
+    for path in files:
+        try:
+            source = path.read_text()
+        except OSError as error:
+            print(f"{path}: {error}", file=sys.stderr)
+            any_read_error = True
+            continue
+        tasks.append(AuditTask(index=len(tasks), filename=str(path), source=source))
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir or default_cache_dir())
+    sink = JsonlSink(args.jsonl) if args.jsonl else None
+    config = EngineConfig(
+        jobs=max(1, args.jobs),
+        timeout=args.timeout,
+        cache=cache,
+        progress=sys.stderr.isatty(),
+        jsonl=sink,
+    )
+    try:
+        result = AuditEngine(websari=websari, config=config).run(tasks)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    for outcome in result.outcomes:
+        if outcome.status == "ok":
+            if not args.quiet:
+                print(outcome.detailed if args.detailed else outcome.summary)
+                print()
+        else:
+            detail = (outcome.error or "").splitlines()
+            suffix = f": {detail[0]}" if detail else ""
+            print(f"{outcome.filename}: {outcome.status}{suffix}", file=sys.stderr)
+    for line in result.stats.summary_lines():
+        print(line)
+
+    if result.any_vulnerable:
+        return 1
+    return 2 if (result.any_failed or any_read_error) else 0
 
 
 def _cmd_patch(args: argparse.Namespace) -> int:
@@ -131,7 +294,7 @@ def _cmd_figure10(args: argparse.Namespace) -> int:
     total_ts = total_bmc = 0
     for entry in FIGURE_10:
         generated = generate_catalog_project(entry)
-        report = websari.verify_project(generated.project)
+        report = websari.verify_project(generated.project, jobs=args.jobs)
         total_ts += report.ts_error_count
         total_bmc += report.bmc_group_count
         print(
@@ -151,11 +314,16 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "verify": _cmd_verify,
+        "audit": _cmd_audit,
         "patch": _cmd_patch,
         "html": _cmd_html,
         "figure10": _cmd_figure10,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,152 @@
+"""Content-addressed on-disk result cache.
+
+A verdict for a PHP file is a pure function of (a) the source text, (b)
+the policy — prelude plus analyzer options — and (c) the analyzer
+implementation itself.  The cache key is therefore the SHA-256 of all
+three, so re-auditing an unchanged corpus is a directory of O(1) lookups
+and editing either a file or the policy invalidates exactly the entries
+it should.
+
+Layout (git-object style fan-out to keep directories small)::
+
+    <root>/objects/<key[:2]>/<key>.json
+
+Entries are JSON records written atomically (temp file + rename) so a
+killed audit never leaves a truncated entry; unreadable or corrupt
+entries are treated as misses and evicted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.websari.pipeline import WebSSARI
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "policy_fingerprint",
+]
+
+#: Bump whenever a pipeline change can alter verdicts: every cached
+#: entry keyed under an older version silently becomes a miss.
+ENGINE_VERSION = "1"
+
+#: Cache record schema version (independent of verdict semantics).
+_RECORD_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-audit``, else
+    ``~/.cache/repro-audit``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-audit"
+
+
+def policy_fingerprint(websari: "WebSSARI") -> str:
+    """Digest of everything besides the source that determines a verdict:
+    the prelude's function/superglobal tables, the lattice structure, and
+    the analyzer options."""
+    from repro.policy.preludefile import render_prelude
+
+    lattice = websari.prelude.lattice
+    elements = sorted(str(e) for e in lattice.elements)
+    covers = sorted((str(a), str(b)) for a, b in lattice.covers())  # type: ignore[attr-defined]
+    payload = json.dumps(
+        {
+            "prelude": render_prelude(websari.prelude),
+            "lattice": {"elements": elements, "covers": covers},
+            "options": {
+                "accumulate": websari.accumulate,
+                "max_counterexamples": websari.max_counterexamples,
+                "max_unfold_depth": websari.max_unfold_depth,
+                "sanitize_in_place": websari.sanitize_in_place,
+            },
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def cache_key(source: str, policy_fp: str, extra: str = "") -> str:
+    """SHA-256 over engine version + policy fingerprint + source text.
+
+    ``extra`` distinguishes task shapes that share source text (e.g. a
+    project entry point vs. the same file audited standalone).
+    """
+    digest = hashlib.sha256()
+    digest.update(b"repro-audit\x00")
+    digest.update(ENGINE_VERSION.encode())
+    digest.update(b"\x00")
+    digest.update(policy_fp.encode())
+    digest.update(b"\x00")
+    digest.update(extra.encode())
+    digest.update(b"\x00")
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of per-file audit records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+
+    def _path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the stored record, or None (corrupt entries are evicted)."""
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._evict(path)
+            return None
+        if not isinstance(record, dict) or record.get("record_version") != _RECORD_VERSION:
+            self._evict(path)
+            return None
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(record)
+        payload["record_version"] = _RECORD_VERSION
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        if not self._objects.is_dir():
+            return 0
+        return sum(1 for _ in self._objects.glob("*/*.json"))

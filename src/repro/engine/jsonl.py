@@ -1,0 +1,47 @@
+"""JSONL sink: one machine-readable line per audited file.
+
+Record types (every line is a standalone JSON object with a ``type``):
+
+* ``{"type": "file", ...}`` — one per file, in completion order; carries
+  the outcome record (see ``FileOutcome.to_record``).
+* ``{"type": "stats", ...}`` — exactly one, last; the final
+  :class:`~repro.engine.stats.EngineStats` counters.
+
+Lines are flushed as written so a tailing consumer sees progress live
+and a killed audit still leaves a valid (if truncated) log.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["JsonlSink"]
+
+
+class JsonlSink:
+    """Append-mode JSONL writer; usable as a context manager."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+
+    def write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def write_file(self, record: dict) -> None:
+        self.write({"type": "file", **record})
+
+    def write_stats(self, stats_dict: dict) -> None:
+        self.write({"type": "stats", **stats_dict})
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,321 @@
+"""The batch-audit scheduler: fan tasks over a worker pool, survive
+anything a file can throw at it.
+
+Design (persistent workers, one in-flight task each):
+
+* ``jobs`` long-lived worker processes are forked once and fed
+  :class:`~repro.engine.worker.AuditTask` objects over duplex pipes, one
+  at a time, so process start-up cost is paid per *pool*, not per file.
+* Per-file wall-clock deadline: an overdue worker is killed, the file
+  recorded as ``timeout`` (deterministically slow files are not
+  retried), and a fresh worker forked in its place.
+* A worker that dies mid-task (hard crash, OOM kill) only ever takes its
+  own file with it: the scheduler respawns the worker and retries the
+  task once (``crash_retries``), then records it as ``crash``.
+* Results are keyed by task index, so the final outcome list is in input
+  order no matter how completion interleaves.
+* With a :class:`~repro.engine.cache.ResultCache` attached, each task's
+  content-addressed key is probed first; hits skip the pool entirely and
+  fresh ``ok``/``frontend-error`` outcomes (the deterministic statuses)
+  are written back.
+
+``jobs <= 1`` runs tasks inline in the calling process — same outcome
+records and caching, no subprocess machinery (and therefore no timeout
+or crash isolation); useful for debugging and on single-core boxes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import TYPE_CHECKING
+
+from repro.engine.cache import ResultCache, cache_key, policy_fingerprint
+from repro.engine.jsonl import JsonlSink
+from repro.engine.stats import EngineStats, ProgressPrinter
+from repro.engine.worker import AuditTask, FileOutcome, _worker_loop, safe_execute
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.websari.pipeline import WebSSARI
+
+__all__ = ["AuditEngine", "EngineConfig", "EngineResult"]
+
+#: Statuses whose outcome is a deterministic function of the inputs and
+#: may therefore be cached.
+_CACHEABLE_STATUSES = frozenset({"ok", "frontend-error"})
+
+_POLL_INTERVAL = 0.05
+
+
+@dataclass
+class EngineConfig:
+    """Knobs for one engine run."""
+
+    jobs: int = 1
+    #: Per-file wall-clock limit in seconds (None = unlimited).  Only
+    #: enforced when ``jobs > 1`` (inline mode has no process to kill).
+    timeout: float | None = None
+    cache: ResultCache | None = None
+    #: How many times to re-run a task whose worker died without a result.
+    crash_retries: int = 1
+    #: Attach the full VerificationReport to each outcome (pickled back
+    #: from the worker).  Disables cache reads: reports cannot be
+    #: reconstructed from JSON records.
+    want_reports: bool = False
+    progress: bool = False
+    jsonl: JsonlSink | None = None
+
+
+@dataclass
+class EngineResult:
+    """Outcomes in input order, plus the run's aggregate counters."""
+
+    outcomes: list[FileOutcome]
+    stats: EngineStats
+
+    @property
+    def any_vulnerable(self) -> bool:
+        return any(o.status == "ok" and not o.safe for o in self.outcomes)
+
+    @property
+    def any_failed(self) -> bool:
+        return any(o.status != "ok" for o in self.outcomes)
+
+
+@dataclass
+class _Worker:
+    """One persistent worker process and its in-flight task, if any."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: connection.Connection
+    current: tuple[AuditTask, int] | None = None
+    started: float = 0.0
+    deadline: float | None = None
+
+
+class AuditEngine:
+    """Batch verifier: give it tasks, get ordered outcomes + stats."""
+
+    def __init__(self, websari: "WebSSARI | None" = None, config: EngineConfig | None = None) -> None:
+        if websari is None:
+            from repro.websari.pipeline import WebSSARI
+
+            websari = WebSSARI()
+        self.websari = websari
+        self.config = config if config is not None else EngineConfig()
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, tasks: list[AuditTask]) -> EngineResult:
+        config = self.config
+        stats = EngineStats(total=len(tasks))
+        progress = ProgressPrinter(total=len(tasks), enabled=config.progress)
+        outcomes: dict[int, FileOutcome] = {}
+        started = time.monotonic()
+
+        keys: dict[int, str] = {}
+        pending: deque[tuple[AuditTask, int]] = deque()
+        if config.cache is not None:
+            policy_fp = policy_fingerprint(self.websari)
+            for task in tasks:
+                material, extra = task.cache_material()
+                keys[task.index] = cache_key(material, policy_fp, extra)
+        for task in tasks:
+            hit = self._probe_cache(task, keys)
+            if hit is not None:
+                self._finalize(hit, task, stats, progress, outcomes, keys)
+            else:
+                pending.append((task, 1))
+
+        try:
+            if config.jobs <= 1:
+                self._run_inline(pending, stats, progress, outcomes, keys)
+            else:
+                self._run_pool(pending, stats, progress, outcomes, keys)
+        finally:
+            progress.close()
+
+        stats.wall_seconds = time.monotonic() - started
+        if config.jsonl is not None:
+            config.jsonl.write_stats(stats.as_dict())
+        ordered = [outcomes[task.index] for task in tasks]
+        return EngineResult(outcomes=ordered, stats=stats)
+
+    # -- cache --------------------------------------------------------------
+
+    def _probe_cache(self, task: AuditTask, keys: dict[int, str]) -> FileOutcome | None:
+        config = self.config
+        if config.cache is None or config.want_reports:
+            return None
+        record = config.cache.get(keys[task.index])
+        if record is None:
+            return None
+        outcome = FileOutcome.from_record(record)
+        outcome.cached = True
+        outcome.cache_key = keys[task.index]
+        outcome.timings = {}
+        outcome.duration = 0.0
+        outcome.attempts = 0
+        return outcome
+
+    def _finalize(
+        self,
+        outcome: FileOutcome,
+        task: AuditTask,
+        stats: EngineStats,
+        progress: ProgressPrinter,
+        outcomes: dict[int, FileOutcome],
+        keys: dict[int, str],
+    ) -> None:
+        config = self.config
+        key = keys.get(task.index)
+        if key is not None:
+            outcome.cache_key = key
+            if not outcome.cached and outcome.status in _CACHEABLE_STATUSES:
+                assert config.cache is not None
+                config.cache.put(key, outcome.to_record())
+        outcomes[task.index] = outcome
+        stats.record(outcome)
+        if config.jsonl is not None:
+            config.jsonl.write_file(outcome.to_record())
+        progress.update(stats)
+
+    # -- inline execution ---------------------------------------------------
+
+    def _run_inline(self, pending, stats, progress, outcomes, keys) -> None:
+        while pending:
+            task, attempt = pending.popleft()
+            outcome = safe_execute(task, self.websari, self.config.want_reports)
+            outcome.attempts = attempt
+            self._finalize(outcome, task, stats, progress, outcomes, keys)
+
+    # -- pool execution -----------------------------------------------------
+
+    @staticmethod
+    def _mp_context():
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def _spawn_worker(self, ctx) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, self.websari, self.config.want_reports),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def _run_pool(self, pending, stats, progress, outcomes, keys) -> None:
+        config = self.config
+        ctx = self._mp_context()
+        workers: list[_Worker] = []
+
+        def discard(worker: _Worker) -> None:
+            worker.process.terminate()
+            worker.process.join()
+            worker.conn.close()
+            workers.remove(worker)
+
+        def finish(worker: _Worker, outcome: FileOutcome) -> None:
+            task, attempt = worker.current  # type: ignore[misc]
+            worker.current = None
+            outcome.attempts = attempt
+            if not outcome.duration:
+                outcome.duration = time.monotonic() - worker.started
+            self._finalize(outcome, task, stats, progress, outcomes, keys)
+
+        def crashed(worker: _Worker) -> None:
+            """Pipe broke with no payload: the worker died mid-task."""
+            task, attempt = worker.current  # type: ignore[misc]
+            worker.process.join()
+            code = worker.process.exitcode
+            if attempt <= config.crash_retries:
+                worker.current = None
+                pending.appendleft((task, attempt + 1))
+            else:
+                finish(
+                    worker,
+                    FileOutcome(
+                        filename=task.filename,
+                        status="crash",
+                        error=f"worker exited with code {code} before reporting a result",
+                    ),
+                )
+            discard(worker)
+
+        def drain(worker: _Worker) -> None:
+            try:
+                outcome: FileOutcome = worker.conn.recv()
+            except (EOFError, OSError):
+                crashed(worker)
+            else:
+                finish(worker, outcome)
+
+        try:
+            while pending or any(w.current is not None for w in workers):
+                # Keep the pool at strength: one worker per pending or
+                # in-flight task, capped at ``jobs`` (covers both initial
+                # spawn and replacement after crash/timeout discards).
+                busy_count = sum(1 for w in workers if w.current is not None)
+                desired = min(config.jobs, len(pending) + busy_count)
+                while len(workers) < desired:
+                    workers.append(self._spawn_worker(ctx))
+
+                for worker in list(workers):
+                    if worker.current is None and pending:
+                        if not worker.process.is_alive():
+                            discard(worker)
+                            continue
+                        task, attempt = pending.popleft()
+                        worker.current = (task, attempt)
+                        worker.started = time.monotonic()
+                        worker.deadline = (
+                            worker.started + config.timeout if config.timeout else None
+                        )
+                        try:
+                            worker.conn.send(task)
+                        except (BrokenPipeError, OSError):
+                            crashed(worker)
+
+                busy = [w for w in workers if w.current is not None]
+                if not busy:
+                    continue
+                ready = connection.wait([w.conn for w in busy], timeout=_POLL_INTERVAL)
+                for worker in busy:
+                    if worker not in workers:  # replaced earlier this round
+                        continue
+                    if worker.conn in ready:
+                        drain(worker)
+                        continue
+                    if worker.deadline is not None and time.monotonic() > worker.deadline:
+                        finish(
+                            worker,
+                            FileOutcome(
+                                filename=worker.current[0].filename,
+                                status="timeout",
+                                error=f"exceeded {config.timeout:g}s wall-clock limit",
+                            ),
+                        )
+                        discard(worker)
+                        continue
+                    if not worker.process.is_alive():
+                        # Died between wait() and now; a payload may still be
+                        # buffered (poll() is also True at bare EOF, in which
+                        # case drain() routes to crash handling).
+                        if worker.conn.poll():
+                            drain(worker)
+                        else:
+                            crashed(worker)
+        finally:
+            for worker in list(workers):
+                if worker.current is None and worker.process.is_alive():
+                    try:
+                        worker.conn.send(None)
+                    except (BrokenPipeError, OSError):
+                        pass
+                discard(worker)

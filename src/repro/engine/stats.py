@@ -1,0 +1,158 @@
+"""Engine observability: per-run counters, stage timings, live progress.
+
+The paper's evaluation is a corpus sweep (230 projects, ~1.1M
+statements); at that scale the sweep itself needs instruments.  Every
+file outcome feeds an :class:`EngineStats` accumulator — cache hit/miss
+counters, verdict tallies, per-stage (parse / filter / AI / SAT) time —
+and a :class:`ProgressPrinter` keeps one live status line on a terminal
+while the pool drains.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.worker import FileOutcome
+
+__all__ = ["EngineStats", "ProgressPrinter", "STAGES"]
+
+#: Pipeline stages the worker times individually.
+STAGES = ("parse", "filter", "ai", "sat")
+
+
+@dataclass
+class EngineStats:
+    """Aggregated counters for one engine run."""
+
+    total: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    vulnerable: int = 0
+    safe: int = 0
+    frontend_errors: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    #: CPU seconds spent inside each pipeline stage, summed over workers
+    #: (cache hits contribute nothing: their stages never ran this run).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def record(self, outcome: "FileOutcome") -> None:
+        self.completed += 1
+        if outcome.cached:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            for stage, seconds in outcome.timings.items():
+                self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.retries += max(0, outcome.attempts - 1)
+        if outcome.status == "ok":
+            if outcome.safe:
+                self.safe += 1
+            else:
+                self.vulnerable += 1
+        elif outcome.status == "frontend-error":
+            self.frontend_errors += 1
+        elif outcome.status == "timeout":
+            self.timeouts += 1
+        elif outcome.status == "crash":
+            self.crashes += 1
+        else:
+            self.errors += 1
+
+    @property
+    def failed(self) -> int:
+        """Files that produced no verdict (any non-ok status)."""
+        return self.frontend_errors + self.errors + self.timeouts + self.crashes
+
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "vulnerable": self.vulnerable,
+            "safe": self.safe,
+            "frontend_errors": self.frontend_errors,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "retries": self.retries,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "stage_seconds": {k: round(v, 6) for k, v in sorted(self.stage_seconds.items())},
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"audited {self.completed}/{self.total} file(s) in {self.wall_seconds:.2f}s: "
+            f"{self.safe} safe, {self.vulnerable} vulnerable, {self.failed} failed",
+            f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
+            + (f" ({100.0 * self.hit_rate():.0f}% hit rate)" if self.completed else ""),
+        ]
+        if self.failed:
+            parts = []
+            if self.frontend_errors:
+                parts.append(f"{self.frontend_errors} frontend error(s)")
+            if self.errors:
+                parts.append(f"{self.errors} error(s)")
+            if self.timeouts:
+                parts.append(f"{self.timeouts} timeout(s)")
+            if self.crashes:
+                parts.append(f"{self.crashes} crash(es)")
+            lines.append("failures: " + ", ".join(parts))
+        if self.retries:
+            lines.append(f"retries: {self.retries}")
+        if self.stage_seconds:
+            stage_text = ", ".join(
+                f"{stage} {self.stage_seconds.get(stage, 0.0):.2f}s"
+                for stage in STAGES
+                if stage in self.stage_seconds
+            )
+            lines.append(f"stage time: {stage_text}")
+        return lines
+
+
+class ProgressPrinter:
+    """One live ``\\r``-rewritten status line (only when enabled).
+
+    Writes to ``stream`` (default stderr) so report text on stdout stays
+    machine-parseable; :meth:`close` clears the line.
+    """
+
+    def __init__(self, total: int, enabled: bool = True, stream: IO[str] | None = None) -> None:
+        self.total = total
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self._started = time.monotonic()
+        self._last_len = 0
+
+    def update(self, stats: EngineStats) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self._started
+        line = (
+            f"[{stats.completed}/{self.total}] "
+            f"{stats.vulnerable} vulnerable, {stats.failed} failed, "
+            f"{stats.cache_hits} cached, {elapsed:.1f}s"
+        )
+        pad = " " * max(0, self._last_len - len(line))
+        self.stream.write("\r" + line + pad)
+        self.stream.flush()
+        self._last_len = len(line)
+
+    def close(self) -> None:
+        if not self.enabled or not self._last_len:
+            return
+        self.stream.write("\r" + " " * self._last_len + "\r")
+        self.stream.flush()
+        self._last_len = 0

@@ -1,0 +1,268 @@
+"""Per-file audit work unit: the code that runs inside a worker process.
+
+A :class:`AuditTask` describes one verification job — either a standalone
+source file or one entry point of a multi-file project (include
+resolution then happens inside the worker).  :func:`execute_task` runs
+the WebSSARI pipeline stage by stage, timing each (parse / filter / AI /
+SAT), and always returns a :class:`FileOutcome` — exceptions become
+structured error records rather than aborting the batch.
+
+Everything crossing the process boundary (task in, outcome out) is
+picklable; the outcome additionally round-trips through JSON
+(``to_record``/``from_record``) so it can live in the result cache and
+the JSONL sink.  The full :class:`VerificationReport` object is attached
+only when ``want_report`` is set (used by ``verify_project``) and is
+deliberately excluded from the JSON record.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
+
+from repro.php.errors import FrontendError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.websari.pipeline import VerificationReport, WebSSARI
+
+__all__ = ["AuditTask", "FileOutcome", "execute_task"]
+
+
+@dataclass(frozen=True)
+class AuditTask:
+    """One unit of work for the engine."""
+
+    index: int
+    filename: str
+    #: Standalone mode: the PHP source text.
+    source: str | None = None
+    #: Project mode: all project files (path → text) plus the entry path.
+    project_files: dict[str, str] | None = None
+    entry: str | None = None
+
+    def cache_material(self) -> tuple[str, str]:
+        """(source-text, extra) pair feeding the content-addressed key.
+
+        The filename is part of the key because report text embeds it
+        (summaries, counterexample spans) — two files with identical
+        content must not serve each other's rendered records.  Project
+        entries additionally hash every project file (an edit to an
+        included file must invalidate the entries that splice it).
+        """
+        if self.project_files is None:
+            return self.source or "", f"file={self.filename}"
+        joined = "\x00".join(
+            f"{path}\x01{self.project_files[path]}" for path in sorted(self.project_files)
+        )
+        return joined, f"entry={self.entry}"
+
+
+@dataclass
+class FileOutcome:
+    """Everything the engine learned about one file.
+
+    ``status`` is one of ``ok``, ``frontend-error``, ``error``,
+    ``timeout``, ``crash``; only ``ok`` carries a verdict (``safe``).
+    """
+
+    filename: str
+    status: str
+    safe: bool | None = None
+    ts_errors: int = 0
+    bmc_groups: int = 0
+    num_statements: int = 0
+    num_ai_branches: int = 0
+    num_ai_assertions: int = 0
+    warnings: list[str] = field(default_factory=list)
+    summary: str = ""
+    detailed: str = ""
+    error: str | None = None
+    #: Per-stage wall seconds measured inside the worker.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: End-to-end seconds for this file as seen by the scheduler.
+    duration: float = 0.0
+    cached: bool = False
+    cache_key: str | None = None
+    attempts: int = 1
+    #: Full report object (pickled across the process boundary, never
+    #: JSON-serialized); present only when the caller asked for it.
+    report: "VerificationReport | None" = None
+
+    _RECORD_FIELDS = (
+        "filename",
+        "status",
+        "safe",
+        "ts_errors",
+        "bmc_groups",
+        "num_statements",
+        "num_ai_branches",
+        "num_ai_assertions",
+        "warnings",
+        "summary",
+        "detailed",
+        "error",
+        "timings",
+    )
+
+    def to_record(self) -> dict:
+        """JSON-safe record (cache entry / JSONL payload)."""
+        record = {name: getattr(self, name) for name in self._RECORD_FIELDS}
+        record["timings"] = {k: round(v, 6) for k, v in self.timings.items()}
+        record["duration"] = round(self.duration, 6)
+        record["cached"] = self.cached
+        record["cache_key"] = self.cache_key
+        record["attempts"] = self.attempts
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "FileOutcome":
+        known = {f.name for f in fields(cls)} - {"report"}
+        kwargs = {k: v for k, v in record.items() if k in known}
+        return cls(**kwargs)
+
+
+def execute_task(
+    task: AuditTask, websari: "WebSSARI", want_report: bool = False
+) -> FileOutcome:
+    """Run the full pipeline on one task, timing each stage.
+
+    Never raises for per-file analysis failures: frontend errors (parse,
+    lex, include) map to ``frontend-error`` outcomes, anything else to
+    ``error`` outcomes carrying the traceback tail.
+    """
+    timings: dict[str, float] = {}
+    started = time.perf_counter()
+    try:
+        outcome = _run_stages(task, websari, timings, want_report)
+    except FrontendError as exc:
+        outcome = FileOutcome(filename=task.filename, status="frontend-error", error=str(exc))
+    except RecursionError:
+        outcome = FileOutcome(
+            filename=task.filename, status="error", error="recursion limit exceeded"
+        )
+    except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        tail = traceback.format_exc(limit=5)
+        outcome = FileOutcome(
+            filename=task.filename, status="error", error=f"{type(exc).__name__}: {exc}\n{tail}"
+        )
+    outcome.timings = timings
+    outcome.duration = time.perf_counter() - started
+    return outcome
+
+
+def _run_stages(
+    task: AuditTask,
+    websari: "WebSSARI",
+    timings: dict[str, float],
+    want_report: bool,
+) -> FileOutcome:
+    from repro.ai.renaming import rename
+    from repro.ai.translate import translate_filter_result
+    from repro.analysis.grouping import group_errors
+    from repro.bmc.checker import check_program
+    from repro.ir.filter import filter_program
+    from repro.php.includes import SourceProject, resolve_includes
+    from repro.php.parser import parse
+    from repro.typestate.ts import analyze_commands
+    from repro.websari.pipeline import VerificationReport, count_statements
+
+    include_warnings: list[str] = []
+
+    clock = time.perf_counter
+    mark = clock()
+    if task.project_files is not None:
+        assert task.entry is not None
+        project = SourceProject(task.project_files)
+        resolution = resolve_includes(project, task.entry)
+        program = resolution.program
+        include_warnings = list(resolution.warnings)
+        num_statements = count_statements(parse(project.source(task.entry), task.entry))
+    else:
+        program = parse(task.source or "", task.filename)
+        num_statements = count_statements(program)
+    timings["parse"] = clock() - mark
+
+    mark = clock()
+    filtered = filter_program(
+        program,
+        prelude=websari.prelude,
+        max_unfold_depth=websari.max_unfold_depth,
+        sanitize_in_place=websari.sanitize_in_place,
+    )
+    timings["filter"] = clock() - mark
+
+    mark = clock()
+    ts_report = analyze_commands(filtered.commands, lattice=websari.lattice)
+    ai_program = translate_filter_result(filtered)
+    renamed = rename(ai_program)
+    timings["ai"] = clock() - mark
+
+    mark = clock()
+    bmc_result = check_program(
+        renamed,
+        lattice=websari.lattice,
+        accumulate=websari.accumulate,
+        max_counterexamples=websari.max_counterexamples,
+    )
+    grouping = group_errors(bmc_result)
+    timings["sat"] = clock() - mark
+
+    report = VerificationReport(
+        filename=task.filename,
+        ts=ts_report,
+        bmc=bmc_result,
+        grouping=grouping,
+        num_statements=num_statements,
+        num_ai_branches=ai_program.num_branches,
+        num_ai_assertions=ai_program.num_assertions,
+        warnings=list(ai_program.warnings) + include_warnings,
+    )
+    return FileOutcome(
+        filename=task.filename,
+        status="ok",
+        safe=report.safe,
+        ts_errors=report.ts_error_count,
+        bmc_groups=report.bmc_group_count,
+        num_statements=report.num_statements,
+        num_ai_branches=report.num_ai_branches,
+        num_ai_assertions=report.num_ai_assertions,
+        warnings=list(report.warnings),
+        summary=report.summary(),
+        detailed=report.detailed_report(),
+        report=report if want_report else None,
+    )
+
+
+def safe_execute(task: AuditTask, websari: "WebSSARI", want_report: bool) -> FileOutcome:
+    """``execute_task`` with a last-resort catch: even a bug in the
+    executor itself must yield a structured record, not an abort."""
+    try:
+        return execute_task(task, websari, want_report)
+    except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        return FileOutcome(
+            filename=task.filename, status="error", error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+def _worker_loop(conn, websari: "WebSSARI", want_report: bool) -> None:
+    """Entry point of a persistent worker process.
+
+    Receives :class:`AuditTask` objects over the pipe and sends one
+    :class:`FileOutcome` back per task until the scheduler shuts it down
+    (``None`` sentinel or closed pipe).  A worker that dies mid-task
+    (hard crash, kill, unpicklable result) is detected by the scheduler
+    through the broken pipe and replaced with a fresh process.
+    """
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except EOFError:
+                return
+            if task is None:
+                return
+            conn.send(safe_execute(task, websari, want_report))
+    finally:
+        conn.close()

@@ -280,13 +280,19 @@ class WebSSARI:
         self,
         project: SourceProject,
         entries: list[str] | None = None,
+        jobs: int | None = None,
     ) -> ProjectReport:
         """Verify every entry file of a project, resolving includes.
 
         By default every ``.php`` file is treated as an entry point (the
         way a web server would expose them); pass ``entries`` to restrict.
+        With ``jobs`` > 1, entries are fanned over the batch-audit
+        engine's worker pool (``repro.engine``); results are identical to
+        the sequential path, in the same order.
         """
         paths = entries if entries is not None else project.paths()
+        if jobs is not None and jobs > 1:
+            return self._verify_project_parallel(project, paths, jobs)
         reports: list[VerificationReport] = []
         total_statements = 0
         for path in paths:
@@ -303,6 +309,46 @@ class WebSSARI:
             report = self._verify_filtered(filtered, own_statements, path)
             report.warnings.extend(resolution.warnings)
             reports.append(report)
+        return ProjectReport(
+            reports=reports,
+            num_files=len(project),
+            num_statements=total_statements,
+        )
+
+    def _verify_project_parallel(
+        self, project: SourceProject, paths: list[str], jobs: int
+    ) -> ProjectReport:
+        """Fan entry files over the audit engine's worker pool.
+
+        Each worker resolves includes and verifies one entry, returning
+        the full :class:`VerificationReport`.  Analysis failures that the
+        sequential path would raise are re-raised here, so the two paths
+        have the same contract.
+        """
+        from repro.engine import AuditEngine, AuditTask, EngineConfig
+
+        files = {path: project.source(path) for path in project.paths()}
+        tasks = [
+            AuditTask(index=i, filename=path, project_files=files, entry=path)
+            for i, path in enumerate(paths)
+        ]
+        engine = AuditEngine(
+            websari=self, config=EngineConfig(jobs=jobs, want_reports=True)
+        )
+        result = engine.run(tasks)
+        reports: list[VerificationReport] = []
+        total_statements = 0
+        for outcome in result.outcomes:
+            if outcome.report is None:
+                if outcome.status == "frontend-error":
+                    from repro.php.errors import FrontendError
+
+                    raise FrontendError(f"{outcome.filename}: {outcome.error}")
+                raise RuntimeError(
+                    f"{outcome.filename}: {outcome.status}: {outcome.error}"
+                )
+            reports.append(outcome.report)
+            total_statements += outcome.num_statements
         return ProjectReport(
             reports=reports,
             num_files=len(project),

@@ -1,0 +1,316 @@
+"""Tests for the batch-audit engine (repro.engine.scheduler / worker).
+
+The crash/timeout tests monkeypatch ``execute_task`` in the parent; the
+``fork`` start method propagates the patch into worker processes, which
+is exactly what makes misbehaving workers injectable.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+import repro.engine.worker as worker_module
+from repro.engine import (
+    AuditEngine,
+    AuditTask,
+    EngineConfig,
+    JsonlSink,
+    ResultCache,
+)
+from repro.policy.preludefile import parse_prelude
+from repro.websari.pipeline import WebSSARI
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="crash/timeout injection requires the fork start method",
+)
+
+VULN = "<?php echo $_GET['q'];\n"
+SAFE = "<?php echo 'hello';\n"
+BROKEN = "<?php if (\n"
+
+
+def make_tasks(sources):
+    return [
+        AuditTask(index=i, filename=name, source=src)
+        for i, (name, src) in enumerate(sources)
+    ]
+
+
+def patch_execute(monkeypatch, special):
+    """Route specific filenames to injected behaviours, rest to the real
+    pipeline.  Both inline and pool modes resolve ``execute_task``
+    through the worker module at call time (and ``fork`` inherits the
+    patch), so one setattr covers everything."""
+    real = worker_module.execute_task
+
+    def fake(task, websari, want_report=False):
+        action = special.get(task.filename)
+        if action is not None:
+            return action(task, websari, want_report)
+        return real(task, websari, want_report)
+
+    monkeypatch.setattr(worker_module, "execute_task", fake)
+
+
+class TestInline:
+    def test_outcomes_in_input_order(self):
+        tasks = make_tasks([("v.php", VULN), ("s.php", SAFE), ("b.php", BROKEN)])
+        result = AuditEngine(config=EngineConfig(jobs=1)).run(tasks)
+        assert [o.filename for o in result.outcomes] == ["v.php", "s.php", "b.php"]
+        assert [o.status for o in result.outcomes] == ["ok", "ok", "frontend-error"]
+        assert result.outcomes[0].safe is False
+        assert result.outcomes[1].safe is True
+        assert result.any_vulnerable and result.any_failed
+
+    def test_counts_and_stage_timings(self):
+        result = AuditEngine(config=EngineConfig(jobs=1)).run(make_tasks([("v.php", VULN)]))
+        outcome = result.outcomes[0]
+        assert outcome.ts_errors == 1 and outcome.bmc_groups == 1
+        assert set(outcome.timings) == {"parse", "filter", "ai", "sat"}
+        assert "VULNERABLE" in outcome.summary
+        assert "counterexample" in outcome.detailed
+
+    def test_analysis_exception_is_isolated(self, monkeypatch):
+        def boom(task, websari, want_report):
+            raise ValueError("injected failure")
+
+        patch_execute(monkeypatch, {"bad.php": boom})
+        tasks = make_tasks([("bad.php", SAFE), ("v.php", VULN)])
+        result = AuditEngine(config=EngineConfig(jobs=1)).run(tasks)
+        # Even an executor that raises (rather than returning an error
+        # record itself) must become a structured outcome, not an abort.
+        assert result.outcomes[0].status == "error"
+        assert "injected failure" in result.outcomes[0].error
+        assert result.outcomes[1].status == "ok"
+
+    def test_stats_tally(self):
+        tasks = make_tasks([("v.php", VULN), ("s.php", SAFE), ("b.php", BROKEN)])
+        stats = AuditEngine(config=EngineConfig(jobs=1)).run(tasks).stats
+        assert stats.total == stats.completed == 3
+        assert stats.vulnerable == 1 and stats.safe == 1 and stats.frontend_errors == 1
+        assert stats.failed == 1
+        assert stats.cache_misses == 3 and stats.cache_hits == 0
+        assert stats.wall_seconds > 0
+        assert any("audited 3/3" in line for line in stats.summary_lines())
+
+
+class TestParallel:
+    def test_matches_inline_results(self):
+        tasks = make_tasks([("v.php", VULN), ("s.php", SAFE), ("b.php", BROKEN)])
+        inline = AuditEngine(config=EngineConfig(jobs=1)).run(tasks)
+        pooled = AuditEngine(config=EngineConfig(jobs=2)).run(tasks)
+        assert [o.to_record()["summary"] for o in inline.outcomes] == [
+            o.to_record()["summary"] for o in pooled.outcomes
+        ]
+        assert [o.status for o in inline.outcomes] == [o.status for o in pooled.outcomes]
+
+    @needs_fork
+    def test_order_is_input_order_not_completion_order(self, monkeypatch):
+        real = worker_module.execute_task
+
+        def slow(task, websari, want_report):
+            time.sleep(0.4)
+            return real(task, websari, want_report)
+
+        patch_execute(monkeypatch, {"slow.php": slow})
+        tasks = make_tasks([("slow.php", SAFE), ("fast1.php", VULN), ("fast2.php", SAFE)])
+        result = AuditEngine(config=EngineConfig(jobs=3)).run(tasks)
+        # slow.php finishes last but must still be reported first.
+        assert [o.filename for o in result.outcomes] == ["slow.php", "fast1.php", "fast2.php"]
+        assert all(o.status == "ok" for o in result.outcomes)
+
+
+class TestRobustness:
+    @needs_fork
+    def test_worker_crash_is_isolated_and_retried(self, monkeypatch):
+        def crash(task, websari, want_report):
+            os._exit(13)
+
+        patch_execute(monkeypatch, {"crash.php": crash})
+        tasks = make_tasks([("crash.php", SAFE), ("v.php", VULN), ("s.php", SAFE)])
+        result = AuditEngine(config=EngineConfig(jobs=2)).run(tasks)
+        crash_outcome = result.outcomes[0]
+        assert crash_outcome.status == "crash"
+        assert crash_outcome.attempts == 2  # retried once
+        assert "code 13" in crash_outcome.error
+        # Sibling jobs are unaffected.
+        assert result.outcomes[1].status == "ok" and not result.outcomes[1].safe
+        assert result.outcomes[2].status == "ok" and result.outcomes[2].safe
+        assert result.stats.crashes == 1 and result.stats.retries == 1
+
+    @needs_fork
+    def test_crash_retry_can_succeed(self, monkeypatch, tmp_path):
+        marker = tmp_path / "crashed-once"
+        real = worker_module.execute_task
+
+        def flaky(task, websari, want_report):
+            if not marker.exists():
+                marker.write_text("x")
+                os._exit(13)
+            return real(task, websari, want_report)
+
+        patch_execute(monkeypatch, {"flaky.php": flaky})
+        result = AuditEngine(config=EngineConfig(jobs=2)).run(
+            make_tasks([("flaky.php", VULN)])
+        )
+        outcome = result.outcomes[0]
+        assert outcome.status == "ok" and outcome.attempts == 2
+        assert result.stats.retries == 1 and result.stats.crashes == 0
+
+    @needs_fork
+    def test_timeout_kills_only_the_offender(self, monkeypatch):
+        def hang(task, websari, want_report):
+            time.sleep(60)
+
+        patch_execute(monkeypatch, {"hang.php": hang})
+        tasks = make_tasks([("hang.php", SAFE), ("v.php", VULN)])
+        started = time.monotonic()
+        result = AuditEngine(config=EngineConfig(jobs=2, timeout=0.5)).run(tasks)
+        assert time.monotonic() - started < 30
+        assert result.outcomes[0].status == "timeout"
+        assert "0.5s" in result.outcomes[0].error
+        assert result.outcomes[1].status == "ok"
+        assert result.stats.timeouts == 1
+
+
+class TestCacheIntegration:
+    def test_second_run_hits_with_identical_verdicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = make_tasks([("v.php", VULN), ("s.php", SAFE), ("b.php", BROKEN)])
+        first = AuditEngine(config=EngineConfig(jobs=1, cache=cache)).run(tasks)
+        second = AuditEngine(config=EngineConfig(jobs=1, cache=cache)).run(tasks)
+        assert first.stats.cache_hits == 0 and first.stats.cache_misses == 3
+        assert second.stats.cache_hits == 3 and second.stats.cache_misses == 0
+        assert second.stats.hit_rate() == 1.0
+        for a, b in zip(first.outcomes, second.outcomes):
+            assert b.cached and not a.cached
+            assert (a.status, a.safe, a.summary, a.detailed, a.error) == (
+                b.status,
+                b.safe,
+                b.summary,
+                b.detailed,
+                b.error,
+            )
+
+    def test_source_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = EngineConfig(jobs=1, cache=cache)
+        AuditEngine(config=config).run(make_tasks([("a.php", SAFE)]))
+        changed = AuditEngine(config=config).run(make_tasks([("a.php", VULN)]))
+        assert changed.stats.cache_misses == 1
+        assert changed.outcomes[0].safe is False
+
+    def test_prelude_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        source = "<?php $x = read_config(); show($x);\n"
+        stock = AuditEngine(
+            websari=WebSSARI(), config=EngineConfig(jobs=1, cache=cache)
+        ).run(make_tasks([("a.php", source)]))
+        assert stock.outcomes[0].safe is True
+        custom = parse_prelude("source read_config tainted\nsink show tainted xss\n")
+        hardened = AuditEngine(
+            websari=WebSSARI(prelude=custom), config=EngineConfig(jobs=1, cache=cache)
+        ).run(make_tasks([("a.php", source)]))
+        assert hardened.stats.cache_misses == 1, "prelude change must invalidate"
+        assert hardened.outcomes[0].safe is False
+
+    def test_failures_are_not_cached(self, monkeypatch, tmp_path):
+        def boom(task, websari, want_report):
+            raise RuntimeError("transient")
+
+        cache = ResultCache(tmp_path / "cache")
+        patch_execute(monkeypatch, {"bad.php": boom})
+        first = AuditEngine(config=EngineConfig(jobs=1, cache=cache)).run(
+            make_tasks([("bad.php", SAFE)])
+        )
+        assert first.outcomes[0].status == "error"
+        assert len(cache) == 0
+
+    def test_same_content_different_filename_not_aliased(self, tmp_path):
+        # Report text embeds the filename, so two identically-byted files
+        # must not serve each other's cached records.
+        cache = ResultCache(tmp_path / "cache")
+        config = EngineConfig(jobs=1, cache=cache)
+        AuditEngine(config=config).run(make_tasks([("a.php", VULN)]))
+        result = AuditEngine(config=config).run(make_tasks([("b.php", VULN)]))
+        assert result.stats.cache_misses == 1
+        assert result.outcomes[0].summary.startswith("b.php:")
+
+    def test_project_entry_keys_include_included_files(self):
+        files_a = {"entry.php": "<?php include 'lib.php';", "lib.php": "<?php echo 1;"}
+        files_b = {"entry.php": "<?php include 'lib.php';", "lib.php": "<?php echo 2;"}
+        task_a = AuditTask(0, "entry.php", project_files=files_a, entry="entry.php")
+        task_b = AuditTask(0, "entry.php", project_files=files_b, entry="entry.php")
+        assert task_a.cache_material() != task_b.cache_material()
+
+
+class TestJsonl:
+    def test_sink_records_and_final_stats(self, tmp_path):
+        out = tmp_path / "audit.jsonl"
+        tasks = make_tasks([("v.php", VULN), ("b.php", BROKEN)])
+        with JsonlSink(out) as sink:
+            AuditEngine(config=EngineConfig(jobs=1, jsonl=sink)).run(tasks)
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 3
+        assert {l["type"] for l in lines[:-1]} == {"file"}
+        assert lines[-1]["type"] == "stats"
+        assert lines[-1]["completed"] == 2 and lines[-1]["vulnerable"] == 1
+        by_name = {l["filename"]: l for l in lines[:-1]}
+        assert by_name["v.php"]["status"] == "ok" and by_name["v.php"]["safe"] is False
+        assert by_name["b.php"]["status"] == "frontend-error"
+
+
+class TestWantReports:
+    def test_reports_attached_and_cache_bypassed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        tasks = make_tasks([("v.php", VULN)])
+        AuditEngine(config=EngineConfig(jobs=1, cache=cache)).run(tasks)
+        result = AuditEngine(
+            config=EngineConfig(jobs=1, cache=cache, want_reports=True)
+        ).run(tasks)
+        outcome = result.outcomes[0]
+        assert not outcome.cached, "want_reports must not serve JSON cache hits"
+        assert outcome.report is not None
+        assert outcome.report.bmc_group_count == 1
+
+    def test_parallel_reports_cross_process(self):
+        tasks = make_tasks([("v.php", VULN), ("s.php", SAFE)])
+        result = AuditEngine(config=EngineConfig(jobs=2, want_reports=True)).run(tasks)
+        assert result.outcomes[0].report.ts_error_count == 1
+        assert result.outcomes[1].report.safe
+
+
+class TestVerifyProjectParallel:
+    def test_parity_with_sequential(self):
+        from repro.php.includes import SourceProject
+
+        project = SourceProject(
+            {
+                "index.php": "<?php include 'lib.php'; echo $_GET['q'];",
+                "lib.php": "<?php $greeting = 'hi';",
+                "safe.php": "<?php echo 'static';",
+            }
+        )
+        websari = WebSSARI()
+        seq = websari.verify_project(project)
+        par = websari.verify_project(project, jobs=2)
+        assert [r.filename for r in seq.reports] == [r.filename for r in par.reports]
+        assert [r.summary() for r in seq.reports] == [r.summary() for r in par.reports]
+        assert seq.num_statements == par.num_statements
+        assert seq.ts_error_count == par.ts_error_count
+        assert seq.bmc_group_count == par.bmc_group_count
+
+    def test_frontend_error_raises_like_sequential(self):
+        from repro.php.errors import FrontendError
+        from repro.php.includes import SourceProject
+
+        project = SourceProject({"broken.php": "<?php if ("})
+        websari = WebSSARI()
+        with pytest.raises(FrontendError):
+            websari.verify_project(project)
+        with pytest.raises(FrontendError):
+            websari.verify_project(project, jobs=2)

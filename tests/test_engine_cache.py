@@ -1,0 +1,98 @@
+"""Tests for the content-addressed result cache (repro.engine.cache)."""
+
+import json
+
+from repro.engine.cache import (
+    ENGINE_VERSION,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    policy_fingerprint,
+)
+from repro.policy.preludefile import parse_prelude
+from repro.websari.pipeline import WebSSARI
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("<?php", "fp") == cache_key("<?php", "fp")
+
+    def test_source_changes_key(self):
+        assert cache_key("<?php echo 1;", "fp") != cache_key("<?php echo 2;", "fp")
+
+    def test_policy_changes_key(self):
+        assert cache_key("<?php", "fp-a") != cache_key("<?php", "fp-b")
+
+    def test_extra_changes_key(self):
+        assert cache_key("<?php", "fp", "entry=a.php") != cache_key("<?php", "fp", "entry=b.php")
+
+    def test_no_field_concatenation_collisions(self):
+        # (source, extra) pairs must not collide by sliding bytes between fields.
+        assert cache_key("ab", "fp", "c") != cache_key("b", "fp", "ca")
+
+
+class TestPolicyFingerprint:
+    def test_stable_across_equal_policies(self):
+        assert policy_fingerprint(WebSSARI()) == policy_fingerprint(WebSSARI())
+
+    def test_prelude_changes_fingerprint(self):
+        custom = parse_prelude("sink show tainted xss\n")
+        assert policy_fingerprint(WebSSARI()) != policy_fingerprint(WebSSARI(prelude=custom))
+
+    def test_options_change_fingerprint(self):
+        assert policy_fingerprint(WebSSARI()) != policy_fingerprint(
+            WebSSARI(max_unfold_depth=5)
+        )
+        assert policy_fingerprint(WebSSARI()) != policy_fingerprint(
+            WebSSARI(sanitize_in_place=False)
+        )
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("src", "fp")
+        assert cache.get(key) is None
+        cache.put(key, {"filename": "a.php", "status": "ok"})
+        record = cache.get(key)
+        assert record["filename"] == "a.php"
+        assert record["status"] == "ok"
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("src", "fp")
+        cache.put(key, {"status": "ok"})
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_wrong_record_version_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("src", "fp")
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"status": "ok", "record_version": -1}))
+        assert cache.get(key) is None
+
+    def test_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("src", "fp")
+        cache.put(key, {"status": "ok"})
+        assert (tmp_path / "objects" / key[:2] / f"{key}.json").exists()
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro-audit"
+
+
+def test_engine_version_is_nonempty_string():
+    assert isinstance(ENGINE_VERSION, str) and ENGINE_VERSION
