@@ -36,18 +36,26 @@ Implementation notes relative to the paper's text:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Literal
 
 from repro.ai.renaming import RenamedAssert, RenamedProgram
 from repro.bmc.encoder import ConstraintGenerator, EncodedAssertion, LatticeEncoding
-from repro.bmc.trace import CounterexampleTrace, ViolatingVariable, reconstruct_trace
 from repro.lattice import FiniteLattice, two_point_lattice
-from repro.sat.solver import CDCLSolver
+from repro.obs import get_tracer
+from repro.bmc.trace import CounterexampleTrace, ViolatingVariable, reconstruct_trace
+from repro.sat.dpll import IncrementalDPLL
+from repro.sat.solver import CDCLSolver, SolverStats
 
 __all__ = ["AssertionResult", "BMCResult", "BMCChecker", "check_program"]
 
 AccumulatePolicy = Literal["never", "safe-only", "always"]
+SolverBackend = Literal["cdcl", "dpll"]
+
+#: SolverStats counters summed across solve calls (the rest — currently
+#: only ``max_decision_level`` — are maxed instead).
+_SUMMED_STATS = ("decisions", "propagations", "conflicts", "learned_clauses",
+                 "restarts", "deleted_clauses")
 
 
 @dataclass
@@ -78,6 +86,13 @@ class BMCResult:
     solve_seconds: float
     #: The policy lattice the check ran over (used by grouping).
     lattice: FiniteLattice | None = None
+    #: Which SAT backend produced the verdicts ("cdcl" or "dpll").
+    solver_backend: str = "cdcl"
+    #: SolverStats counters aggregated over every solve call of the run.
+    solver_stats: dict[str, int] = field(default_factory=dict)
+    #: Total solve() invocations (>= one per assertion, plus one per
+    #: enumerated counterexample).
+    num_solve_calls: int = 0
 
     @property
     def safe(self) -> bool:
@@ -104,6 +119,7 @@ class BMCChecker:
         accumulate: AccumulatePolicy = "safe-only",
         max_counterexamples: int = 256,
         blocking: Literal["deciding", "all-bn"] = "deciding",
+        solver_backend: SolverBackend = "cdcl",
     ) -> None:
         self.program = program
         self.lattice = lattice if lattice is not None else two_point_lattice()
@@ -116,13 +132,40 @@ class BMCChecker:
         #: formulation, which re-enumerates each path once per assignment
         #: of the irrelevant variables.  Kept for the ABL-ENUM ablation.
         self.blocking = blocking
+        if solver_backend not in ("cdcl", "dpll"):
+            raise ValueError(f"unknown solver backend {solver_backend!r}")
+        self.solver_backend = solver_backend
+        self._solver_totals: dict[str, int] = {}
+        self._num_solve_calls = 0
+
+    def _make_solver(self) -> CDCLSolver | IncrementalDPLL:
+        if self.solver_backend == "dpll":
+            return IncrementalDPLL()
+        return CDCLSolver()
+
+    def _tally_solve(self, stats: SolverStats) -> None:
+        totals = self._solver_totals
+        self._num_solve_calls += 1
+        for stat_field in dataclass_fields(stats):
+            value = getattr(stats, stat_field.name)
+            if stat_field.name in _SUMMED_STATS:
+                totals[stat_field.name] = totals.get(stat_field.name, 0) + value
+            else:
+                totals[stat_field.name] = max(totals.get(stat_field.name, 0), value)
 
     def run(self) -> BMCResult:
         start = time.perf_counter()
-        generator = ConstraintGenerator(self.program, self.encoding)
-        encoded_assertions = generator.encode_all()
-        solver = CDCLSolver()
-        solver.add_formula(generator.cnf)
+        tracer = get_tracer()
+        with tracer.span("bmc.encode") as encode_span:
+            generator = ConstraintGenerator(self.program, self.encoding)
+            encoded_assertions = generator.encode_all()
+            solver = self._make_solver()
+            solver.add_formula(generator.cnf)
+            encode_span.set(
+                assertions=len(encoded_assertions),
+                clauses=generator.cnf.num_clauses,
+                vars=generator.cnf.num_vars,
+            )
         emitted_clauses = generator.cnf.num_clauses
 
         def sync_new_clauses() -> int:
@@ -145,6 +188,9 @@ class BMCChecker:
             num_clauses=num_clauses,
             solve_seconds=time.perf_counter() - start,
             lattice=self.lattice,
+            solver_backend=self.solver_backend,
+            solver_stats=dict(self._solver_totals),
+            num_solve_calls=self._num_solve_calls,
         )
 
     def _check_one(
@@ -154,6 +200,7 @@ class BMCChecker:
         solver: CDCLSolver,
         sync_new_clauses,
     ) -> AssertionResult:
+        tracer = get_tracer()
         result = AssertionResult(event=encoded.event)
         gate = generator.gate_for(encoded.violation)
         sync_new_clauses()
@@ -166,8 +213,49 @@ class BMCChecker:
         act = generator.pool.fresh()
         solver.add_clause((-act, gate))
 
+        with tracer.span(
+            "bmc.assertion", assert_id=encoded.event.assert_id
+        ) as assertion_span:
+            self._enumerate(encoded, generator, solver, act, result, tracer)
+            assertion_span.set(
+                counterexamples=len(result.counterexamples),
+                safe=result.safe,
+                truncated=result.truncated,
+            )
+
+        if self.accumulate == "always" or (
+            self.accumulate == "safe-only" and result.safe
+        ):
+            generator.add_expr(encoded.holds)
+            sync_new_clauses()
+        return result
+
+    def _enumerate(
+        self,
+        encoded: EncodedAssertion,
+        generator: ConstraintGenerator,
+        solver,
+        act: int,
+        result: AssertionResult,
+        tracer,
+    ) -> None:
+        """The all-counterexamples loop for one assertion (paper §3.3.2)."""
+        iteration = 0
         while True:
-            solve = solver.solve(assumptions=[act])
+            with tracer.span("sat.solve", iteration=iteration) as solve_span:
+                solve = solver.solve(assumptions=[act])
+            iteration += 1
+            stats = solve.stats
+            solve_span.set(
+                satisfiable=solve.satisfiable,
+                decisions=stats.decisions,
+                propagations=stats.propagations,
+                conflicts=stats.conflicts,
+                learned_clauses=stats.learned_clauses,
+                restarts=stats.restarts,
+                max_decision_level=stats.max_decision_level,
+            )
+            self._tally_solve(stats)
             if not solve.satisfiable:
                 break
             model = solve.model
@@ -203,13 +291,6 @@ class BMCChecker:
                 blocking.append(-var if value else var)
             solver.add_clause(blocking)
 
-        if self.accumulate == "always" or (
-            self.accumulate == "safe-only" and result.safe
-        ):
-            generator.add_expr(encoded.holds)
-            sync_new_clauses()
-        return result
-
 
 def check_program(
     program: RenamedProgram,
@@ -217,6 +298,7 @@ def check_program(
     accumulate: AccumulatePolicy = "safe-only",
     max_counterexamples: int = 256,
     blocking: Literal["deciding", "all-bn"] = "deciding",
+    solver_backend: SolverBackend = "cdcl",
 ) -> BMCResult:
     """Convenience wrapper: check every assertion of a renamed program."""
     checker = BMCChecker(
@@ -225,5 +307,6 @@ def check_program(
         accumulate=accumulate,
         max_counterexamples=max_counterexamples,
         blocking=blocking,
+        solver_backend=solver_backend,
     )
     return checker.run()

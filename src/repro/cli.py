@@ -2,8 +2,13 @@
 
 ```
 python -m repro verify  file.php [dir/ ...] [--detailed] [--prelude P]
+                        [--stats] [--solver cdcl|dpll] [--trace out.json]
 python -m repro audit   dir/ [--jobs N] [--timeout S] [--cache-dir D]
                         [--no-cache] [--jsonl out.jsonl] [--detailed]
+                        [--trace out.json] [--metrics out.prom]
+                        [--solver cdcl|dpll]
+python -m repro report  audit.jsonl [--top N]
+python -m repro report  --diff old.jsonl new.jsonl
 python -m repro patch   file.php [-o out.php] [--strategy bmc|ts]
 python -m repro html    file.php [-o report.html]
 python -m repro figure10 [--jobs N]
@@ -20,8 +25,13 @@ CI-friendly exit-code contract:
 * ``2`` — no vulnerabilities found, but at least one file could not be
   analyzed (parse/read error, timeout, worker crash) or no input files.
 
-``patch`` writes instrumented source; ``html`` writes the
-cross-referenced report; ``figure10`` regenerates the paper's table.
+``report`` summarizes an audit JSONL stream (or diffs two of them —
+exit 1 when the diff shows new/regressed vulnerable files); ``--trace``
+writes a Chrome trace-event file loadable in Perfetto or
+``chrome://tracing``; ``--metrics`` writes a Prometheus text snapshot
+(see ``repro.obs`` and docs/OBSERVABILITY.md).  ``patch`` writes
+instrumented source; ``html`` writes the cross-referenced report;
+``figure10`` regenerates the paper's table.
 """
 
 from __future__ import annotations
@@ -72,6 +82,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("paths", nargs="+", type=Path)
     verify.add_argument("--detailed", action="store_true", help="print counterexample traces")
+    verify.add_argument(
+        "--stats", action="store_true",
+        help="print per-file SAT-solver and formula statistics",
+    )
+    verify.add_argument(
+        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        help="SAT backend (dpll is the slow ablation baseline)",
+    )
+    verify.add_argument(
+        "--trace", type=Path, default=None, metavar="OUT.json",
+        help="write a Chrome trace-event file of the run (open in Perfetto)",
+    )
 
     audit = sub.add_parser(
         "audit",
@@ -103,6 +125,40 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--detailed", action="store_true", help="print counterexample traces")
     audit.add_argument(
         "--quiet", "-q", action="store_true", help="suppress per-file reports (stats only)"
+    )
+    audit.add_argument(
+        "--trace", type=Path, default=None, metavar="OUT.json",
+        help="write a Chrome trace-event file with nested per-file spans "
+        "down to per-assertion SAT solves (open in Perfetto)",
+    )
+    audit.add_argument(
+        "--metrics", type=Path, default=None, metavar="OUT.prom",
+        help="write a Prometheus text-format metrics snapshot of the run",
+    )
+    audit.add_argument(
+        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        help="SAT backend (dpll is the slow ablation baseline)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="summarize or diff audit JSONL streams",
+        description="Render one `repro audit --jsonl` stream as a summary "
+        "table (verdicts, cache hits, stage times, slowest files), or diff "
+        "two streams into new / fixed / regressed file lists.",
+        epilog="exit codes: 0 = report rendered (diff: no regressions); "
+        "1 = diff found new or regressed vulnerable files; 2 = unreadable "
+        "or malformed stream",
+    )
+    report.add_argument(
+        "path", nargs="?", type=Path, help="audit JSONL stream to summarize"
+    )
+    report.add_argument(
+        "--diff", nargs=2, type=Path, metavar=("OLD", "NEW"),
+        help="compare two audit streams instead of summarizing one",
+    )
+    report.add_argument(
+        "--top", type=int, default=10, help="slowest files to list (default 10)"
     )
 
     patch = sub.add_parser("patch", help="verify and insert runtime guards")
@@ -165,31 +221,66 @@ def _collect_php_files(paths: list[Path]) -> list[Path]:
 
 def _make_websari(args: argparse.Namespace) -> WebSSARI:
     prelude = load_prelude(args.prelude) if args.prelude else None
-    return WebSSARI(prelude=prelude)
+    return WebSSARI(prelude=prelude, solver=getattr(args, "solver", "cdcl"))
+
+
+def _solver_stats_lines(report) -> list[str]:
+    """Terminal rendering of one report's aggregated SolverStats."""
+    bmc = report.bmc
+    totals = bmc.solver_stats
+    counters = ", ".join(
+        f"{totals.get(name, 0)} {label}"
+        for name, label in (
+            ("decisions", "decisions"),
+            ("propagations", "propagations"),
+            ("conflicts", "conflicts"),
+            ("learned_clauses", "learned"),
+            ("restarts", "restarts"),
+        )
+    )
+    return [
+        f"  solver[{bmc.solver_backend}]: {counters} "
+        f"in {bmc.num_solve_calls} solve call(s)",
+        f"  formula: {bmc.num_vars} var(s), {bmc.num_clauses} clause(s), "
+        f"{bmc.solve_seconds:.3f}s solving",
+    ]
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, set_tracer, write_chrome_trace
+
     websari = _make_websari(args)
     files = _collect_php_files(args.paths)
     if not files:
         print("no PHP files found", file=sys.stderr)
         return 2
+    tracer = Tracer(enabled=True) if args.trace else None
+    previous_tracer = set_tracer(tracer) if tracer is not None else None
     any_vulnerable = False
     any_error = False
-    for path in files:
-        try:
-            report = websari.verify_source(path.read_text(), filename=str(path))
-        except FrontendError as error:
-            print(f"{path}: frontend error: {error}", file=sys.stderr)
-            any_error = True
-            continue
-        except OSError as error:
-            print(f"{path}: {error}", file=sys.stderr)
-            any_error = True
-            continue
-        print(report.detailed_report() if args.detailed else report.summary())
-        print()
-        any_vulnerable = any_vulnerable or not report.safe
+    try:
+        for path in files:
+            try:
+                report = websari.verify_source(path.read_text(), filename=str(path))
+            except FrontendError as error:
+                print(f"{path}: frontend error: {error}", file=sys.stderr)
+                any_error = True
+                continue
+            except OSError as error:
+                print(f"{path}: {error}", file=sys.stderr)
+                any_error = True
+                continue
+            print(report.detailed_report() if args.detailed else report.summary())
+            if args.stats:
+                for line in _solver_stats_lines(report):
+                    print(line)
+            print()
+            any_vulnerable = any_vulnerable or not report.safe
+    finally:
+        if tracer is not None:
+            set_tracer(previous_tracer)
+            write_chrome_trace(args.trace, tracer.take_roots())
+            print(f"wrote trace to {args.trace}", file=sys.stderr)
     if any_error and any_vulnerable:
         # Both conditions hold: report both, vulnerabilities win the exit
         # code (an un-analyzable file must not mask confirmed findings).
@@ -213,6 +304,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         default_cache_dir,
     )
 
+    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
+
     websari = _make_websari(args)
     files = _collect_php_files(args.paths)
     if not files:
@@ -232,18 +325,28 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir or default_cache_dir())
     sink = JsonlSink(args.jsonl) if args.jsonl else None
+    tracer = Tracer(enabled=True) if args.trace else None
+    metrics = MetricsRegistry() if args.metrics else None
     config = EngineConfig(
         jobs=max(1, args.jobs),
         timeout=args.timeout,
         cache=cache,
         progress=sys.stderr.isatty(),
         jsonl=sink,
+        tracer=tracer,
+        metrics=metrics,
     )
     try:
         result = AuditEngine(websari=websari, config=config).run(tasks)
     finally:
         if sink is not None:
             sink.close()
+        if tracer is not None:
+            write_chrome_trace(args.trace, tracer.take_roots())
+            print(f"wrote trace to {args.trace}", file=sys.stderr)
+        if metrics is not None:
+            args.metrics.write_text(metrics.render())
+            print(f"wrote metrics to {args.metrics}", file=sys.stderr)
 
     for outcome in result.outcomes:
         if outcome.status == "ok":
@@ -260,6 +363,31 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     if result.any_vulnerable:
         return 1
     return 2 if (result.any_failed or any_read_error) else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import ReportError, diff_runs, load_audit, render_diff, render_report
+
+    if args.diff and args.path:
+        print("report: give either a stream to summarize or --diff, not both", file=sys.stderr)
+        return 2
+    if not args.diff and not args.path:
+        print("report: nothing to do (give a JSONL path or --diff OLD NEW)", file=sys.stderr)
+        return 2
+    try:
+        if args.diff:
+            old_path, new_path = args.diff
+            old = load_audit(old_path)
+            new = load_audit(new_path)
+            diff = diff_runs(old, new)
+            print(render_diff(old, new, diff))
+            return 1 if diff.has_regressions else 0
+        run = load_audit(args.path)
+        print(render_report(run, top=args.top))
+        return 0
+    except ReportError as error:
+        print(f"report: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_patch(args: argparse.Namespace) -> int:
@@ -315,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "verify": _cmd_verify,
         "audit": _cmd_audit,
+        "report": _cmd_report,
         "patch": _cmd_patch,
         "html": _cmd_html,
         "figure10": _cmd_figure10,
@@ -324,6 +453,13 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, pager quit): exit quietly
+        # like a well-behaved filter.  Redirect stdout to devnull first
+        # so the interpreter's shutdown flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

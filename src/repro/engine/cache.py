@@ -38,7 +38,8 @@ __all__ = [
 
 #: Bump whenever a pipeline change can alter verdicts: every cached
 #: entry keyed under an older version silently becomes a miss.
-ENGINE_VERSION = "1"
+#: (2: records gained per-file SAT-solver counters.)
+ENGINE_VERSION = "2"
 
 #: Cache record schema version (independent of verdict semantics).
 _RECORD_VERSION = 1
@@ -73,6 +74,9 @@ def policy_fingerprint(websari: "WebSSARI") -> str:
                 "max_counterexamples": websari.max_counterexamples,
                 "max_unfold_depth": websari.max_unfold_depth,
                 "sanitize_in_place": websari.sanitize_in_place,
+                # Both backends must agree on verdicts, but cached records
+                # embed per-backend solver counters, so key them apart.
+                "solver": getattr(websari, "solver", "cdcl"),
             },
         },
         sort_keys=True,

@@ -20,14 +20,23 @@ __all__ = ["JsonlSink"]
 
 
 class JsonlSink:
-    """Append-mode JSONL writer; usable as a context manager."""
+    """Append-mode JSONL writer; usable as a context manager.
+
+    Writing after :meth:`close` (or writing twice after the stats
+    trailer lands in an interrupt path) is a silent no-op rather than a
+    ``ValueError`` — the engine's ``finally`` blocks must be able to
+    flush unconditionally.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("w")
+        self._wrote_stats = False
 
     def write(self, record: dict) -> None:
+        if self._handle.closed:
+            return
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
 
@@ -35,10 +44,15 @@ class JsonlSink:
         self.write({"type": "file", **record})
 
     def write_stats(self, stats_dict: dict) -> None:
+        """Write the final stats trailer (at most once per sink)."""
+        if self._wrote_stats:
+            return
+        self._wrote_stats = True
         self.write({"type": "stats", **stats_dict})
 
     def close(self) -> None:
-        self._handle.close()
+        if not self._handle.closed:
+            self._handle.close()
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -27,6 +27,7 @@ or crash isolation); useful for debugging and on single-core boxes.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -37,6 +38,7 @@ from repro.engine.cache import ResultCache, cache_key, policy_fingerprint
 from repro.engine.jsonl import JsonlSink
 from repro.engine.stats import EngineStats, ProgressPrinter
 from repro.engine.worker import AuditTask, FileOutcome, _worker_loop, safe_execute
+from repro.obs import MetricsRegistry, Span, Tracer, span_from_dict
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.websari.pipeline import WebSSARI
@@ -67,6 +69,18 @@ class EngineConfig:
     want_reports: bool = False
     progress: bool = False
     jsonl: JsonlSink | None = None
+    #: Enabled tracer: workers collect per-stage span trees (down to
+    #: per-assertion SAT solves) and the scheduler stitches them under a
+    #: per-file root span on this tracer.  None (or a disabled tracer)
+    #: keeps the whole path no-op.
+    tracer: Tracer | None = None
+    #: Metrics registry updated per finalized outcome (file/verdict
+    #: counters, per-stage and solver totals, duration histogram).
+    metrics: MetricsRegistry | None = None
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
 
 
 @dataclass
@@ -115,6 +129,8 @@ class AuditEngine:
         progress = ProgressPrinter(total=len(tasks), enabled=config.progress)
         outcomes: dict[int, FileOutcome] = {}
         started = time.monotonic()
+        tracer = config.tracer if config.tracing else None
+        run_span = tracer.span("audit", files=len(tasks), jobs=config.jobs) if tracer else None
 
         keys: dict[int, str] = {}
         pending: deque[tuple[AuditTask, int]] = deque()
@@ -123,24 +139,38 @@ class AuditEngine:
             for task in tasks:
                 material, extra = task.cache_material()
                 keys[task.index] = cache_key(material, policy_fp, extra)
-        for task in tasks:
-            hit = self._probe_cache(task, keys)
-            if hit is not None:
-                self._finalize(hit, task, stats, progress, outcomes, keys)
-            else:
-                pending.append((task, 1))
 
+        completed = False
+        if run_span is not None:
+            run_span.__enter__()
         try:
-            if config.jobs <= 1:
-                self._run_inline(pending, stats, progress, outcomes, keys)
-            else:
-                self._run_pool(pending, stats, progress, outcomes, keys)
+            for task in tasks:
+                hit = self._probe_cache(task, keys)
+                if hit is not None:
+                    self._finalize(hit, task, stats, progress, outcomes, keys)
+                else:
+                    pending.append((task, 1))
+            try:
+                if config.jobs <= 1:
+                    self._run_inline(pending, stats, progress, outcomes, keys)
+                else:
+                    self._run_pool(pending, stats, progress, outcomes, keys)
+            finally:
+                progress.close()
+            completed = True
         finally:
-            progress.close()
+            # The trailer is written even on SIGINT / early termination:
+            # an interrupted audit must still leave a well-formed stream
+            # (every line standalone JSON, exactly one stats record).
+            stats.wall_seconds = time.monotonic() - started
+            if run_span is not None:
+                run_span.__exit__(None, None, None)
+            if config.jsonl is not None:
+                payload = stats.as_dict()
+                if not completed:
+                    payload["interrupted"] = True
+                config.jsonl.write_stats(payload)
 
-        stats.wall_seconds = time.monotonic() - started
-        if config.jsonl is not None:
-            config.jsonl.write_stats(stats.as_dict())
         ordered = [outcomes[task.index] for task in tasks]
         return EngineResult(outcomes=ordered, stats=stats)
 
@@ -179,16 +209,85 @@ class AuditEngine:
                 config.cache.put(key, outcome.to_record())
         outcomes[task.index] = outcome
         stats.record(outcome)
+        if config.tracing:
+            self._stitch_trace(outcome)
+        if config.metrics is not None:
+            self._observe(outcome)
         if config.jsonl is not None:
             config.jsonl.write_file(outcome.to_record())
         progress.update(stats)
+
+    # -- observability -------------------------------------------------------
+
+    def _stitch_trace(self, outcome: FileOutcome) -> None:
+        """Reparent the worker's serialized span trees under one per-file
+        root span on the scheduler's tracer (children keep their worker
+        pid/tid, so multi-process audits render one track per worker)."""
+        tracer = self.config.tracer
+        assert tracer is not None
+        children = [span_from_dict(payload) for payload in outcome.trace or []]
+        start = min((child.start for child in children), default=tracer.now())
+        root = Span(
+            "file:" + outcome.filename,
+            start=start,
+            duration=max(
+                outcome.duration,
+                max((child.end for child in children), default=start) - start,
+            ),
+            attrs={
+                "filename": outcome.filename,
+                "status": outcome.status,
+                "cached": outcome.cached,
+                "attempts": outcome.attempts,
+            },
+            pid=os.getpid(),
+        )
+        if outcome.safe is not None:
+            root.attrs["safe"] = outcome.safe
+        root.children = children
+        tracer.add(root)
+
+    def _observe(self, outcome: FileOutcome) -> None:
+        metrics = self.config.metrics
+        assert metrics is not None
+        metrics.counter("repro_files_total", "audited files by outcome status").inc(
+            status=outcome.status
+        )
+        if outcome.status == "ok":
+            metrics.counter("repro_verdicts_total", "verdicts by kind").inc(
+                verdict="safe" if outcome.safe else "vulnerable"
+            )
+        metrics.counter("repro_cache_lookups_total", "result-cache probes").inc(
+            result="hit" if outcome.cached else "miss"
+        )
+        metrics.histogram(
+            "repro_file_seconds", "end-to-end wall seconds per file"
+        ).observe(outcome.duration)
+        if outcome.cached:
+            return
+        stage_counter = metrics.counter(
+            "repro_stage_seconds_total", "worker CPU seconds by pipeline stage"
+        )
+        for stage, seconds in outcome.timings.items():
+            if isinstance(seconds, (int, float)):
+                stage_counter.inc(float(seconds), stage=stage)
+        solver_counter = metrics.counter(
+            "repro_solver_events_total", "aggregated SAT-solver counters"
+        )
+        backend = str(outcome.solver.get("backend", "unknown")) if outcome.solver else "unknown"
+        for name, value in (outcome.solver or {}).items():
+            if name == "backend" or not isinstance(value, int):
+                continue
+            solver_counter.inc(value, kind=name, backend=backend)
 
     # -- inline execution ---------------------------------------------------
 
     def _run_inline(self, pending, stats, progress, outcomes, keys) -> None:
         while pending:
             task, attempt = pending.popleft()
-            outcome = safe_execute(task, self.websari, self.config.want_reports)
+            outcome = safe_execute(
+                task, self.websari, self.config.want_reports, self.config.tracing
+            )
             outcome.attempts = attempt
             self._finalize(outcome, task, stats, progress, outcomes, keys)
 
@@ -203,7 +302,7 @@ class AuditEngine:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         process = ctx.Process(
             target=_worker_loop,
-            args=(child_conn, self.websari, self.config.want_reports),
+            args=(child_conn, self.websari, self.config.want_reports, self.config.tracing),
             daemon=True,
         )
         process.start()

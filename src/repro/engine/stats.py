@@ -43,6 +43,13 @@ class EngineStats:
     #: CPU seconds spent inside each pipeline stage, summed over workers
     #: (cache hits contribute nothing: their stages never ran this run).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: SAT-solver counters (decisions, conflicts, propagations, restarts,
+    #: learned clauses, solve calls) summed over non-cached outcomes.
+    solver_totals: dict[str, int] = field(default_factory=dict)
+    #: Outcomes whose status is none of the known five — counted here
+    #: (and in :attr:`failed`) instead of being silently folded into
+    #: ``errors``.
+    other_statuses: dict[str, int] = field(default_factory=dict)
 
     def record(self, outcome: "FileOutcome") -> None:
         self.completed += 1
@@ -50,8 +57,17 @@ class EngineStats:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+            # Tolerate unexpected stage keys and non-numeric values: an
+            # outcome from a newer/older worker must never abort or skew
+            # the aggregate mid-run.
             for stage, seconds in outcome.timings.items():
-                self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+                if isinstance(seconds, (int, float)) and not isinstance(seconds, bool):
+                    self.stage_seconds[stage] = (
+                        self.stage_seconds.get(stage, 0.0) + float(seconds)
+                    )
+            for name, value in (getattr(outcome, "solver", None) or {}).items():
+                if name != "backend" and isinstance(value, int) and not isinstance(value, bool):
+                    self.solver_totals[name] = self.solver_totals.get(name, 0) + value
         self.retries += max(0, outcome.attempts - 1)
         if outcome.status == "ok":
             if outcome.safe:
@@ -64,13 +80,23 @@ class EngineStats:
             self.timeouts += 1
         elif outcome.status == "crash":
             self.crashes += 1
-        else:
+        elif outcome.status == "error":
             self.errors += 1
+        else:
+            self.other_statuses[outcome.status] = (
+                self.other_statuses.get(outcome.status, 0) + 1
+            )
 
     @property
     def failed(self) -> int:
         """Files that produced no verdict (any non-ok status)."""
-        return self.frontend_errors + self.errors + self.timeouts + self.crashes
+        return (
+            self.frontend_errors
+            + self.errors
+            + self.timeouts
+            + self.crashes
+            + sum(self.other_statuses.values())
+        )
 
     def hit_rate(self) -> float:
         return self.cache_hits / self.completed if self.completed else 0.0
@@ -90,6 +116,8 @@ class EngineStats:
             "retries": self.retries,
             "wall_seconds": round(self.wall_seconds, 6),
             "stage_seconds": {k: round(v, 6) for k, v in sorted(self.stage_seconds.items())},
+            "solver": dict(sorted(self.solver_totals.items())),
+            "other_statuses": dict(sorted(self.other_statuses.items())),
         }
 
     def summary_lines(self) -> list[str]:
@@ -109,16 +137,33 @@ class EngineStats:
                 parts.append(f"{self.timeouts} timeout(s)")
             if self.crashes:
                 parts.append(f"{self.crashes} crash(es)")
+            for status, count in sorted(self.other_statuses.items()):
+                parts.append(f"{count} {status}")
             lines.append("failures: " + ", ".join(parts))
         if self.retries:
             lines.append(f"retries: {self.retries}")
         if self.stage_seconds:
+            shown = [stage for stage in STAGES if stage in self.stage_seconds]
+            extras = sorted(set(self.stage_seconds) - set(STAGES))
             stage_text = ", ".join(
-                f"{stage} {self.stage_seconds.get(stage, 0.0):.2f}s"
-                for stage in STAGES
-                if stage in self.stage_seconds
+                f"{stage} {self.stage_seconds[stage]:.2f}s" for stage in shown + extras
             )
             lines.append(f"stage time: {stage_text}")
+        if self.solver_totals:
+            solver_parts = [
+                f"{self.solver_totals[name]} {label}"
+                for name, label in (
+                    ("solve_calls", "solve call(s)"),
+                    ("decisions", "decisions"),
+                    ("propagations", "propagations"),
+                    ("conflicts", "conflicts"),
+                    ("learned_clauses", "learned"),
+                    ("restarts", "restarts"),
+                )
+                if name in self.solver_totals
+            ]
+            if solver_parts:
+                lines.append("solver: " + ", ".join(solver_parts))
         return lines
 
 

@@ -22,6 +22,7 @@ import traceback
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
+from repro.obs import Tracer, get_tracer, set_tracer
 from repro.php.errors import FrontendError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,11 +82,19 @@ class FileOutcome:
     error: str | None = None
     #: Per-stage wall seconds measured inside the worker.
     timings: dict[str, float] = field(default_factory=dict)
+    #: SAT-solver counters for this file: ``backend``, ``solve_calls``,
+    #: and the aggregated :class:`~repro.sat.solver.SolverStats` fields
+    #: (decisions, conflicts, propagations, restarts, ...).
+    solver: dict = field(default_factory=dict)
     #: End-to-end seconds for this file as seen by the scheduler.
     duration: float = 0.0
     cached: bool = False
     cache_key: str | None = None
     attempts: int = 1
+    #: Serialized span trees (``Span.to_dict`` payloads) collected inside
+    #: the worker when tracing is on; stitched by the scheduler and
+    #: deliberately excluded from the JSON record (cache + JSONL stay lean).
+    trace: list[dict] | None = None
     #: Full report object (pickled across the process boundary, never
     #: JSON-serialized); present only when the caller asked for it.
     report: "VerificationReport | None" = None
@@ -104,6 +113,7 @@ class FileOutcome:
         "detailed",
         "error",
         "timings",
+        "solver",
     )
 
     def to_record(self) -> dict:
@@ -169,44 +179,53 @@ def _run_stages(
     from repro.websari.pipeline import VerificationReport, count_statements
 
     include_warnings: list[str] = []
+    tracer = get_tracer()
 
     clock = time.perf_counter
     mark = clock()
-    if task.project_files is not None:
-        assert task.entry is not None
-        project = SourceProject(task.project_files)
-        resolution = resolve_includes(project, task.entry)
-        program = resolution.program
-        include_warnings = list(resolution.warnings)
-        num_statements = count_statements(parse(project.source(task.entry), task.entry))
-    else:
-        program = parse(task.source or "", task.filename)
-        num_statements = count_statements(program)
+    with tracer.span("parse"):
+        if task.project_files is not None:
+            assert task.entry is not None
+            project = SourceProject(task.project_files)
+            resolution = resolve_includes(project, task.entry)
+            program = resolution.program
+            include_warnings = list(resolution.warnings)
+            num_statements = count_statements(
+                parse(project.source(task.entry), task.entry)
+            )
+        else:
+            program = parse(task.source or "", task.filename)
+            num_statements = count_statements(program)
     timings["parse"] = clock() - mark
 
     mark = clock()
-    filtered = filter_program(
-        program,
-        prelude=websari.prelude,
-        max_unfold_depth=websari.max_unfold_depth,
-        sanitize_in_place=websari.sanitize_in_place,
-    )
+    with tracer.span("filter"):
+        filtered = filter_program(
+            program,
+            prelude=websari.prelude,
+            max_unfold_depth=websari.max_unfold_depth,
+            sanitize_in_place=websari.sanitize_in_place,
+        )
     timings["filter"] = clock() - mark
 
     mark = clock()
-    ts_report = analyze_commands(filtered.commands, lattice=websari.lattice)
-    ai_program = translate_filter_result(filtered)
-    renamed = rename(ai_program)
+    with tracer.span("ai"):
+        ts_report = analyze_commands(filtered.commands, lattice=websari.lattice)
+        ai_program = translate_filter_result(filtered)
+        renamed = rename(ai_program)
     timings["ai"] = clock() - mark
 
+    solver_backend = getattr(websari, "solver", "cdcl")
     mark = clock()
-    bmc_result = check_program(
-        renamed,
-        lattice=websari.lattice,
-        accumulate=websari.accumulate,
-        max_counterexamples=websari.max_counterexamples,
-    )
-    grouping = group_errors(bmc_result)
+    with tracer.span("sat", backend=solver_backend):
+        bmc_result = check_program(
+            renamed,
+            lattice=websari.lattice,
+            accumulate=websari.accumulate,
+            max_counterexamples=websari.max_counterexamples,
+            solver_backend=solver_backend,
+        )
+        grouping = group_errors(bmc_result)
     timings["sat"] = clock() - mark
 
     report = VerificationReport(
@@ -231,22 +250,51 @@ def _run_stages(
         warnings=list(report.warnings),
         summary=report.summary(),
         detailed=report.detailed_report(),
+        solver={
+            "backend": bmc_result.solver_backend,
+            "solve_calls": bmc_result.num_solve_calls,
+            **bmc_result.solver_stats,
+        },
         report=report if want_report else None,
     )
 
 
-def safe_execute(task: AuditTask, websari: "WebSSARI", want_report: bool) -> FileOutcome:
+def safe_execute(
+    task: AuditTask,
+    websari: "WebSSARI",
+    want_report: bool,
+    collect_trace: bool = False,
+) -> FileOutcome:
     """``execute_task`` with a last-resort catch: even a bug in the
-    executor itself must yield a structured record, not an abort."""
+    executor itself must yield a structured record, not an abort.
+
+    With ``collect_trace``, a fresh enabled tracer is installed for the
+    duration of the task and the finished span trees (the stage spans
+    and everything the pipeline nested under them) are serialized onto
+    ``outcome.trace`` for the scheduler to stitch.
+    """
+    tracer = Tracer(enabled=True) if collect_trace else None
+    previous = set_tracer(tracer) if tracer is not None else None
     try:
-        return execute_task(task, websari, want_report)
-    except Exception as exc:  # noqa: BLE001 - isolation is the contract
-        return FileOutcome(
-            filename=task.filename, status="error", error=f"{type(exc).__name__}: {exc}"
-        )
+        try:
+            outcome = execute_task(task, websari, want_report)
+        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+            outcome = FileOutcome(
+                filename=task.filename,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+    if tracer is not None:
+        outcome.trace = [span.to_dict() for span in tracer.take_roots()]
+    return outcome
 
 
-def _worker_loop(conn, websari: "WebSSARI", want_report: bool) -> None:
+def _worker_loop(
+    conn, websari: "WebSSARI", want_report: bool, collect_trace: bool = False
+) -> None:
     """Entry point of a persistent worker process.
 
     Receives :class:`AuditTask` objects over the pipe and sends one
@@ -263,6 +311,6 @@ def _worker_loop(conn, websari: "WebSSARI", want_report: bool) -> None:
                 return
             if task is None:
                 return
-            conn.send(safe_execute(task, websari, want_report))
+            conn.send(safe_execute(task, websari, want_report, collect_trace))
     finally:
         conn.close()

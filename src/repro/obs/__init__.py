@@ -1,0 +1,72 @@
+"""Pipeline-wide observability: span tracing, metrics, trace export,
+audit-report tooling.
+
+The verifier's interesting story at corpus scale is *where time and
+verdicts come from* — per-phase cost of parse → filter → AI → BMC → SAT
+and per-assertion counterexample enumeration.  This package makes that
+inspectable with zero dependencies and (by design) zero cost when
+disabled:
+
+* :mod:`repro.obs.tracer` — hierarchical span tracer with a
+  context-manager API, monotonic clocks, thread/process-safe ids, and a
+  free no-op mode (:data:`NULL_TRACER` / :data:`NULL_SPAN`).
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry with a
+  Prometheus text snapshot.
+* :mod:`repro.obs.export` — Chrome trace-event JSON export (loadable in
+  Perfetto or ``chrome://tracing``).
+* :mod:`repro.obs.report` — consumers for ``repro audit`` JSONL streams:
+  run summaries and new/fixed/regressed diffs.
+
+See ``docs/OBSERVABILITY.md`` for the span model and CLI usage.
+"""
+
+from repro.obs.export import chrome_trace_events, write_chrome_trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    AuditDiff,
+    AuditRun,
+    ReportError,
+    diff_runs,
+    load_audit,
+    render_diff,
+    render_report,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span_from_dict,
+)
+
+__all__ = [
+    "AuditDiff",
+    "AuditRun",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "ReportError",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "diff_runs",
+    "get_tracer",
+    "load_audit",
+    "render_diff",
+    "render_report",
+    "set_tracer",
+    "span_from_dict",
+    "write_chrome_trace",
+]

@@ -1,0 +1,75 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto / chrome://tracing).
+
+The exporter flattens span trees into the Trace Event Format's complete
+("ph": "X") events.  Timestamps are microseconds relative to the
+earliest span in the batch, so files load with t=0 at the run start;
+each event keeps the pid/tid recorded at span creation, which is what
+makes scheduler-stitched multi-process audits render one track per
+worker process.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.tracer import Span
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+
+def _earliest_start(roots: list[Span]) -> float:
+    starts = [span.start for root in roots for span in root.walk()]
+    return min(starts) if starts else 0.0
+
+
+def chrome_trace_events(roots: Iterable[Span]) -> list[dict]:
+    """Flatten span trees into Chrome trace-event dicts.
+
+    Every span becomes one complete event; ``args`` carries the span
+    attributes.  Process-name metadata events label each pid track.
+    """
+    root_list = list(roots)
+    base = _earliest_start(root_list)
+    events: list[dict] = []
+    pids: set[int] = set()
+    for root in root_list:
+        for span in root.walk():
+            pids.add(span.pid)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round((span.start - base) * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": dict(span.attrs),
+                }
+            )
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str | Path, roots: Iterable[Span]) -> Path:
+    """Write a Chrome trace-event JSON file; returns the path written."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(roots),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True))
+    return path

@@ -1,0 +1,205 @@
+"""Metrics registry: counters, gauges, histograms, Prometheus text render.
+
+A tiny, dependency-free subset of the Prometheus client model, enough to
+snapshot an audit run::
+
+    registry = MetricsRegistry()
+    registry.counter("repro_files_total", "files by outcome").inc(status="ok")
+    registry.histogram("repro_file_seconds", "per-file wall time").observe(0.12)
+    print(registry.render())
+
+Every metric supports label sets passed as keyword arguments; each
+distinct label set keeps its own value.  ``render()`` emits the
+Prometheus text exposition format (``# HELP``/``# TYPE`` headers,
+``name{label="value"} 1.0`` samples, cumulative histogram buckets with a
+``+Inf`` bucket plus ``_sum``/``_count`` series).  All operations are
+thread-safe behind one registry lock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Seconds-oriented default histogram buckets (audit files span ~1 ms to minutes).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = key + extra
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self._values: dict[LabelKey, float] = {}
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _samples(self) -> list[str]:
+        lines = []
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_format_value(self._values[key])}"
+            )
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """Set-to-current-value metric per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        # label key -> (per-bucket counts, sum, count)
+        self._series: dict[LabelKey, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [[0] * len(self.buckets), 0.0, 0]
+            counts, total, count = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            series[1] = total + value
+            series[2] = count + 1
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return series[2] if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        return series[1] if series else 0.0
+
+    def _samples(self) -> list[str]:
+        lines = []
+        for key in sorted(self._series):
+            counts, total, count = self._series[key]
+            for bound, bucket_count in zip(self.buckets, counts):
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(key, (('le', _format_value(bound)),))} {bucket_count}"
+                )
+            lines.append(f"{self.name}_bucket{_render_labels(key, (('le', '+Inf'),))} {count}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {_format_value(total)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and a text snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif metric.kind != kind:  # type: ignore[attr-defined]
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"  # type: ignore[attr-defined]
+                )
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, help_text, self._lock), "counter"
+        )
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help_text, self._lock), "gauge")
+
+    def histogram(
+        self, name: str, help_text: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, self._lock, buckets), "histogram"
+        )
+
+    def render(self) -> str:
+        """Prometheus text exposition snapshot of every registered metric."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            if metric.help:  # type: ignore[attr-defined]
+                lines.append(f"# HELP {name} {metric.help}")  # type: ignore[attr-defined]
+            lines.append(f"# TYPE {name} {metric.kind}")  # type: ignore[attr-defined]
+            lines.extend(metric._samples())  # type: ignore[attr-defined]
+        return "\n".join(lines) + ("\n" if lines else "")

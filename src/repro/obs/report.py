@@ -1,0 +1,271 @@
+"""Audit JSONL consumers: human-readable run summaries and run diffs.
+
+``repro audit --jsonl`` streams one ``{"type": "file", ...}`` record per
+file plus a final ``{"type": "stats", ...}`` trailer (see
+``repro.engine.jsonl``).  This module turns those streams into:
+
+* :func:`render_report` — verdict/cache tallies, per-stage and solver
+  totals, and the top-N slowest files of one run;
+* :func:`diff_runs` / :func:`render_diff` — new / fixed / regressed
+  classification between two runs of the same corpus (the CI story:
+  fail the build when a change introduces vulnerabilities).
+
+Both are exposed through the ``repro report`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "AuditRun",
+    "AuditDiff",
+    "ReportError",
+    "load_audit",
+    "render_report",
+    "diff_runs",
+    "render_diff",
+]
+
+
+class ReportError(Exception):
+    """Raised for unreadable or malformed audit streams."""
+
+
+@dataclass
+class AuditRun:
+    """One parsed audit JSONL stream."""
+
+    path: str
+    files: list[dict] = field(default_factory=list)
+    stats: dict | None = None
+    #: True when the stream carries no stats trailer (interrupted before
+    #: PR 2's in-``finally`` trailer, or truncated externally).
+    truncated: bool = False
+
+    def by_filename(self) -> dict[str, dict]:
+        """Last record per filename (re-audits supersede earlier lines)."""
+        return {record["filename"]: record for record in self.files}
+
+
+def _is_vulnerable(record: dict) -> bool:
+    return record.get("status") == "ok" and record.get("safe") is False
+
+
+def _is_safe(record: dict) -> bool:
+    return record.get("status") == "ok" and record.get("safe") is True
+
+
+def load_audit(path: str | Path) -> AuditRun:
+    """Parse an audit JSONL file, tolerating a truncated final line."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ReportError(f"cannot read {path}: {exc}") from exc
+    run = AuditRun(path=str(path))
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            # A killed writer can leave one torn final line; anything
+            # torn earlier means the file is not an audit stream.
+            if lineno == len(lines):
+                run.truncated = True
+                continue
+            raise ReportError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ReportError(f"{path}:{lineno}: expected a JSON object")
+        kind = record.get("type")
+        if kind == "file":
+            if "filename" not in record:
+                raise ReportError(f"{path}:{lineno}: file record without filename")
+            run.files.append(record)
+        elif kind == "stats":
+            run.stats = record
+    if run.stats is None:
+        run.truncated = True
+    return run
+
+
+def _tally(records: list[dict]) -> dict[str, int]:
+    tally = {"safe": 0, "vulnerable": 0, "failed": 0, "cached": 0}
+    for record in records:
+        if _is_safe(record):
+            tally["safe"] += 1
+        elif _is_vulnerable(record):
+            tally["vulnerable"] += 1
+        else:
+            tally["failed"] += 1
+        if record.get("cached"):
+            tally["cached"] += 1
+    return tally
+
+
+def _sum_dicts(records: list[dict], key: str) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for record in records:
+        payload = record.get(key)
+        if not isinstance(payload, dict):
+            continue
+        for name, value in payload.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[name] = totals.get(name, 0) + value
+    return totals
+
+
+def render_report(run: AuditRun, top: int = 10) -> str:
+    """Human-readable summary of one audit run."""
+    records = run.files
+    tally = _tally(records)
+    lines = [f"audit report — {run.path}"]
+    if run.truncated:
+        lines.append("warning: stream has no stats trailer (truncated or interrupted run)")
+    stats = run.stats or {}
+    if stats.get("interrupted"):
+        lines.append("warning: run was interrupted before completion")
+    total = stats.get("total", len(records))
+    wall = stats.get("wall_seconds")
+    header = f"files: {len(records)}/{total} audited"
+    if isinstance(wall, (int, float)):
+        header += f" in {wall:.2f}s"
+    lines.append(header)
+    lines.append(
+        f"verdicts: {tally['safe']} safe, {tally['vulnerable']} vulnerable, "
+        f"{tally['failed']} failed"
+    )
+    lines.append(
+        f"cache: {tally['cached']} hit(s), {len(records) - tally['cached']} miss(es)"
+    )
+
+    failures = [r for r in records if r.get("status") != "ok"]
+    if failures:
+        by_status: dict[str, int] = {}
+        for record in failures:
+            by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+        parts = ", ".join(f"{count} {status}" for status, count in sorted(by_status.items()))
+        lines.append(f"failures: {parts}")
+
+    stage_totals = _sum_dicts(records, "timings")
+    if stage_totals:
+        stage_text = ", ".join(
+            f"{stage} {seconds:.2f}s" for stage, seconds in sorted(stage_totals.items())
+        )
+        lines.append(f"stage time: {stage_text}")
+
+    solver_totals = _sum_dicts(records, "solver")
+    if solver_totals:
+        order = ("solve_calls", "decisions", "propagations", "conflicts",
+                 "learned_clauses", "restarts")
+        parts = [
+            f"{int(solver_totals[name])} {name.replace('_', ' ')}"
+            for name in order
+            if name in solver_totals
+        ]
+        if parts:
+            lines.append("solver: " + ", ".join(parts))
+
+    slowest = sorted(
+        (r for r in records if isinstance(r.get("duration"), (int, float))),
+        key=lambda r: r["duration"],
+        reverse=True,
+    )[: max(0, top)]
+    if slowest:
+        lines.append(f"slowest {len(slowest)} file(s):")
+        for record in slowest:
+            verdict = (
+                "vulnerable"
+                if _is_vulnerable(record)
+                else ("safe" if _is_safe(record) else record.get("status", "?"))
+            )
+            lines.append(f"  {record['duration']:9.3f}s  {record['filename']}  [{verdict}]")
+    return "\n".join(lines)
+
+
+@dataclass
+class AuditDiff:
+    """File-level classification between two runs of the same corpus."""
+
+    #: Vulnerable in the new run, absent from the old one.
+    new_vulnerable: list[str] = field(default_factory=list)
+    #: Vulnerable before, verified safe now.
+    fixed: list[str] = field(default_factory=list)
+    #: Present in both, not vulnerable before, vulnerable now.
+    regressed: list[str] = field(default_factory=list)
+    #: Analyzable before (status ok), failed now — a tooling regression.
+    broken: list[str] = field(default_factory=list)
+    #: Failed before, analyzable now.
+    recovered: list[str] = field(default_factory=list)
+    #: Present only in the old run.
+    removed: list[str] = field(default_factory=list)
+    #: Present only in the new run and not vulnerable.
+    added: list[str] = field(default_factory=list)
+    still_vulnerable: int = 0
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.new_vulnerable or self.regressed)
+
+
+def diff_runs(old: AuditRun, new: AuditRun) -> AuditDiff:
+    """Classify per-file verdict movement from ``old`` to ``new``."""
+    old_by_name = old.by_filename()
+    new_by_name = new.by_filename()
+    diff = AuditDiff()
+    for name in sorted(set(old_by_name) | set(new_by_name)):
+        before = old_by_name.get(name)
+        after = new_by_name.get(name)
+        if after is None:
+            diff.removed.append(name)
+            continue
+        if before is None:
+            if _is_vulnerable(after):
+                diff.new_vulnerable.append(name)
+            else:
+                diff.added.append(name)
+            continue
+        if _is_vulnerable(before) and _is_vulnerable(after):
+            diff.still_vulnerable += 1
+        elif _is_vulnerable(after):
+            diff.regressed.append(name)
+        elif _is_vulnerable(before) and _is_safe(after):
+            diff.fixed.append(name)
+        if before.get("status") == "ok" and after.get("status") != "ok":
+            diff.broken.append(name)
+        elif before.get("status") != "ok" and after.get("status") == "ok":
+            diff.recovered.append(name)
+    return diff
+
+
+def render_diff(old: AuditRun, new: AuditRun, diff: AuditDiff) -> str:
+    """Human-readable new / fixed / regressed listing."""
+    lines = [f"audit diff — {old.path} → {new.path}"]
+    for run in (old, new):
+        if run.truncated:
+            lines.append(f"warning: {run.path} has no stats trailer (truncated run)")
+
+    def section(title: str, names: list[str]) -> None:
+        lines.append(f"{title}: {len(names)}")
+        for name in names:
+            lines.append(f"  {name}")
+
+    section("new vulnerable file(s)", diff.new_vulnerable)
+    section("regressed (safe → vulnerable)", diff.regressed)
+    section("fixed (vulnerable → safe)", diff.fixed)
+    if diff.broken:
+        section("broken (analyzed → failed)", diff.broken)
+    if diff.recovered:
+        section("recovered (failed → analyzed)", diff.recovered)
+    if diff.added:
+        lines.append(f"added file(s): {len(diff.added)}")
+    if diff.removed:
+        lines.append(f"removed file(s): {len(diff.removed)}")
+    lines.append(f"still vulnerable: {diff.still_vulnerable}")
+    verdict = "REGRESSIONS FOUND" if diff.has_regressions else "no regressions"
+    lines.append(f"result: {verdict}")
+    return "\n".join(lines)

@@ -6,7 +6,7 @@ DESIGN.md §5); the DPLL solver is the ablation baseline.
 
 from repro.sat.cnf import CNF, Clause, VariablePool, lit_to_str
 from repro.sat.dimacs import DimacsError, parse_dimacs, write_dimacs
-from repro.sat.dpll import DPLLSolver
+from repro.sat.dpll import DPLLSolver, IncrementalDPLL
 from repro.sat.solver import CDCLSolver, SolveResult, SolverStats, solve_cnf
 from repro.sat.tseitin import (
     FALSE,
@@ -38,6 +38,7 @@ __all__ = [
     "parse_dimacs",
     "write_dimacs",
     "DPLLSolver",
+    "IncrementalDPLL",
     "CDCLSolver",
     "SolveResult",
     "SolverStats",

@@ -9,10 +9,12 @@ benchmark suite can measure how much CDCL buys on BMC-shaped formulas.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.sat.cnf import CNF
 from repro.sat.solver import SolveResult, SolverStats
 
-__all__ = ["DPLLSolver"]
+__all__ = ["DPLLSolver", "IncrementalDPLL"]
 
 
 class DPLLSolver:
@@ -112,3 +114,39 @@ class DPLLSolver:
 
 class _BudgetExceeded(Exception):
     pass
+
+
+class IncrementalDPLL:
+    """Incremental facade over :class:`DPLLSolver` matching the subset of
+    :class:`~repro.sat.solver.CDCLSolver`'s surface the BMC checker uses
+    (``add_formula`` / ``add_clause`` / ``solve(assumptions)``).
+
+    DPLL has no learned state worth keeping, so every ``solve`` call
+    rebuilds from the accumulated clause set plus the assumptions as unit
+    clauses.  This is exactly what makes it the honest ABL-SAT ablation
+    baseline for the enumeration loop: the checker's blocking clauses
+    accumulate here too, but nothing is remembered between calls.
+    """
+
+    def __init__(self) -> None:
+        self._cnf = CNF()
+        self.stats = SolverStats()
+
+    def add_formula(self, formula: CNF) -> None:
+        self._cnf.add_clauses(formula.clauses)
+        self._cnf.extend_vars(formula.num_vars)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        self._cnf.add_clause(tuple(literals))
+
+    def solve(
+        self,
+        assumptions: Iterable[int] = (),
+        conflict_budget: int | None = None,
+    ) -> SolveResult:
+        cnf = self._cnf.copy()
+        for lit in assumptions:
+            cnf.add_unit(lit)
+        result = DPLLSolver(cnf).solve()
+        self.stats = result.stats
+        return result

@@ -26,9 +26,11 @@ from repro.instrument.instrumentor import (
     instrument_bmc,
     instrument_ts,
 )
+from repro.bmc.checker import SolverBackend
 from repro.ir.commands import count_commands
 from repro.ir.filter import FilterResult, filter_program
 from repro.lattice import FiniteLattice
+from repro.obs import get_tracer
 from repro.php import ast_nodes as ast
 from repro.php.includes import SourceProject, resolve_includes
 from repro.php.parser import parse
@@ -139,6 +141,7 @@ class WebSSARI:
         max_counterexamples: int = 256,
         max_unfold_depth: int = 3,
         sanitize_in_place: bool = True,
+        solver: SolverBackend = "cdcl",
     ) -> None:
         self.prelude = prelude if prelude is not None else default_php_prelude()
         self.accumulate = accumulate
@@ -147,6 +150,9 @@ class WebSSARI:
         #: Figure-6-faithful in-place sanitizer postconditions; see
         #: repro.ir.filter.ProgramFilter for the soundness caveat.
         self.sanitize_in_place = sanitize_in_place
+        #: SAT backend for the BMC engine: "cdcl" (the ZChaff stand-in)
+        #: or "dpll" (the ablation baseline, markedly slower).
+        self.solver = solver
 
     @property
     def lattice(self) -> FiniteLattice:
@@ -155,31 +161,39 @@ class WebSSARI:
     # -- single source ---------------------------------------------------------
 
     def verify_source(self, source: str, filename: str = "<string>") -> VerificationReport:
-        program = parse(source, filename)
-        return self.verify_ast(program, filename)
+        tracer = get_tracer()
+        with tracer.span("file", filename=filename):
+            with tracer.span("parse"):
+                program = parse(source, filename)
+            return self.verify_ast(program, filename)
 
     def verify_ast(self, program: ast.Program, filename: str = "<string>") -> VerificationReport:
-        filtered = filter_program(
-            program,
-            prelude=self.prelude,
-            max_unfold_depth=self.max_unfold_depth,
-            sanitize_in_place=self.sanitize_in_place,
-        )
+        with get_tracer().span("filter"):
+            filtered = filter_program(
+                program,
+                prelude=self.prelude,
+                max_unfold_depth=self.max_unfold_depth,
+                sanitize_in_place=self.sanitize_in_place,
+            )
         return self._verify_filtered(filtered, count_statements(program), filename)
 
     def _verify_filtered(
         self, filtered: FilterResult, num_statements: int, filename: str
     ) -> VerificationReport:
-        ts_report = analyze_commands(filtered.commands, lattice=self.lattice)
-        ai_program = translate_filter_result(filtered)
-        renamed: RenamedProgram = rename(ai_program)
-        bmc_result = check_program(
-            renamed,
-            lattice=self.lattice,
-            accumulate=self.accumulate,
-            max_counterexamples=self.max_counterexamples,
-        )
-        grouping = group_errors(bmc_result)
+        tracer = get_tracer()
+        with tracer.span("ai"):
+            ts_report = analyze_commands(filtered.commands, lattice=self.lattice)
+            ai_program = translate_filter_result(filtered)
+            renamed: RenamedProgram = rename(ai_program)
+        with tracer.span("sat", backend=self.solver):
+            bmc_result = check_program(
+                renamed,
+                lattice=self.lattice,
+                accumulate=self.accumulate,
+                max_counterexamples=self.max_counterexamples,
+                solver_backend=self.solver,
+            )
+            grouping = group_errors(bmc_result)
         return VerificationReport(
             filename=filename,
             ts=ts_report,

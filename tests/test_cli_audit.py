@@ -111,7 +111,7 @@ class TestAuditCache:
         second = capsys.readouterr().out
         assert "3 hit(s)" in second and "0 miss(es)" in second
         # Byte-identical per-file verdict text between cold and warm runs.
-        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:"))]
+        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:", "solver:"))]
         assert strip(first) == strip(second)
 
     def test_no_cache_flag(self, corpus, tmp_path, capsys):
@@ -147,8 +147,61 @@ class TestAuditParallel:
         parallel_out = capsys.readouterr().out
         assert audit(corpus, "--no-cache", "--jobs", "1") == 1
         inline_out = capsys.readouterr().out
-        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:"))]
+        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:", "solver:"))]
         assert strip(parallel_out) == strip(inline_out)
+
+
+class TestAuditObservability:
+    def test_trace_flag_writes_valid_chrome_trace(self, corpus, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        audit(corpus, "--no-cache", "--trace", trace, "--quiet")
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events}
+        assert any(name.startswith("file:") for name in names)
+        assert {"parse", "filter", "ai", "sat", "sat.solve", "audit"} <= names
+        solve = next(e for e in events if e["name"] == "sat.solve")
+        assert "decisions" in solve["args"]
+        assert "wrote trace" in capsys.readouterr().err
+
+    def test_metrics_flag_writes_prometheus_snapshot(self, corpus, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        audit(corpus, "--no-cache", "--metrics", prom, "--quiet")
+        text = prom.read_text()
+        assert "# TYPE repro_files_total counter" in text
+        assert 'repro_files_total{status="ok"} 3' in text
+        assert "repro_file_seconds_count 3" in text
+        assert "wrote metrics" in capsys.readouterr().err
+
+    def test_solver_dpll_backend(self, corpus, capsys):
+        assert audit(corpus, "--no-cache", "--solver", "dpll") == 1
+        out = capsys.readouterr().out
+        assert "VULNERABLE" in out and "solver:" in out
+
+
+class TestVerifyObservability:
+    def test_stats_prints_solver_and_formula_lines(self, corpus, capsys):
+        assert main(["verify", str(corpus / "vuln.php"), "--stats"]) == 1
+        out = capsys.readouterr().out
+        assert "solver[cdcl]:" in out
+        assert "solve call(s)" in out
+        assert "formula:" in out
+
+    def test_stats_with_dpll_backend(self, corpus, capsys):
+        main(["verify", str(corpus / "safe.php"), "--stats", "--solver", "dpll"])
+        assert "solver[dpll]:" in capsys.readouterr().out
+
+    def test_trace_flag_writes_trace(self, corpus, tmp_path, capsys):
+        trace = tmp_path / "verify-trace.json"
+        main(["verify", str(corpus / "vuln.php"), "--trace", str(trace)])
+        names = {e["name"] for e in json.loads(trace.read_text())["traceEvents"]}
+        assert {"file", "parse", "sat", "sat.solve"} <= names
+
+    def test_global_tracer_restored_after_verify(self, corpus, tmp_path):
+        from repro.obs import NULL_TRACER, get_tracer
+
+        main(["verify", str(corpus / "vuln.php"), "--trace", str(tmp_path / "t.json")])
+        assert get_tracer() is NULL_TRACER
 
 
 class TestVerifyExitCodes:

@@ -264,6 +264,210 @@ class TestJsonl:
         assert by_name["b.php"]["status"] == "frontend-error"
 
 
+class TestSolverStatsInOutcomes:
+    def test_ok_outcome_carries_cdcl_counters(self):
+        result = AuditEngine(config=EngineConfig(jobs=1)).run(make_tasks([("v.php", VULN)]))
+        solver = result.outcomes[0].solver
+        assert solver["backend"] == "cdcl"
+        assert solver["solve_calls"] > 0
+        for key in ("decisions", "propagations", "conflicts"):
+            assert key in solver
+
+    def test_dpll_backend_same_verdicts_own_counters(self):
+        tasks = make_tasks([("v.php", VULN), ("s.php", SAFE)])
+        cdcl = AuditEngine(websari=WebSSARI(solver="cdcl"), config=EngineConfig(jobs=1)).run(tasks)
+        dpll = AuditEngine(websari=WebSSARI(solver="dpll"), config=EngineConfig(jobs=1)).run(tasks)
+        assert [o.safe for o in cdcl.outcomes] == [o.safe for o in dpll.outcomes]
+        assert dpll.outcomes[0].solver["backend"] == "dpll"
+        assert dpll.outcomes[0].solver["solve_calls"] > 0
+
+    def test_stats_aggregate_solver_totals(self):
+        tasks = make_tasks([("v.php", VULN), ("s.php", SAFE)])
+        stats = AuditEngine(config=EngineConfig(jobs=1)).run(tasks).stats
+        assert stats.solver_totals["solve_calls"] > 0
+        assert "solver" in stats.as_dict()
+        assert any(line.startswith("solver:") for line in stats.summary_lines())
+
+    def test_jsonl_records_include_solver(self, tmp_path):
+        out = tmp_path / "audit.jsonl"
+        with JsonlSink(out) as sink:
+            AuditEngine(config=EngineConfig(jobs=1, jsonl=sink)).run(
+                make_tasks([("v.php", VULN)])
+            )
+        record = json.loads(out.read_text().splitlines()[0])
+        assert record["solver"]["backend"] == "cdcl"
+        assert record["solver"]["solve_calls"] > 0
+        stats_line = json.loads(out.read_text().splitlines()[-1])
+        assert stats_line["solver"]["solve_calls"] > 0
+
+    def test_failed_outcome_has_empty_solver(self):
+        result = AuditEngine(config=EngineConfig(jobs=1)).run(make_tasks([("b.php", BROKEN)]))
+        assert result.outcomes[0].solver == {}
+
+
+class TestTracing:
+    def _config(self, jobs=1):
+        from repro.obs import MetricsRegistry, Tracer
+
+        return EngineConfig(
+            jobs=jobs, tracer=Tracer(enabled=True), metrics=MetricsRegistry()
+        )
+
+    def _file_roots(self, config):
+        roots = config.tracer.take_roots()
+        assert [r.name for r in roots] == ["audit"]
+        return roots[0].children
+
+    def test_inline_run_produces_nested_spans(self):
+        config = self._config(jobs=1)
+        AuditEngine(config=config).run(make_tasks([("v.php", VULN)]))
+        file_spans = self._file_roots(config)
+        assert [s.name for s in file_spans] == ["file:v.php"]
+        root = file_spans[0]
+        assert root.attrs["status"] == "ok" and root.attrs["safe"] is False
+        stage_names = [c.name for c in root.children]
+        assert stage_names == ["parse", "filter", "ai", "sat"]
+        sat = root.children[-1]
+        solves = [s for s in sat.walk() if s.name == "sat.solve"]
+        assert solves, "per-assertion SAT solves must appear under the sat stage"
+        assert "decisions" in solves[0].attrs
+
+    @needs_fork
+    def test_pooled_run_stitches_worker_spans(self):
+        config = self._config(jobs=2)
+        AuditEngine(config=config).run(make_tasks([("v.php", VULN), ("s.php", SAFE)]))
+        file_spans = self._file_roots(config)
+        assert sorted(s.name for s in file_spans) == ["file:s.php", "file:v.php"]
+        for root in file_spans:
+            assert root.pid == os.getpid()
+            assert [c.name for c in root.children] == ["parse", "filter", "ai", "sat"]
+            # Stage spans keep the worker's pid (separate track per worker).
+            assert all(c.pid != os.getpid() for c in root.children)
+
+    def test_metrics_observed(self):
+        config = self._config(jobs=1)
+        AuditEngine(config=config).run(make_tasks([("v.php", VULN), ("b.php", BROKEN)]))
+        text = config.metrics.render()
+        assert 'repro_files_total{status="ok"} 1' in text
+        assert 'repro_files_total{status="frontend-error"} 1' in text
+        assert 'repro_verdicts_total{verdict="vulnerable"} 1' in text
+        assert 'repro_solver_events_total{backend="cdcl",kind="solve_calls"}' in text
+
+    def test_no_tracer_collects_no_trace(self):
+        result = AuditEngine(config=EngineConfig(jobs=1)).run(make_tasks([("v.php", VULN)]))
+        assert result.outcomes[0].trace is None
+
+    def test_cached_outcomes_have_flagged_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        AuditEngine(config=EngineConfig(jobs=1, cache=cache)).run(make_tasks([("v.php", VULN)]))
+        config = self._config(jobs=1)
+        config.cache = cache
+        AuditEngine(config=config).run(make_tasks([("v.php", VULN)]))
+        root = self._file_roots(config)[0]
+        assert root.attrs["cached"] is True
+        assert root.children == []
+
+
+class TestStatsTolerance:
+    def test_unknown_stage_keys_and_values_do_not_crash(self):
+        from repro.engine.stats import EngineStats
+        from repro.engine.worker import FileOutcome
+
+        stats = EngineStats(total=1)
+        outcome = FileOutcome(
+            filename="x.php",
+            status="ok",
+            safe=True,
+            timings={"parse": 0.1, "mystery_stage": 0.2, "bogus": "fast", "flag": True},
+        )
+        stats.record(outcome)
+        assert stats.stage_seconds["mystery_stage"] == pytest.approx(0.2)
+        assert "bogus" not in stats.stage_seconds and "flag" not in stats.stage_seconds
+        assert any("mystery_stage" in line for line in stats.summary_lines())
+
+    def test_unknown_status_counted_not_crashed(self):
+        from repro.engine.stats import EngineStats
+        from repro.engine.worker import FileOutcome
+
+        stats = EngineStats(total=1)
+        stats.record(FileOutcome(filename="x.php", status="exotic-new-status"))
+        assert stats.other_statuses == {"exotic-new-status": 1}
+        assert stats.failed == 1 and stats.errors == 0
+        assert stats.as_dict()["other_statuses"] == {"exotic-new-status": 1}
+        assert any("exotic-new-status" in line for line in stats.summary_lines())
+
+
+class TestInterruptedRun:
+    def test_jsonl_trailer_written_on_keyboard_interrupt(self, monkeypatch, tmp_path):
+        def interrupt(task, websari, want_report):
+            raise KeyboardInterrupt
+
+        patch_execute(monkeypatch, {"stop.php": interrupt})
+        out = tmp_path / "audit.jsonl"
+        tasks = make_tasks([("v.php", VULN), ("stop.php", SAFE), ("never.php", SAFE)])
+        with JsonlSink(out) as sink:
+            with pytest.raises(KeyboardInterrupt):
+                AuditEngine(config=EngineConfig(jobs=1, jsonl=sink)).run(tasks)
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines, "completed records must be flushed before the interrupt"
+        trailer = lines[-1]
+        assert trailer["type"] == "stats"
+        assert trailer["interrupted"] is True
+        assert trailer["completed"] == 1
+
+    def test_sink_is_reusable_safe_after_close(self, tmp_path):
+        sink = JsonlSink(tmp_path / "a.jsonl")
+        sink.write_stats({"completed": 0})
+        sink.write_stats({"completed": 99})  # second trailer ignored
+        sink.close()
+        sink.write({"type": "file"})  # write-after-close is a no-op
+        sink.close()
+        lines = (tmp_path / "a.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["completed"] == 0
+
+
+class TestAllStatusesInJsonl:
+    @needs_fork
+    def test_every_status_yields_enriched_record(self, monkeypatch, tmp_path):
+        def hang(task, websari, want_report):
+            time.sleep(60)
+
+        def crash(task, websari, want_report):
+            os._exit(13)
+
+        patch_execute(monkeypatch, {"hang.php": hang, "crash.php": crash})
+        out = tmp_path / "audit.jsonl"
+        tasks = make_tasks(
+            [
+                ("ok.php", VULN),
+                ("hang.php", SAFE),
+                ("crash.php", SAFE),
+                ("broken.php", BROKEN),
+            ]
+        )
+        with JsonlSink(out) as sink:
+            config = EngineConfig(jobs=2, timeout=0.5, crash_retries=0, jsonl=sink)
+            result = AuditEngine(config=config).run(tasks)
+        assert [o.status for o in result.outcomes] == [
+            "ok",
+            "timeout",
+            "crash",
+            "frontend-error",
+        ]
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        by_name = {r["filename"]: r for r in records if r["type"] == "file"}
+        assert set(by_name) == {"ok.php", "hang.php", "crash.php", "broken.php"}
+        for record in by_name.values():
+            assert "solver" in record and "timings" in record
+            assert "duration" in record and "attempts" in record
+        assert by_name["ok.php"]["solver"]["solve_calls"] > 0
+        assert by_name["hang.php"]["solver"] == {}
+        assert by_name["crash.php"]["solver"] == {}
+        assert by_name["broken.php"]["solver"] == {}
+        assert records[-1]["type"] == "stats"
+
+
 class TestWantReports:
     def test_reports_attached_and_cache_bypassed(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

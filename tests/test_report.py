@@ -1,0 +1,202 @@
+"""Tests for audit-stream reporting (repro.obs.report) and the
+``repro report`` subcommand's exit-code contract (0 clean / 1 regression
+/ 2 malformed)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    AuditRun,
+    ReportError,
+    diff_runs,
+    load_audit,
+    render_diff,
+    render_report,
+)
+
+
+def file_record(filename, status="ok", safe=True, **extra):
+    record = {"type": "file", "filename": filename, "status": status, "safe": safe}
+    record.update(extra)
+    return record
+
+
+def write_stream(path, records, stats={"total": None}):
+    lines = [json.dumps(r) for r in records]
+    if stats is not None:
+        payload = {"type": "stats", "total": len(records), "wall_seconds": 1.5}
+        payload.update({k: v for k, v in stats.items() if v is not None})
+        lines.append(json.dumps(payload))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestLoadAudit:
+    def test_parses_files_and_stats(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl",
+            [file_record("a.php"), file_record("b.php", safe=False)],
+        )
+        run = load_audit(path)
+        assert len(run.files) == 2
+        assert run.stats["total"] == 2
+        assert not run.truncated
+
+    def test_missing_trailer_marks_truncated(self, tmp_path):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")], stats=None)
+        assert load_audit(path).truncated
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")], stats=None)
+        with path.open("a") as handle:
+            handle.write('{"type": "file", "filena')
+        run = load_audit(path)
+        assert run.truncated and len(run.files) == 1
+
+    def test_torn_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"broken\n' + json.dumps(file_record("a.php")) + "\n")
+        with pytest.raises(ReportError):
+            load_audit(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReportError):
+            load_audit(tmp_path / "absent.jsonl")
+
+    def test_last_record_per_filename_wins(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl",
+            [file_record("a.php", safe=True), file_record("a.php", safe=False)],
+        )
+        by_name = load_audit(path).by_filename()
+        assert by_name["a.php"]["safe"] is False
+
+
+class TestRenderReport:
+    def test_summary_contents(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl",
+            [
+                file_record("slow.php", safe=False, duration=2.5,
+                            timings={"parse": 0.1, "sat": 2.0},
+                            solver={"backend": "cdcl", "solve_calls": 3, "decisions": 9}),
+                file_record("fast.php", duration=0.1),
+                file_record("bad.php", status="timeout", safe=None),
+            ],
+        )
+        text = render_report(load_audit(path))
+        assert "1 safe, 1 vulnerable, 1 failed" in text
+        assert "failures: 1 timeout" in text
+        assert "stage time: parse 0.10s, sat 2.00s" in text
+        assert "solver: 3 solve calls, 9 decisions" in text
+        assert "slowest 2 file(s):" in text
+        assert text.index("slow.php") < text.index("fast.php")
+
+    def test_truncated_warning(self, tmp_path):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")], stats=None)
+        assert "no stats trailer" in render_report(load_audit(path))
+
+    def test_interrupted_warning(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl", [file_record("a.php")], stats={"interrupted": True}
+        )
+        assert "interrupted" in render_report(load_audit(path))
+
+    def test_top_limits_slowest_list(self, tmp_path):
+        records = [file_record(f"f{i}.php", duration=float(i)) for i in range(5)]
+        path = write_stream(tmp_path / "a.jsonl", records)
+        text = render_report(load_audit(path), top=2)
+        assert "slowest 2 file(s):" in text
+        assert "f4.php" in text and "f0.php" not in text
+
+
+class TestDiffRuns:
+    def run_of(self, records):
+        return AuditRun(path="mem", files=records)
+
+    def test_classification(self):
+        old = self.run_of(
+            [
+                file_record("same.php"),
+                file_record("regress.php"),
+                file_record("fix.php", safe=False),
+                file_record("still.php", safe=False),
+                file_record("break.php"),
+                file_record("recover.php", status="timeout", safe=None),
+                file_record("gone.php"),
+            ]
+        )
+        new = self.run_of(
+            [
+                file_record("same.php"),
+                file_record("regress.php", safe=False),
+                file_record("fix.php"),
+                file_record("still.php", safe=False),
+                file_record("break.php", status="crash", safe=None),
+                file_record("recover.php"),
+                file_record("fresh-vuln.php", safe=False),
+                file_record("fresh-safe.php"),
+            ]
+        )
+        diff = diff_runs(old, new)
+        assert diff.new_vulnerable == ["fresh-vuln.php"]
+        assert diff.regressed == ["regress.php"]
+        assert diff.fixed == ["fix.php"]
+        assert diff.broken == ["break.php"]
+        assert diff.recovered == ["recover.php"]
+        assert diff.removed == ["gone.php"]
+        assert diff.added == ["fresh-safe.php"]
+        assert diff.still_vulnerable == 1
+        assert diff.has_regressions
+
+    def test_identical_runs_clean(self):
+        records = [file_record("a.php"), file_record("b.php", safe=False)]
+        diff = diff_runs(self.run_of(records), self.run_of(records))
+        assert not diff.has_regressions
+        assert diff.still_vulnerable == 1
+
+    def test_render_diff_verdict_line(self):
+        old = self.run_of([file_record("a.php")])
+        clean = diff_runs(old, old)
+        assert "result: no regressions" in render_diff(old, old, clean)
+        new = self.run_of([file_record("a.php", safe=False)])
+        bad = diff_runs(old, new)
+        text = render_diff(old, new, bad)
+        assert "result: REGRESSIONS FOUND" in text
+        assert "regressed (safe → vulnerable): 1" in text
+
+
+class TestReportCli:
+    def test_summary_exit_zero(self, tmp_path, capsys):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert main(["report", str(path)]) == 0
+        assert "audit report" in capsys.readouterr().out
+
+    def test_diff_clean_exit_zero(self, tmp_path, capsys):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert main(["report", "--diff", str(path), str(path)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_regression_exit_one(self, tmp_path, capsys):
+        old = write_stream(tmp_path / "old.jsonl", [file_record("a.php")])
+        new = write_stream(
+            tmp_path / "new.jsonl", [file_record("a.php", safe=False)]
+        )
+        assert main(["report", "--diff", str(old), str(new)]) == 1
+        assert "REGRESSIONS FOUND" in capsys.readouterr().out
+
+    def test_malformed_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"nope\n{"also": "nope"}\n')
+        assert main(["report", str(bad)]) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_missing_file_exit_two(self, tmp_path):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_usage_errors_exit_two(self, tmp_path, capsys):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert main(["report"]) == 2
+        assert main(["report", str(path), "--diff", str(path), str(path)]) == 2
