@@ -36,7 +36,7 @@ Implementation notes relative to the paper's text:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import dataclass, field
 from typing import Literal
 
 from repro.ai.renaming import RenamedAssert, RenamedProgram
@@ -44,18 +44,14 @@ from repro.bmc.encoder import ConstraintGenerator, EncodedAssertion, LatticeEnco
 from repro.lattice import FiniteLattice, two_point_lattice
 from repro.obs import get_tracer
 from repro.bmc.trace import CounterexampleTrace, ViolatingVariable, reconstruct_trace
+from repro.sat.cache import CachingSatSolver, SatQueryCache
 from repro.sat.dpll import IncrementalDPLL
-from repro.sat.solver import CDCLSolver, SolverStats
+from repro.sat.solver import CDCLSolver, SolverStats, accumulate_stats
 
 __all__ = ["AssertionResult", "BMCResult", "BMCChecker", "check_program"]
 
 AccumulatePolicy = Literal["never", "safe-only", "always"]
 SolverBackend = Literal["cdcl", "dpll"]
-
-#: SolverStats counters summed across solve calls (the rest — currently
-#: only ``max_decision_level`` — are maxed instead).
-_SUMMED_STATS = ("decisions", "propagations", "conflicts", "learned_clauses",
-                 "restarts", "deleted_clauses")
 
 
 @dataclass
@@ -120,6 +116,7 @@ class BMCChecker:
         max_counterexamples: int = 256,
         blocking: Literal["deciding", "all-bn"] = "deciding",
         solver_backend: SolverBackend = "cdcl",
+        sat_cache: SatQueryCache | None = None,
     ) -> None:
         self.program = program
         self.lattice = lattice if lattice is not None else two_point_lattice()
@@ -135,23 +132,26 @@ class BMCChecker:
         if solver_backend not in ("cdcl", "dpll"):
             raise ValueError(f"unknown solver backend {solver_backend!r}")
         self.solver_backend = solver_backend
+        #: Shared SAT-level query memo (repro.sat.cache); None disables.
+        self.sat_cache = sat_cache
         self._solver_totals: dict[str, int] = {}
         self._num_solve_calls = 0
 
-    def _make_solver(self) -> CDCLSolver | IncrementalDPLL:
+    def _make_solver(self) -> CDCLSolver | IncrementalDPLL | CachingSatSolver:
+        inner: CDCLSolver | IncrementalDPLL
         if self.solver_backend == "dpll":
-            return IncrementalDPLL()
-        return CDCLSolver()
+            inner = IncrementalDPLL()
+        else:
+            inner = CDCLSolver()
+        if self.sat_cache is not None:
+            return CachingSatSolver(inner, self.sat_cache, backend=self.solver_backend)
+        return inner
 
     def _tally_solve(self, stats: SolverStats) -> None:
-        totals = self._solver_totals
         self._num_solve_calls += 1
-        for stat_field in dataclass_fields(stats):
-            value = getattr(stats, stat_field.name)
-            if stat_field.name in _SUMMED_STATS:
-                totals[stat_field.name] = totals.get(stat_field.name, 0) + value
-            else:
-                totals[stat_field.name] = max(totals.get(stat_field.name, 0), value)
+        # Aggregation rules (sum vs max) come from SolverStats field
+        # metadata, so new counters flow into the totals automatically.
+        accumulate_stats(self._solver_totals, stats)
 
     def run(self) -> BMCResult:
         start = time.perf_counter()
@@ -197,7 +197,7 @@ class BMCChecker:
         self,
         encoded: EncodedAssertion,
         generator: ConstraintGenerator,
-        solver: CDCLSolver,
+        solver,
         sync_new_clauses,
     ) -> AssertionResult:
         tracer = get_tracer()
@@ -254,6 +254,7 @@ class BMCChecker:
                 learned_clauses=stats.learned_clauses,
                 restarts=stats.restarts,
                 max_decision_level=stats.max_decision_level,
+                sat_cache_hit=stats.cache_hits > 0,
             )
             self._tally_solve(stats)
             if not solve.satisfiable:
@@ -299,6 +300,7 @@ def check_program(
     max_counterexamples: int = 256,
     blocking: Literal["deciding", "all-bn"] = "deciding",
     solver_backend: SolverBackend = "cdcl",
+    sat_cache: SatQueryCache | None = None,
 ) -> BMCResult:
     """Convenience wrapper: check every assertion of a renamed program."""
     checker = BMCChecker(
@@ -308,5 +310,6 @@ def check_program(
         max_counterexamples=max_counterexamples,
         blocking=blocking,
         solver_backend=solver_backend,
+        sat_cache=sat_cache,
     )
     return checker.run()

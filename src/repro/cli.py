@@ -3,10 +3,11 @@
 ```
 python -m repro verify  file.php [dir/ ...] [--detailed] [--prelude P]
                         [--stats] [--solver cdcl|dpll] [--trace out.json]
+                        [--sat-cache on|off]
 python -m repro audit   dir/ [--jobs N] [--timeout S] [--cache-dir D]
                         [--no-cache] [--jsonl out.jsonl] [--detailed]
                         [--trace out.json] [--metrics out.prom]
-                        [--solver cdcl|dpll]
+                        [--solver cdcl|dpll] [--sat-cache on|off]
 python -m repro report  audit.jsonl [--top N]
 python -m repro report  --diff old.jsonl new.jsonl
 python -m repro patch   file.php [-o out.php] [--strategy bmc|ts]
@@ -91,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="SAT backend (dpll is the slow ablation baseline)",
     )
     verify.add_argument(
+        "--sat-cache", choices=("on", "off"), default="off",
+        help="memoize SAT queries by canonical CNF fingerprint across the "
+        "files of this run (in-memory; see docs/SOLVER.md)",
+    )
+    verify.add_argument(
         "--trace", type=Path, default=None, metavar="OUT.json",
         help="write a Chrome trace-event file of the run (open in Perfetto)",
     )
@@ -138,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--solver", choices=("cdcl", "dpll"), default="cdcl",
         help="SAT backend (dpll is the slow ablation baseline)",
+    )
+    audit.add_argument(
+        "--sat-cache", choices=("on", "off"), default="on",
+        help="memoize SAT queries by canonical CNF fingerprint, persisted "
+        "under <cache-dir>/sat so repeated code shapes accelerate even "
+        "cold (file-level-miss) runs; independent of --no-cache "
+        "(see docs/SOLVER.md)",
     )
 
     report = sub.add_parser(
@@ -220,8 +233,17 @@ def _collect_php_files(paths: list[Path]) -> list[Path]:
 
 
 def _make_websari(args: argparse.Namespace) -> WebSSARI:
+    from repro.sat.cache import SatQueryCache
+
     prelude = load_prelude(args.prelude) if args.prelude else None
-    return WebSSARI(prelude=prelude, solver=getattr(args, "solver", "cdcl"))
+    sat_cache = (
+        SatQueryCache() if getattr(args, "sat_cache", "off") == "on" else None
+    )
+    return WebSSARI(
+        prelude=prelude,
+        solver=getattr(args, "solver", "cdcl"),
+        sat_cache=sat_cache,
+    )
 
 
 def _solver_stats_lines(report) -> list[str]:
@@ -238,12 +260,22 @@ def _solver_stats_lines(report) -> list[str]:
             ("restarts", "restarts"),
         )
     )
-    return [
+    lines = [
         f"  solver[{bmc.solver_backend}]: {counters} "
         f"in {bmc.num_solve_calls} solve call(s)",
-        f"  formula: {bmc.num_vars} var(s), {bmc.num_clauses} clause(s), "
-        f"{bmc.solve_seconds:.3f}s solving",
+        f"  preprocessing: {totals.get('preprocessed_clauses', 0)} clause(s) "
+        f"simplified at add time, {totals.get('lbd_deletions', 0)} LBD deletion(s)",
     ]
+    if totals.get("cache_hits", 0) or totals.get("cache_misses", 0):
+        lines.append(
+            f"  sat-cache: {totals.get('cache_hits', 0)} hit(s), "
+            f"{totals.get('cache_misses', 0)} miss(es)"
+        )
+    lines.append(
+        f"  formula: {bmc.num_vars} var(s), {bmc.num_clauses} clause(s), "
+        f"{bmc.solve_seconds:.3f}s solving"
+    )
+    return lines
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -307,6 +339,14 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
 
     websari = _make_websari(args)
+    if websari.sat_cache is not None:
+        # Persist SAT query results under the engine's cache root even
+        # when --no-cache disables the file-level result cache: the two
+        # layers are independent (see docs/SOLVER.md).
+        from repro.sat.cache import SatQueryCache
+
+        sat_dir = Path(args.cache_dir or default_cache_dir()) / "sat"
+        websari.sat_cache = SatQueryCache(persist_dir=sat_dir)
     files = _collect_php_files(args.paths)
     if not files:
         print("no PHP files found", file=sys.stderr)

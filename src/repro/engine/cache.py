@@ -38,8 +38,11 @@ __all__ = [
 
 #: Bump whenever a pipeline change can alter verdicts: every cached
 #: entry keyed under an older version silently becomes a miss.
-#: (2: records gained per-file SAT-solver counters.)
-ENGINE_VERSION = "2"
+#: (2: records gained per-file SAT-solver counters.
+#:  3: SolverStats grew sat-cache and preprocessing counters, and the
+#:  CDCL solver gained add-time preprocessing + LBD-aware reduction,
+#:  both of which change the counters embedded in records.)
+ENGINE_VERSION = "3"
 
 #: Cache record schema version (independent of verdict semantics).
 _RECORD_VERSION = 1
@@ -77,6 +80,10 @@ def policy_fingerprint(websari: "WebSSARI") -> str:
                 # Both backends must agree on verdicts, but cached records
                 # embed per-backend solver counters, so key them apart.
                 "solver": getattr(websari, "solver", "cdcl"),
+                # Same coherence rule for the SAT-level query cache: it
+                # never changes verdicts, but records embed its hit/miss
+                # counters, so runs with and without it must not alias.
+                "sat_cache": getattr(websari, "sat_cache", None) is not None,
             },
         },
         sort_keys=True,

@@ -159,11 +159,20 @@ class EngineStats:
                     ("conflicts", "conflicts"),
                     ("learned_clauses", "learned"),
                     ("restarts", "restarts"),
+                    ("preprocessed_clauses", "preprocessed"),
+                    ("lbd_deletions", "LBD deletion(s)"),
                 )
                 if name in self.solver_totals
             ]
             if solver_parts:
                 lines.append("solver: " + ", ".join(solver_parts))
+            if self.solver_totals.get("cache_hits", 0) or self.solver_totals.get(
+                "cache_misses", 0
+            ):
+                lines.append(
+                    f"sat-cache: {self.solver_totals.get('cache_hits', 0)} hit(s), "
+                    f"{self.solver_totals.get('cache_misses', 0)} miss(es)"
+                )
         return lines
 
 

@@ -224,6 +224,7 @@ def _run_stages(
             accumulate=websari.accumulate,
             max_counterexamples=websari.max_counterexamples,
             solver_backend=solver_backend,
+            sat_cache=getattr(websari, "sat_cache", None),
         )
         grouping = group_errors(bmc_result)
     timings["sat"] = clock() - mark

@@ -161,7 +161,8 @@ def render_report(run: AuditRun, top: int = 10) -> str:
     solver_totals = _sum_dicts(records, "solver")
     if solver_totals:
         order = ("solve_calls", "decisions", "propagations", "conflicts",
-                 "learned_clauses", "restarts")
+                 "learned_clauses", "restarts", "preprocessed_clauses",
+                 "lbd_deletions", "cache_hits", "cache_misses")
         parts = [
             f"{int(solver_totals[name])} {name.replace('_', ' ')}"
             for name in order

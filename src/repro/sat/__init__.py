@@ -4,10 +4,17 @@ The CDCL solver is this reproduction's substitute for ZChaff [19] (see
 DESIGN.md §5); the DPLL solver is the ablation baseline.
 """
 
+from repro.sat.cache import SAT_CACHE_VERSION, CachingSatSolver, SatQueryCache
 from repro.sat.cnf import CNF, Clause, VariablePool, lit_to_str
 from repro.sat.dimacs import DimacsError, parse_dimacs, write_dimacs
 from repro.sat.dpll import DPLLSolver, IncrementalDPLL
-from repro.sat.solver import CDCLSolver, SolveResult, SolverStats, solve_cnf
+from repro.sat.solver import (
+    CDCLSolver,
+    SolveResult,
+    SolverStats,
+    accumulate_stats,
+    solve_cnf,
+)
 from repro.sat.tseitin import (
     FALSE,
     TRUE,
@@ -30,6 +37,10 @@ from repro.sat.tseitin import (
 )
 
 __all__ = [
+    "SAT_CACHE_VERSION",
+    "CachingSatSolver",
+    "SatQueryCache",
+    "accumulate_stats",
     "CNF",
     "Clause",
     "VariablePool",

@@ -23,29 +23,77 @@ small enough that pure Python is comfortable.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 
 from repro.sat.cnf import CNF
 
-__all__ = ["CDCLSolver", "SolveResult", "SolverStats"]
+__all__ = [
+    "CDCLSolver",
+    "SolveResult",
+    "SolverStats",
+    "accumulate_stats",
+    "stat_counter",
+]
 
 
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
 
+#: Learned clauses with an LBD at or below this are "glue" clauses
+#: (Audemard & Simon) and survive every database reduction.
+_GLUE_LBD = 2
+
+
+def stat_counter(aggregate: str = "sum") -> int:
+    """Declare a :class:`SolverStats` counter with its cross-call
+    aggregation rule (``"sum"`` or ``"max"``).  Consumers that fold many
+    solve calls into one total (the BMC checker, the engine) discover the
+    rule from field metadata, so adding a counter here is enough to make
+    it flow through every aggregate."""
+    if aggregate not in ("sum", "max"):
+        raise ValueError(f"unknown aggregation {aggregate!r}")
+    return field(default=0, metadata={"aggregate": aggregate})
+
 
 @dataclass
 class SolverStats:
-    """Counters exposed for the ABL-SAT ablation benchmarks."""
+    """Counters exposed for the ABL-SAT ablation benchmarks and the
+    engine's observability layer.
 
-    decisions: int = 0
-    propagations: int = 0
-    conflicts: int = 0
-    learned_clauses: int = 0
-    restarts: int = 0
-    max_decision_level: int = 0
-    deleted_clauses: int = 0
+    Every field carries an ``aggregate`` metadata entry (see
+    :func:`stat_counter`); :func:`accumulate_stats` uses it to combine
+    per-call stats into run totals without a hardcoded field list.
+    """
+
+    decisions: int = stat_counter()
+    propagations: int = stat_counter()
+    conflicts: int = stat_counter()
+    learned_clauses: int = stat_counter()
+    restarts: int = stat_counter()
+    max_decision_level: int = stat_counter("max")
+    deleted_clauses: int = stat_counter()
+    #: Learned clauses dropped by LBD-aware database reduction.
+    lbd_deletions: int = stat_counter()
+    #: Problem clauses simplified away (or strengthened) at add time:
+    #: tautologies, duplicate literals, clauses satisfied at root level,
+    #: root-false literal stripping, and top-level unit propagation.
+    preprocessed_clauses: int = stat_counter()
+    #: SAT-level query-cache counters (populated by
+    #: :class:`repro.sat.cache.CachingSatSolver`, zero otherwise).
+    cache_hits: int = stat_counter()
+    cache_misses: int = stat_counter()
+
+
+def accumulate_stats(totals: dict[str, int], stats: "SolverStats") -> None:
+    """Fold one solve call's counters into ``totals`` in place, honoring
+    each field's declared aggregation rule (sum or max)."""
+    for stat_field in dataclass_fields(stats):
+        value = getattr(stats, stat_field.name)
+        if stat_field.metadata.get("aggregate") == "max":
+            totals[stat_field.name] = max(totals.get(stat_field.name, 0), value)
+        else:
+            totals[stat_field.name] = totals.get(stat_field.name, 0) + value
 
 
 @dataclass
@@ -68,12 +116,17 @@ class SolveResult:
 
 
 class _Clause:
-    __slots__ = ("literals", "learned", "activity")
+    __slots__ = ("literals", "learned", "activity", "lbd")
 
-    def __init__(self, literals: list[int], learned: bool = False) -> None:
+    def __init__(self, literals: list[int], learned: bool = False, lbd: int = 0) -> None:
         self.literals = literals
         self.learned = learned
         self.activity = 0.0
+        #: Literal Block Distance — number of distinct decision levels in
+        #: the clause at learning time (Audemard & Simon, "glucose").
+        #: Low-LBD clauses are empirically the most reusable; database
+        #: reduction keeps them preferentially.
+        self.lbd = lbd
 
 
 class CDCLSolver:
@@ -117,6 +170,10 @@ class CDCLSolver:
         self._seed = seed
         self._root_conflict = False
         self._propagate_head = 0
+        #: Clauses simplified at add time since the last solve() call;
+        #: snapshot into that call's stats so no counting is lost to the
+        #: per-call stats reset.
+        self._pending_preprocessed = 0
         self.stats = SolverStats()
         if formula is not None:
             self.add_formula(formula)
@@ -142,16 +199,25 @@ class CDCLSolver:
 
         Adding a clause cancels any in-progress assignment (the trail is
         rewound to level 0) so that incremental solving restarts cleanly.
+
+        Preprocessing happens here, before the clause ever reaches the
+        watch lists: tautologies and duplicate literals are eliminated,
+        root-false literals stripped, root-satisfied clauses dropped, and
+        unit clauses propagated to fixpoint immediately so later adds see
+        the strengthened root assignment (top-level unit propagation).
         """
         self._backtrack(0)
+        dedup = False
         lits: list[int] = []
         seen: set[int] = set()
         for lit in literals:
             if lit == 0:
                 raise ValueError("0 is not a valid literal")
             if -lit in seen:
+                self._pending_preprocessed += 1
                 return  # tautology
             if lit in seen:
+                dedup = True
                 continue
             seen.add(lit)
             lits.append(lit)
@@ -164,15 +230,27 @@ class CDCLSolver:
         for lit in lits:
             val = self._value(lit)
             if val == _TRUE:
+                self._pending_preprocessed += 1
                 return  # already satisfied at root
             if val == _UNASSIGNED:
                 fixed.append(lit)
+        if dedup or len(fixed) < len(lits):
+            self._pending_preprocessed += 1
         if not fixed:
             self._root_conflict = True
             return
         if len(fixed) == 1:
-            if not self._enqueue(fixed[0], None):
-                self._root_conflict = True
+            self._pending_preprocessed += 1
+            # Propagate against a scratch stats object: the previous
+            # solve's SolveResult still references self.stats, and
+            # add-time propagation must not mutate an already-reported
+            # result.
+            saved_stats, self.stats = self.stats, SolverStats()
+            try:
+                if not self._enqueue(fixed[0], None) or self._propagate() is not None:
+                    self._root_conflict = True
+            finally:
+                self.stats = saved_stats
             return
         clause = _Clause(fixed)
         self._clauses.append(clause)
@@ -352,12 +430,18 @@ class CDCLSolver:
         learned[1], learned[max_i] = learned[max_i], learned[1]
         return learned, self._level[abs(learned[1])]
 
-    def _record_learned(self, literals: list[int]) -> bool:
+    def _clause_lbd(self, literals: list[int]) -> int:
+        """Literal Block Distance of a freshly learned clause: the number
+        of distinct decision levels among its literals (computed before
+        backjumping unassigns the asserting literal's level)."""
+        return len({self._level[abs(lit)] for lit in literals})
+
+    def _record_learned(self, literals: list[int], lbd: int = 0) -> bool:
         """Install a learned clause; False if the asserting literal clashes
         with an assumption (formula UNSAT under the assumptions)."""
         if len(literals) == 1:
             return self._enqueue(literals[0], None)
-        clause = _Clause(literals, learned=True)
+        clause = _Clause(literals, learned=True, lbd=lbd)
         self._learned.append(clause)
         self._watch(clause)
         self._bump_clause(clause)
@@ -365,14 +449,24 @@ class CDCLSolver:
         return self._enqueue(literals[0], clause)
 
     def _reduce_learned(self) -> None:
-        """Drop the lower-activity half of the learned clauses."""
-        self._learned.sort(key=lambda c: c.activity)
+        """Drop roughly half of the learned clauses, worst first.
+
+        Ranking is LBD-aware (glucose-style): clauses are ordered by
+        (high LBD, low activity) and the worst half is considered for
+        deletion; glue clauses (LBD <= 2), binary clauses, and clauses
+        currently locked as propagation reasons always survive.
+        """
+        self._learned.sort(key=lambda c: (-c.lbd, c.activity))
         keep_from = len(self._learned) // 2
         dropped = self._learned[:keep_from]
         locked = {id(self._reason[abs(lit)]) for lit in self._trail if self._reason[abs(lit)] is not None}
         survivors = []
         for clause in dropped:
-            if id(clause) in locked or len(clause.literals) <= 2:
+            if (
+                id(clause) in locked
+                or len(clause.literals) <= 2
+                or clause.lbd <= _GLUE_LBD
+            ):
                 survivors.append(clause)
                 continue
             for lit in clause.literals[:2]:
@@ -380,6 +474,7 @@ class CDCLSolver:
                 if watchers is not None and clause in watchers:
                     watchers.remove(clause)
             self.stats.deleted_clauses += 1
+            self.stats.lbd_deletions += 1
         self._learned = survivors + self._learned[keep_from:]
 
     # -- decision heuristic ------------------------------------------------
@@ -408,6 +503,10 @@ class CDCLSolver:
         alone may still be satisfiable).
         """
         self.stats = SolverStats()
+        # Credit this call with the add-time preprocessing done since the
+        # previous solve (the per-call stats reset must not lose it).
+        self.stats.preprocessed_clauses = self._pending_preprocessed
+        self._pending_preprocessed = 0
         if self._root_conflict:
             return SolveResult(satisfiable=False, stats=self.stats)
         self._backtrack(0)
@@ -447,8 +546,9 @@ class CDCLSolver:
                         self._root_conflict = True
                     return SolveResult(satisfiable=False, stats=self.stats)
                 learned, back_level = self._analyze(conflict)
+                lbd = self._clause_lbd(learned)
                 self._backtrack(max(back_level, num_assumptions))
-                if not self._record_learned(learned):
+                if not self._record_learned(learned, lbd=lbd):
                     self._backtrack(0)
                     if num_assumptions == 0:
                         self._root_conflict = True

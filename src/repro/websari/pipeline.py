@@ -35,6 +35,7 @@ from repro.php import ast_nodes as ast
 from repro.php.includes import SourceProject, resolve_includes
 from repro.php.parser import parse
 from repro.policy.prelude import Prelude, default_php_prelude
+from repro.sat.cache import SatQueryCache
 from repro.typestate.ts import TSReport, analyze_commands
 
 __all__ = ["WebSSARI", "VerificationReport", "ProjectReport", "count_statements"]
@@ -142,6 +143,7 @@ class WebSSARI:
         max_unfold_depth: int = 3,
         sanitize_in_place: bool = True,
         solver: SolverBackend = "cdcl",
+        sat_cache: "SatQueryCache | None" = None,
     ) -> None:
         self.prelude = prelude if prelude is not None else default_php_prelude()
         self.accumulate = accumulate
@@ -153,6 +155,9 @@ class WebSSARI:
         #: SAT backend for the BMC engine: "cdcl" (the ZChaff stand-in)
         #: or "dpll" (the ablation baseline, markedly slower).
         self.solver = solver
+        #: SAT-level query memo shared across every file this verifier
+        #: checks (repro.sat.cache); None disables the layer.
+        self.sat_cache = sat_cache
 
     @property
     def lattice(self) -> FiniteLattice:
@@ -192,6 +197,7 @@ class WebSSARI:
                 accumulate=self.accumulate,
                 max_counterexamples=self.max_counterexamples,
                 solver_backend=self.solver,
+                sat_cache=self.sat_cache,
             )
             grouping = group_errors(bmc_result)
         return VerificationReport(

@@ -177,6 +177,62 @@ class TestRobustness:
         assert result.stats.timeouts == 1
 
 
+class TestPipelining:
+    """The pool buffers up to two tasks per worker pipe; these pin the
+    semantics that must survive pipelining (order, attempt accounting,
+    crash/timeout isolation for queued-but-unstarted tasks)."""
+
+    @needs_fork
+    def test_many_tasks_preserve_order_and_verdicts(self):
+        # 10 tasks over 2 workers exercises refilling both queue slots
+        # repeatedly; outcomes must stay in input order with one attempt
+        # each.
+        tasks = make_tasks(
+            [(f"f{i}.php", VULN if i % 2 else SAFE) for i in range(10)]
+        )
+        result = AuditEngine(config=EngineConfig(jobs=2)).run(tasks)
+        assert [o.filename for o in result.outcomes] == [t.filename for t in tasks]
+        assert all(o.status == "ok" for o in result.outcomes)
+        assert [o.safe for o in result.outcomes] == [i % 2 == 0 for i in range(10)]
+        assert all(o.attempts == 1 for o in result.outcomes)
+
+    @needs_fork
+    def test_task_queued_behind_crash_is_not_charged_an_attempt(self, monkeypatch):
+        def crash(task, websari, want_report):
+            os._exit(13)
+
+        patch_execute(monkeypatch, {"crash.php": crash})
+        # Enough tasks that something is queued behind the crasher in its
+        # worker's pipe; those never ran, so they must be requeued with
+        # their attempt count intact.
+        tasks = make_tasks(
+            [("crash.php", SAFE)] + [(f"f{i}.php", SAFE) for i in range(5)]
+        )
+        result = AuditEngine(config=EngineConfig(jobs=2)).run(tasks)
+        assert result.outcomes[0].status == "crash"
+        assert result.outcomes[0].attempts == 2  # the crasher alone is retried
+        for outcome in result.outcomes[1:]:
+            assert outcome.status == "ok" and outcome.attempts == 1
+        assert result.stats.retries == 1
+
+    @needs_fork
+    def test_task_queued_behind_timeout_still_completes(self, monkeypatch):
+        def hang(task, websari, want_report):
+            time.sleep(60)
+
+        patch_execute(monkeypatch, {"hang.php": hang})
+        tasks = make_tasks(
+            [("hang.php", SAFE)] + [(f"f{i}.php", VULN) for i in range(4)]
+        )
+        started = time.monotonic()
+        result = AuditEngine(config=EngineConfig(jobs=2, timeout=0.5)).run(tasks)
+        assert time.monotonic() - started < 30
+        assert result.outcomes[0].status == "timeout"
+        for outcome in result.outcomes[1:]:
+            assert outcome.status == "ok" and outcome.attempts == 1
+        assert result.stats.timeouts == 1
+
+
 class TestCacheIntegration:
     def test_second_run_hits_with_identical_verdicts(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -1,0 +1,120 @@
+"""Verdict parity across solver backends and the SAT query cache.
+
+Both acceleration layers are pure optimizations: for any program, every
+``(solver backend, sat-cache)`` combination must produce the same
+:class:`BMCResult` verdicts and the same counterexample counts.  These
+tests pin that property over Figure-10-generator projects (the
+property-style corpus: deterministic seeds, varied topology/shapes) plus
+a few hand-picked tricky sources.
+"""
+
+import pytest
+
+from repro.corpus.generator import ProjectSpec, generate_project
+from repro.sat.cache import SatQueryCache
+from repro.websari.pipeline import WebSSARI
+
+
+def _variants():
+    """One verifier per (backend, cache) combination, fresh caches each."""
+    return {
+        ("cdcl", "off"): WebSSARI(solver="cdcl"),
+        ("cdcl", "on"): WebSSARI(solver="cdcl", sat_cache=SatQueryCache()),
+        ("dpll", "off"): WebSSARI(solver="dpll"),
+        ("dpll", "on"): WebSSARI(solver="dpll", sat_cache=SatQueryCache()),
+    }
+
+
+def _signature(report):
+    """Everything that must agree across variants for one entry file."""
+    return (
+        report.safe,
+        report.bmc.safe,
+        [
+            (a.assert_id, a.safe, len(a.counterexamples), a.truncated)
+            for a in report.bmc.assertions
+        ],
+        report.bmc_group_count,
+        report.ts_error_count,
+    )
+
+
+SPECS = [
+    # Small on purpose: dpll is the slow ablation baseline.  Varied
+    # seeds rotate the generator through its cluster shapes (star,
+    # chain, conditional root, function propagation, loop sinks).
+    ProjectSpec(name="parity-a", ts_errors=3, bmc_groups=2, target_statements=30,
+                target_files=2, seed=11),
+    ProjectSpec(name="parity-b", ts_errors=4, bmc_groups=2, target_statements=30,
+                target_files=2, seed=22),
+    ProjectSpec(name="parity-c", ts_errors=2, bmc_groups=1, target_statements=40,
+                target_files=2, seed=33),
+    ProjectSpec(name="parity-d", ts_errors=5, bmc_groups=3, target_statements=30,
+                target_files=3, seed=44),
+]
+
+
+class TestGeneratedProjectParity:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_all_variants_agree(self, spec):
+        generated = generate_project(spec)
+        variants = _variants()
+        signatures = {}
+        for key, websari in variants.items():
+            report = websari.verify_project(generated.project)
+            signatures[key] = [
+                (r.filename, _signature(r)) for r in report.reports
+            ]
+        baseline = signatures[("cdcl", "off")]
+        for key, signature in signatures.items():
+            assert signature == baseline, f"variant {key} diverged"
+        # The corpus must actually exercise the solvers (vulnerable files).
+        assert any(not sig[0] for _, sig in baseline)
+
+    def test_warm_cache_replays_identically(self):
+        # Verify the same project twice through ONE cached verifier: the
+        # second pass is (almost) pure replay and must not drift.
+        generated = generate_project(SPECS[0])
+        websari = WebSSARI(solver="cdcl", sat_cache=SatQueryCache())
+        first = websari.verify_project(generated.project)
+        second = websari.verify_project(generated.project)
+        assert [_signature(r) for r in first.reports] == [
+            _signature(r) for r in second.reports
+        ]
+        warm_stats = [r.bmc.solver_stats for r in second.reports]
+        assert any(s.get("cache_hits", 0) > 0 for s in warm_stats)
+        assert all(s.get("cache_misses", 0) == 0 for s in warm_stats)
+
+
+class TestTrickySourcesParity:
+    SOURCES = {
+        "multi-sink": (
+            "<?php $a = $_GET['x']; echo $a; print $a; "
+            "mysql_query('SELECT ' . $a);\n"
+        ),
+        "accumulation": (
+            "<?php $y = 'ok';\n"
+            "if ($_GET['a']) { $y = $y . $_GET['a']; }\n"
+            "if ($_GET['b']) { $y = $y . $_GET['b']; }\n"
+            "if ($_GET['c']) { $y = $y . $_GET['c']; }\n"
+            "echo $y;\n"
+        ),
+        "sanitized": (
+            "<?php $q = htmlspecialchars($_GET['q']); echo $q;\n"
+        ),
+        "mixed": (
+            "<?php $s = htmlspecialchars($_POST['s']); echo $s; "
+            "echo $_COOKIE['session'];\n"
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_all_variants_agree(self, name):
+        source = self.SOURCES[name]
+        signatures = {
+            key: _signature(websari.verify_source(source, f"{name}.php"))
+            for key, websari in _variants().items()
+        }
+        baseline = signatures[("cdcl", "off")]
+        for key, signature in signatures.items():
+            assert signature == baseline, f"variant {key} diverged"
