@@ -8,6 +8,9 @@ python -m repro audit   dir/ [--jobs N] [--timeout S] [--cache-dir D]
                         [--no-cache] [--jsonl out.jsonl] [--detailed]
                         [--trace out.json] [--metrics out.prom]
                         [--solver cdcl|dpll] [--sat-cache on|off]
+python -m repro watch   dir/ [--interval S] [--debounce S] [--jobs N]
+                        [--serve-metrics [HOST]:PORT] [--out-dir D]
+                        [--once] [--cache-dir D] [--sat-cache on|off]
 python -m repro report  audit.jsonl [--top N]
 python -m repro report  --diff old.jsonl new.jsonl
 python -m repro patch   file.php [-o out.php] [--strategy bmc|ts]
@@ -26,7 +29,10 @@ CI-friendly exit-code contract:
 * ``2`` — no vulnerabilities found, but at least one file could not be
   analyzed (parse/read error, timeout, worker crash) or no input files.
 
-``report`` summarizes an audit JSONL stream (or diffs two of them —
+``watch`` is the incremental re-audit daemon: it polls a tree and pushes
+only changed files through the audit engine, serves live Prometheus
+metrics, and drains gracefully on SIGINT/SIGTERM (see ``repro.daemon``
+and docs/DAEMON.md).  ``report`` summarizes an audit JSONL stream (or diffs two of them —
 exit 1 when the diff shows new/regressed vulnerable files); ``--trace``
 writes a Chrome trace-event file loadable in Perfetto or
 ``chrome://tracing``; ``--metrics`` writes a Prometheus text snapshot
@@ -151,6 +157,74 @@ def build_parser() -> argparse.ArgumentParser:
         "under <cache-dir>/sat so repeated code shapes accelerate even "
         "cold (file-level-miss) runs; independent of --no-cache "
         "(see docs/SOLVER.md)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="re-audit a tree continuously as files change",
+        description="Incremental re-audit daemon: poll ROOT for changed "
+        ".php files every --interval seconds and push only the dirty set "
+        "through the audit engine; unchanged files are answered by the "
+        "content-addressed result cache (kept hot in memory for the "
+        "daemon's lifetime). Every non-idle cycle appends a JSONL stream "
+        "under --out-dir, each merging fresh outcomes with the last known "
+        "record of unchanged files, so `repro report --diff` works "
+        "between any two cycles. SIGINT/SIGTERM drains in-flight work "
+        "(trailer carries interrupted: true) and exits 0.",
+        epilog="exit codes: 0 = clean shutdown (signal drain or --once); "
+        "2 = root is not a watchable directory or bad --serve-metrics "
+        "address",
+    )
+    watch.add_argument("root", type=Path, help="directory tree to watch")
+    watch.add_argument(
+        "--interval", type=_positive_float, default=2.0,
+        help="seconds between tree polls (default 2.0)",
+    )
+    watch.add_argument(
+        "--debounce", type=float, default=0.5,
+        help="defer files modified within this many seconds of the poll "
+        "(in-progress writes; 0 disables, default 0.5)",
+    )
+    watch.add_argument(
+        "--jobs", "-j", type=int, default=os.cpu_count() or 1,
+        help="worker processes per cycle (default: CPU count; 1 = inline)",
+    )
+    watch.add_argument(
+        "--timeout", type=_positive_float, default=None,
+        help="per-file wall-clock limit in seconds (needs --jobs >= 2)",
+    )
+    watch.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-audit)",
+    )
+    watch.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    watch.add_argument(
+        "--out-dir", type=Path, default=None,
+        help="per-cycle JSONL directory (default: <cache-dir>/watch)",
+    )
+    watch.add_argument(
+        "--serve-metrics", metavar="[HOST]:PORT", default=None,
+        help="serve live Prometheus metrics plus /healthz on this address "
+        "(empty host = loopback; if the port is taken an ephemeral one "
+        "is used and printed)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="run the initial full-audit cycle and exit (smoke testing; "
+        "implies --debounce 0 so a just-created corpus is not deferred)",
+    )
+    watch.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-cycle summaries"
+    )
+    watch.add_argument(
+        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        help="SAT backend (dpll is the slow ablation baseline)",
+    )
+    watch.add_argument(
+        "--sat-cache", choices=("on", "off"), default="on",
+        help="persistent SAT-query memo under <cache-dir>/sat (see docs/SOLVER.md)",
     )
 
     report = sub.add_parser(
@@ -339,14 +413,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
 
     websari = _make_websari(args)
-    if websari.sat_cache is not None:
-        # Persist SAT query results under the engine's cache root even
-        # when --no-cache disables the file-level result cache: the two
-        # layers are independent (see docs/SOLVER.md).
-        from repro.sat.cache import SatQueryCache
-
-        sat_dir = Path(args.cache_dir or default_cache_dir()) / "sat"
-        websari.sat_cache = SatQueryCache(persist_dir=sat_dir)
+    # Persist SAT query results under the engine's cache root even when
+    # --no-cache disables the file-level result cache: the two layers
+    # are independent (see docs/SOLVER.md).
+    websari.attach_persistent_sat_cache(args.cache_dir or default_cache_dir())
     files = _collect_php_files(args.paths)
     if not files:
         print("no PHP files found", file=sys.stderr)
@@ -403,6 +473,85 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     if result.any_vulnerable:
         return 1
     return 2 if (result.any_failed or any_read_error) else 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.daemon import MetricsServer, WatchLoop
+    from repro.daemon.metrics_server import parse_bind
+    from repro.engine import HotResultCache, default_cache_dir
+    from repro.obs import MetricsRegistry
+
+    if not args.root.is_dir():
+        print(f"watch: {args.root} is not a directory", file=sys.stderr)
+        return 2
+    bind = None
+    if args.serve_metrics:
+        try:
+            bind = parse_bind(args.serve_metrics)
+        except ValueError as error:
+            print(f"watch: {error}", file=sys.stderr)
+            return 2
+
+    websari = _make_websari(args)
+    cache_root = Path(args.cache_dir or default_cache_dir())
+    websari.attach_persistent_sat_cache(cache_root)
+    # Hot layer on top of the shared on-disk cache: unchanged files are
+    # answered from memory for the daemon's lifetime.
+    cache = None if args.no_cache else HotResultCache(cache_root)
+    metrics = MetricsRegistry()
+    stop = threading.Event()
+    loop = WatchLoop(
+        args.root,
+        websari,
+        cache=cache,
+        jobs=max(1, args.jobs),
+        timeout=args.timeout,
+        interval=args.interval,
+        # --once is one-shot smoke: a freshly created corpus is always
+        # inside the debounce window, so honoring it would silently
+        # audit nothing and exit 0.
+        debounce=0.0 if args.once else max(0.0, args.debounce),
+        out_dir=args.out_dir or cache_root / "watch",
+        metrics=metrics,
+        stop_event=stop,
+        quiet=args.quiet,
+    )
+
+    def _request_stop(signum, frame) -> None:
+        print(
+            f"watch: received {signal.Signals(signum).name}, draining "
+            "in-flight work...",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _request_stop)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    server = None
+    try:
+        if bind is not None:
+            server = MetricsServer(
+                metrics, host=bind[0], port=bind[1], health=loop.health
+            ).start()
+            note = " (requested port busy; fell back)" if server.fell_back else ""
+            print(
+                f"watch: serving metrics on http://{server.host}:{server.port}/metrics{note}",
+                file=sys.stderr,
+            )
+        if args.once:
+            loop.run_cycle()
+            return 0
+        return loop.run_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        if server is not None:
+            server.close()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -483,6 +632,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "verify": _cmd_verify,
         "audit": _cmd_audit,
+        "watch": _cmd_watch,
         "report": _cmd_report,
         "patch": _cmd_patch,
         "html": _cmd_html,

@@ -34,8 +34,10 @@ __all__ = [
     "ProjectSpec",
     "ClusterTruth",
     "GeneratedProject",
+    "FuzzProgram",
     "partition_errors",
     "generate_project",
+    "generate_fuzz_program",
     "spec_from_catalog",
 ]
 
@@ -362,3 +364,87 @@ def generate_catalog_project(entry: CatalogEntry, **overrides) -> GeneratedProje
     target_files = max(2, min(12, 1 + entry.bmc_groups // 4))
     spec = spec_from_catalog(entry, target_files=target_files, **overrides)
     return generate_project(spec)
+
+
+# -- differential-fuzzing programs ------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """A random loop-free F(p) program plus the request knobs driving it.
+
+    Built for *differential* testing of the static pipeline against the
+    concrete interpreter: every branch condition reads a dedicated
+    ``$_GET`` key exactly once, so the program's 2**k concrete executions
+    (each ``branch_params`` key present-truthy or absent) correspond
+    one-to-one with the BMC's enumerated paths, and the attack payload
+    arrives only through ``payload_param``.
+    """
+
+    source: str
+    #: ``$_GET`` keys steering each ``if``, in program order.
+    branch_params: tuple[str, ...]
+    #: The ``$_GET`` key carrying the attack payload on every request.
+    payload_param: str
+
+
+def generate_fuzz_program(
+    rng: random.Random,
+    *,
+    statements: int = 8,
+    max_branches: int = 3,
+) -> FuzzProgram:
+    """Generate one random loop-free program for differential fuzzing.
+
+    Statements draw from taint introduction, constant overwrite, copies,
+    concatenation, ``htmlspecialchars`` sanitization, and ``echo`` /
+    ``mysql_query`` sinks — the F(p) fragment where information flows
+    only through whole-string operations.  That restriction is what makes
+    a marker payload a faithful concrete taint oracle: string ops
+    preserve the marker as a substring and sanitization destroys it, so
+    "marker observable at a sink" coincides with "tainted at the sink".
+    """
+    variables = [f"v{i}" for i in range(4)]
+    branch_params: list[str] = []
+
+    def simple_statement() -> str:
+        kind = rng.choice(
+            ["taint", "const", "copy", "concat", "sanitize", "echo", "sql"]
+        )
+        var = rng.choice(variables)
+        src = rng.choice(variables)
+        other = rng.choice(variables)
+        if kind == "taint":
+            return f"${var} = $_GET['p'];"
+        if kind == "const":
+            return f"${var} = 'lit{rng.randrange(4)}';"
+        if kind == "copy":
+            return f"${var} = ${src};"
+        if kind == "concat":
+            return f"${var} = ${src} . ${other};"
+        if kind == "sanitize":
+            return f"${var} = htmlspecialchars(${src});"
+        if kind == "echo":
+            return f"echo ${var};"
+        return f"mysql_query('SELECT * FROM items WHERE id=' . ${var});"
+
+    lines: list[str] = []
+    for _ in range(statements):
+        if len(branch_params) < max_branches and rng.random() < 0.35:
+            key = f"b{len(branch_params)}"
+            branch_params.append(key)
+            then_body = simple_statement()
+            if rng.random() < 0.5:
+                lines.append(
+                    f"if ($_GET['{key}']) {{ {then_body} }}"
+                    f" else {{ {simple_statement()} }}"
+                )
+            else:
+                lines.append(f"if ($_GET['{key}']) {{ {then_body} }}")
+        else:
+            lines.append(simple_statement())
+
+    source = "<?php\n" + "\n".join(lines) + "\n"
+    return FuzzProgram(
+        source=source, branch_params=tuple(branch_params), payload_param="p"
+    )

@@ -1,0 +1,219 @@
+"""The re-audit loop: poll → dirty set → engine → per-cycle JSONL.
+
+One :class:`WatchLoop` owns a :class:`~repro.daemon.watcher.TreeWatcher`
+and a long-lived verifier + cache pair.  Each cycle:
+
+1. :meth:`TreeWatcher.poll` classifies changes; nothing dirty → the
+   cycle is free (no engine run, no JSONL file).
+2. Dirty files go through the ordinary
+   :class:`~repro.engine.AuditEngine` — same per-file timeouts, crash
+   isolation, and content-addressed caching as ``repro audit``.  With a
+   :class:`~repro.engine.HotResultCache` the unchanged 99% of a tree
+   never even touches the disk cache after the first cycle.
+3. The cycle's JSONL stream merges the fresh outcomes with the last
+   known record of every unchanged file (deleted files drop out), so
+   ``repro report --diff cycle-A.jsonl cycle-B.jsonl`` between *any* two
+   cycles shows exactly the verdict movement in between.
+
+Graceful shutdown: ``stop_event`` doubles as the engine's
+``drain_event`` — a SIGINT/SIGTERM mid-cycle lets in-flight files
+finish, marks undispatched ones ``skipped``, and the cycle trailer
+carries ``interrupted: true``.  Caches need no explicit flush (both the
+result cache and the SAT cache write through on every put).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.daemon.watcher import TreeWatcher
+from repro.engine import AuditEngine, AuditTask, EngineConfig, EngineResult, JsonlSink
+from repro.engine.cache import ResultCache
+from repro.obs import MetricsRegistry
+
+__all__ = ["CycleResult", "WatchLoop"]
+
+
+@dataclass
+class CycleResult:
+    """What one non-idle cycle did."""
+
+    number: int
+    dirty: list[str]
+    deleted: list[str]
+    result: EngineResult
+    #: The cycle's JSONL stream (None when no out_dir is configured).
+    stream_path: Path | None
+    interrupted: bool
+
+
+class WatchLoop:
+    """Re-audit a tree forever (or cycle by cycle, under a test driver)."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        websari,
+        *,
+        cache: ResultCache | None = None,
+        jobs: int = 1,
+        timeout: float | None = None,
+        interval: float = 2.0,
+        debounce: float = 0.5,
+        out_dir: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
+        stop_event: threading.Event | None = None,
+        clock=time.time,
+        pattern: str = "*.php",
+        quiet: bool = True,
+        stream=None,
+    ) -> None:
+        self.watcher = TreeWatcher(root, pattern=pattern, debounce=debounce, clock=clock)
+        self.websari = websari
+        self.cache = cache
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.interval = interval
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.metrics = metrics
+        self.stop_event = stop_event if stop_event is not None else threading.Event()
+        self.quiet = quiet
+        self.stream = stream if stream is not None else sys.stderr
+        #: Completed (non-idle) cycles; cycle JSONL files are numbered by it.
+        self.cycles = 0
+        #: Total polls, idle ones included.
+        self.polls = 0
+        self.last_dirty = 0
+        self.last_cycle_seconds = 0.0
+        #: Last known JSON record per live path (feeds every cycle stream).
+        self._records: dict[str, dict] = {}
+
+    # -- one cycle ----------------------------------------------------------
+
+    def run_cycle(self) -> CycleResult | None:
+        """Poll once; audit and emit a stream if anything changed.
+
+        Returns None for an idle poll.  Drives everything through
+        injectable clocks, so tests step cycles without real sleeps.
+        """
+        self.polls += 1
+        delta = self.watcher.poll()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_watch_polls_total", "tree polls by outcome"
+            ).inc(outcome="dirty" if delta else "idle")
+            self.metrics.gauge(
+                "repro_watch_tracked_files", "files in the current snapshot"
+            ).set(self.watcher.tracked)
+        if not delta:
+            return None
+
+        for path in delta.gone:
+            self._records.pop(path, None)
+        dirty = delta.dirty
+        tasks: list[AuditTask] = []
+        for path in dirty:
+            try:
+                source = Path(path).read_text()
+            except OSError as exc:
+                # Raced away between poll and read; it will be reported
+                # deleted next poll.  Drop any stale record now.
+                self._records.pop(path, None)
+                self._say(f"watch: {path}: {exc} (skipping this cycle)")
+                continue
+            tasks.append(AuditTask(index=len(tasks), filename=path, source=source))
+
+        self.cycles += 1
+        config = EngineConfig(
+            jobs=self.jobs,
+            timeout=self.timeout,
+            cache=self.cache,
+            metrics=self.metrics,
+            drain_event=self.stop_event,
+        )
+        result = AuditEngine(websari=self.websari, config=config).run(tasks)
+        skipped = [o for o in result.outcomes if o.status == "skipped"]
+        interrupted = bool(skipped) or self.stop_event.is_set()
+        for outcome in result.outcomes:
+            if outcome.status == "skipped":
+                continue  # keep the last known record, if any
+            self._records[outcome.filename] = outcome.to_record()
+
+        stream_path = self._write_stream(result, interrupted)
+        self.last_dirty = len(dirty)
+        self.last_cycle_seconds = result.stats.wall_seconds
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_watch_cycles_total", "completed re-audit cycles"
+            ).inc()
+            self.metrics.gauge(
+                "repro_watch_dirty_files", "dirty files in the last cycle"
+            ).set(len(dirty))
+            self.metrics.gauge(
+                "repro_watch_cycle_seconds", "engine wall seconds of the last cycle"
+            ).set(result.stats.wall_seconds)
+        stats = result.stats
+        self._say(
+            f"watch: cycle {self.cycles}: {len(dirty)} dirty, "
+            f"{len(delta.gone)} gone; {stats.safe} safe, "
+            f"{stats.vulnerable} vulnerable, {stats.failed} failed "
+            f"({stats.cache_hits} cached)"
+            + (" [interrupted]" if interrupted else "")
+        )
+        return CycleResult(
+            number=self.cycles,
+            dirty=dirty,
+            deleted=delta.gone,
+            result=result,
+            stream_path=stream_path,
+            interrupted=interrupted,
+        )
+
+    def _write_stream(self, result: EngineResult, interrupted: bool) -> Path | None:
+        """One merged JSONL per cycle: fresh records for dirty files plus
+        carried-over records for everything unchanged, then the engine
+        trailer — the same shape ``repro audit --jsonl`` writes, so
+        ``repro report`` (and ``--diff``) consume cycles directly."""
+        if self.out_dir is None:
+            return None
+        path = self.out_dir / f"cycle-{self.cycles:06d}.jsonl"
+        with JsonlSink(path) as sink:
+            for filename in sorted(self._records):
+                sink.write_file(self._records[filename])
+            trailer = result.stats.as_dict()
+            trailer["cycle"] = self.cycles
+            trailer["watched_files"] = self.watcher.tracked
+            if interrupted:
+                trailer["interrupted"] = True
+            sink.write_stats(trailer)
+        return path
+
+    # -- the daemon ---------------------------------------------------------
+
+    def run_forever(self) -> int:
+        """Cycle until ``stop_event`` is set; always exits 0 on a drain."""
+        while not self.stop_event.is_set():
+            self.run_cycle()
+            if self.stop_event.wait(self.interval):
+                break
+        return 0
+
+    def health(self) -> dict:
+        """JSON payload for the metrics server's ``/healthz`` endpoint."""
+        return {
+            "status": "draining" if self.stop_event.is_set() else "ok",
+            "cycles": self.cycles,
+            "polls": self.polls,
+            "tracked_files": self.watcher.tracked,
+            "last_dirty": self.last_dirty,
+            "last_cycle_seconds": round(self.last_cycle_seconds, 6),
+            "interval": self.interval,
+        }
+
+    def _say(self, message: str) -> None:
+        if not self.quiet:
+            print(message, file=self.stream)

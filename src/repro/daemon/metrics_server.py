@@ -1,0 +1,132 @@
+"""Pull-based metrics endpoint for long-running watches.
+
+A stdlib-only HTTP server (``http.server.ThreadingHTTPServer``) on a
+daemon thread, serving:
+
+* ``GET /metrics`` (and ``/``) — the live
+  :meth:`~repro.obs.MetricsRegistry.render` Prometheus text snapshot;
+* ``GET /healthz`` — a JSON liveness payload from an injectable callable
+  (the watch loop reports cycle counters and drain state through it).
+
+Scrapes are safe during an active audit cycle: the registry's sample
+renderers snapshot their state under the registry lock, so a scrape
+concurrent with worker-outcome recording never sees a mid-mutation dict.
+If the requested port is taken, the server falls back to an ephemeral
+port (``port == 0``) and exposes the actual one via :attr:`port` — a
+daemon that outlives a stale predecessor should come up scrapeable, not
+crash.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs import MetricsRegistry
+
+__all__ = ["MetricsServer", "parse_bind"]
+
+
+def parse_bind(spec: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """Parse ``PORT``, ``:PORT``, or ``HOST:PORT`` into ``(host, port)``.
+
+    An empty host binds loopback, not all interfaces: an audit daemon's
+    metrics should not be network-visible unless asked for explicitly.
+    """
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        port_text = spec
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid metrics address {spec!r} (want [HOST]:PORT)")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid metrics port {port} (want 0-65535)")
+    return host or default_host, port
+
+
+class MetricsServer:
+    """Serve a registry over HTTP from a daemon thread.
+
+    Usable as a context manager; :meth:`close` shuts the listener down
+    cleanly (pending requests finish, the socket is released).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health=None,
+    ) -> None:
+        self.registry = registry
+        self.health = health if health is not None else (lambda: {"status": "ok"})
+        self.requested_port = port
+        #: True when ``port`` was taken and an ephemeral one was bound.
+        self.fell_back = False
+        handler = self._make_handler()
+        try:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            if port == 0 or exc.errno not in (errno.EADDRINUSE, errno.EACCES):
+                raise
+            self._server = ThreadingHTTPServer((host, 0), handler)
+            self.fell_back = True
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        # shutdown() blocks on serve_forever()'s exit handshake, which
+        # never happens for a server that was constructed but not
+        # started — skip it then (server_close alone frees the socket).
+        if self._thread.is_alive():
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _make_handler(self):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    body = outer.registry.render().encode()
+                    self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+                elif path == "/healthz":
+                    body = (json.dumps(outer.health(), sort_keys=True) + "\n").encode()
+                    self._reply(200, "application/json", body)
+                else:
+                    self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+            def _reply(self, code: int, content_type: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                try:
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # scraper went away mid-response
+
+            def log_message(self, format: str, *args) -> None:  # noqa: A002
+                pass  # scrape traffic must not spam the daemon's stderr
+
+        return Handler

@@ -26,6 +26,7 @@ Entry points: the ``repro audit`` CLI subcommand, or::
 
 from repro.engine.cache import (
     ENGINE_VERSION,
+    HotResultCache,
     ResultCache,
     cache_key,
     default_cache_dir,
@@ -44,6 +45,7 @@ __all__ = [
     "EngineResult",
     "EngineStats",
     "FileOutcome",
+    "HotResultCache",
     "JsonlSink",
     "ProgressPrinter",
     "ResultCache",

@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -30,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ENGINE_VERSION",
+    "HotResultCache",
     "ResultCache",
     "cache_key",
     "default_cache_dir",
@@ -161,3 +163,47 @@ class ResultCache:
         if not self._objects.is_dir():
             return 0
         return sum(1 for _ in self._objects.glob("*/*.json"))
+
+
+class HotResultCache(ResultCache):
+    """A :class:`ResultCache` with a process-lifetime in-memory layer.
+
+    Built for long-running processes (the ``repro watch`` daemon) that
+    probe the same keys every poll cycle: a key served once from disk is
+    answered from memory afterwards, so an idle watch cycle over N files
+    costs N dict lookups, not N file reads.  Writes go to both layers;
+    the memo is LRU-bounded so a daemon watching a huge, churning tree
+    cannot grow without bound.  Disk stays the source of truth — other
+    processes sharing the directory see every entry this one writes.
+    """
+
+    def __init__(self, root: str | Path, max_entries: int = 65536) -> None:
+        super().__init__(root)
+        self.max_entries = max_entries
+        self._memo: OrderedDict[str, dict] = OrderedDict()
+        self.hot_hits = 0
+        self.disk_hits = 0
+
+    def get(self, key: str) -> dict | None:
+        record = self._memo.get(key)
+        if record is not None:
+            self._memo.move_to_end(key)
+            self.hot_hits += 1
+            return record
+        record = super().get(key)
+        if record is not None:
+            self.disk_hits += 1
+            self._remember(key, record)
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        super().put(key, record)
+        payload = dict(record)
+        payload["record_version"] = _RECORD_VERSION
+        self._remember(key, payload)
+
+    def _remember(self, key: str, record: dict) -> None:
+        self._memo[key] = record
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.max_entries:
+            self._memo.popitem(last=False)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -92,10 +93,21 @@ class EngineConfig:
     #: Metrics registry updated per finalized outcome (file/verdict
     #: counters, per-stage and solver totals, duration histogram).
     metrics: MetricsRegistry | None = None
+    #: Graceful-shutdown hook: once this event is set, no further pending
+    #: task is dispatched — tasks already executing (or buffered in a
+    #: worker pipe) finish normally, everything else is finalized with
+    #: status ``skipped``.  The ``repro watch`` daemon sets it from its
+    #: SIGINT/SIGTERM handler so a signal drains the in-flight cycle
+    #: instead of killing it mid-file.
+    drain_event: threading.Event | None = None
 
     @property
     def tracing(self) -> bool:
         return self.tracer is not None and self.tracer.enabled
+
+    @property
+    def draining(self) -> bool:
+        return self.drain_event is not None and self.drain_event.is_set()
 
 
 @dataclass
@@ -301,10 +313,27 @@ class AuditEngine:
                 continue
             solver_counter.inc(value, kind=name, backend=backend)
 
+    # -- graceful drain -----------------------------------------------------
+
+    def _skip_pending(self, pending, stats, progress, outcomes, keys) -> None:
+        """Finalize every not-yet-started task as ``skipped`` (drain path)."""
+        while pending:
+            task, attempt = pending.popleft()
+            outcome = FileOutcome(
+                filename=task.filename,
+                status="skipped",
+                error="not started: engine drained before dispatch",
+            )
+            outcome.attempts = attempt - 1  # it never ran
+            self._finalize(outcome, task, stats, progress, outcomes, keys)
+
     # -- inline execution ---------------------------------------------------
 
     def _run_inline(self, pending, stats, progress, outcomes, keys) -> None:
         while pending:
+            if self.config.draining:
+                self._skip_pending(pending, stats, progress, outcomes, keys)
+                return
             task, attempt = pending.popleft()
             outcome = safe_execute(
                 task, self.websari, self.config.want_reports, self.config.tracing
@@ -395,35 +424,43 @@ class AuditEngine:
 
         try:
             while pending or any(w.inflight for w in workers):
-                # Keep the pool at strength: one worker per pending or
-                # busy slot, capped at ``jobs`` (covers both initial
-                # spawn and replacement after crash/timeout discards).
-                busy_count = sum(1 for w in workers if w.inflight)
-                desired = min(config.jobs, len(pending) + busy_count)
-                while len(workers) < desired:
-                    workers.append(self._spawn_worker(ctx))
+                if config.draining:
+                    # Graceful shutdown: whatever is buffered in a worker
+                    # pipe still runs to completion, but nothing new is
+                    # dispatched — undispatched tasks become ``skipped``.
+                    self._skip_pending(pending, stats, progress, outcomes, keys)
+                    if not any(w.inflight for w in workers):
+                        break
+                else:
+                    # Keep the pool at strength: one worker per pending or
+                    # busy slot, capped at ``jobs`` (covers both initial
+                    # spawn and replacement after crash/timeout discards).
+                    busy_count = sum(1 for w in workers if w.inflight)
+                    desired = min(config.jobs, len(pending) + busy_count)
+                    while len(workers) < desired:
+                        workers.append(self._spawn_worker(ctx))
 
-                # Deal tasks breadth-first: fill every worker's first slot
-                # before buffering a second task behind anyone, so the
-                # pipeline never starves an idle worker.
-                for depth in range(1, _QUEUE_DEPTH + 1):
-                    for worker in list(workers):
-                        if len(worker.inflight) >= depth or not pending:
-                            continue
-                        if not worker.process.is_alive():
-                            if worker.inflight:
-                                continue  # let the drain path handle it
-                            discard(worker)
-                            continue
-                        task, attempt = pending.popleft()
-                        was_idle = not worker.inflight
-                        worker.inflight.append((task, attempt))
-                        if was_idle:
-                            rearm(worker)
-                        try:
-                            worker.conn.send(task)
-                        except (BrokenPipeError, OSError):
-                            crashed(worker)
+                    # Deal tasks breadth-first: fill every worker's first
+                    # slot before buffering a second task behind anyone, so
+                    # the pipeline never starves an idle worker.
+                    for depth in range(1, _QUEUE_DEPTH + 1):
+                        for worker in list(workers):
+                            if len(worker.inflight) >= depth or not pending:
+                                continue
+                            if not worker.process.is_alive():
+                                if worker.inflight:
+                                    continue  # let the drain path handle it
+                                discard(worker)
+                                continue
+                            task, attempt = pending.popleft()
+                            was_idle = not worker.inflight
+                            worker.inflight.append((task, attempt))
+                            if was_idle:
+                                rearm(worker)
+                            try:
+                                worker.conn.send(task)
+                            except (BrokenPipeError, OSError):
+                                crashed(worker)
 
                 busy = [w for w in workers if w.inflight]
                 if not busy:

@@ -17,6 +17,7 @@ deliberately excluded from the JSON record.
 
 from __future__ import annotations
 
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field, fields
@@ -65,7 +66,9 @@ class FileOutcome:
     """Everything the engine learned about one file.
 
     ``status`` is one of ``ok``, ``frontend-error``, ``error``,
-    ``timeout``, ``crash``; only ``ok`` carries a verdict (``safe``).
+    ``timeout``, ``crash``, or ``skipped`` (never started because the
+    engine drained on shutdown); only ``ok`` carries a verdict
+    (``safe``).
     """
 
     filename: str
@@ -304,6 +307,17 @@ def _worker_loop(
     (hard crash, kill, unpicklable result) is detected by the scheduler
     through the broken pipe and replaced with a fresh process.
     """
+    # The parent coordinates interrupts (drain + trailer): a terminal ^C
+    # reaches the whole foreground process group, so workers must not
+    # die mid-task from it and turn a clean drain into crash records.
+    # Fork also copies any CLI signal handlers (e.g. `repro watch`'s
+    # SIGTERM banner) — reset SIGTERM to the default so the scheduler's
+    # terminate() actually terminates, silently.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
     try:
         while True:
             try:

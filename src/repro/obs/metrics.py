@@ -66,11 +66,14 @@ class _Metric:
         return self._values.get(_label_key(labels), 0.0)
 
     def _samples(self) -> list[str]:
+        # Snapshot under the lock: a scrape concurrent with inc()/set()
+        # (e.g. the daemon metrics server during an active cycle) must not
+        # iterate a dict another thread is growing.
+        with self._lock:
+            values = dict(self._values)
         lines = []
-        for key in sorted(self._values):
-            lines.append(
-                f"{self.name}{_render_labels(key)} {_format_value(self._values[key])}"
-            )
+        for key in sorted(values):
+            lines.append(f"{self.name}{_render_labels(key)} {_format_value(values[key])}")
         return lines
 
 
@@ -145,9 +148,16 @@ class Histogram:
         return series[1] if series else 0.0
 
     def _samples(self) -> list[str]:
+        # Deep-copy under the lock for the same scrape-vs-observe race as
+        # ``_Metric._samples`` (bucket count lists mutate in place).
+        with self._lock:
+            series_snapshot = {
+                key: (list(counts), total, count)
+                for key, (counts, total, count) in self._series.items()
+            }
         lines = []
-        for key in sorted(self._series):
-            counts, total, count = self._series[key]
+        for key in sorted(series_snapshot):
+            counts, total, count = series_snapshot[key]
             for bound, bucket_count in zip(self.buckets, counts):
                 lines.append(
                     f"{self.name}_bucket"

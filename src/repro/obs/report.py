@@ -4,8 +4,9 @@
 file plus a final ``{"type": "stats", ...}`` trailer (see
 ``repro.engine.jsonl``).  This module turns those streams into:
 
-* :func:`render_report` — verdict/cache tallies, per-stage and solver
-  totals, and the top-N slowest files of one run;
+* :func:`render_report` — verdict/cache tallies, per-file duration
+  mean/max, per-stage and solver totals, and the top-N slowest files of
+  one run;
 * :func:`diff_runs` / :func:`render_diff` — new / fixed / regressed
   classification between two runs of the same corpus (the CI story:
   fail the build when a change introduces vulnerabilities).
@@ -142,6 +143,20 @@ def render_report(run: AuditRun, top: int = 10) -> str:
     lines.append(
         f"cache: {tally['cached']} hit(s), {len(records) - tally['cached']} miss(es)"
     )
+
+    durations = [
+        r["duration"]
+        for r in records
+        if isinstance(r.get("duration"), (int, float))
+        and not isinstance(r.get("duration"), bool)
+    ]
+    # Guarded: a trailer-only or fully-drained stream has no durations,
+    # and the mean must not divide by zero.
+    if durations:
+        lines.append(
+            f"per-file duration: mean {sum(durations) / len(durations):.3f}s, "
+            f"max {max(durations):.3f}s"
+        )
 
     failures = [r for r in records if r.get("status") != "ok"]
     if failures:

@@ -163,6 +163,21 @@ class WebSSARI:
     def lattice(self) -> FiniteLattice:
         return self.prelude.lattice  # type: ignore[return-value]
 
+    def attach_persistent_sat_cache(self, cache_root: "str | Path") -> None:
+        """Re-home the SAT query cache under ``<cache_root>/sat``.
+
+        No-op when the verifier was built without a SAT cache.  The two
+        cache layers are independent: the file-level result cache may be
+        disabled while SAT queries still persist (see docs/SOLVER.md).
+        Long-running callers (the ``repro watch`` daemon) keep one
+        persistent cache alive across every re-audit cycle.
+        """
+        if self.sat_cache is None:
+            return
+        from pathlib import Path
+
+        self.sat_cache = SatQueryCache(persist_dir=Path(cache_root) / "sat")
+
     # -- single source ---------------------------------------------------------
 
     def verify_source(self, source: str, filename: str = "<string>") -> VerificationReport:

@@ -1,0 +1,84 @@
+"""Deterministic drivers for daemon tests: fake clock, mtime control.
+
+The watcher compares file mtimes against an injectable clock, so the
+whole daemon test suite runs without a single real sleep: a
+:class:`FakeClock` provides "now", and a :class:`TreeDriver` performs
+filesystem mutations whose mtimes come from that same clock (via
+``os.utime``).  Advancing the clock is what makes time pass; polls are
+stepped explicitly by the tests.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+__all__ = ["FakeClock", "TreeDriver"]
+
+
+class FakeClock:
+    """A callable clock advanced manually (epoch-like start so mtimes
+    written from it look plausible to any code that formats them)."""
+
+    def __init__(self, start: float = 1_000_000_000.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+class TreeDriver:
+    """Mutate a real directory tree with clock-controlled mtimes.
+
+    Every mutation stamps the file's mtime from the fake clock, so the
+    watcher's debounce arithmetic (clock minus mtime) is exact: a test
+    decides whether a write looks "in progress" or "settled" purely by
+    how far it advances the clock afterwards.
+    """
+
+    def __init__(self, root: str | Path, clock: FakeClock) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.clock = clock
+
+    def path(self, name: str) -> Path:
+        return self.root / name
+
+    def _stamp(self, name: str) -> None:
+        ns = int(self.clock() * 1e9)
+        os.utime(self.path(name), ns=(ns, ns))
+
+    def write(self, name: str, text: str) -> Path:
+        """Create or overwrite a file, mtime = fake now."""
+        path = self.path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        self._stamp(name)
+        return path
+
+    def touch(self, name: str) -> None:
+        """Bump mtime to fake now without changing content."""
+        self._stamp(name)
+
+    def remove(self, name: str) -> None:
+        self.path(name).unlink()
+
+    def remove_tree(self, name: str) -> None:
+        shutil.rmtree(self.path(name))
+
+    def move(self, old: str, new: str) -> None:
+        """Rename, preserving the stamp (os.rename keeps inode + mtime)."""
+        target = self.path(new)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.rename(self.path(old), target)
+
+    def symlink_dir(self, name: str, target: str | Path) -> None:
+        self.path(name).symlink_to(target, target_is_directory=True)
+
+    def symlink_file(self, name: str, target: str | Path) -> None:
+        self.path(name).symlink_to(target)

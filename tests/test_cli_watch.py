@@ -1,0 +1,70 @@
+"""Tests for the ``repro watch`` subcommand's CLI surface: argument
+validation exit codes and the ``--once`` smoke mode.  The daemon's
+behaviour itself is covered by ``test_daemon_watch.py`` /
+``test_daemon_loop.py`` / ``test_metrics_server.py``; end-to-end signal
+drain by the CI smoke step."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+VULN = "<?php echo $_GET['q'];\n"
+SAFE = "<?php echo 'hello';\n"
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "vuln.php").write_text(VULN)
+    (root / "safe.php").write_text(SAFE)
+    return root
+
+
+class TestArgumentValidation:
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "absent")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_file_root_exits_two(self, corpus):
+        assert main(["watch", str(corpus / "vuln.php")]) == 2
+
+    def test_bad_metrics_address_exits_two(self, corpus, capsys):
+        assert main(["watch", str(corpus), "--serve-metrics", "nope"]) == 2
+        assert "invalid metrics address" in capsys.readouterr().err
+
+
+class TestOnceMode:
+    def test_once_audits_a_fresh_corpus_despite_debounce(self, tmp_path, corpus, capsys):
+        # A just-written corpus sits entirely inside the default 0.5s
+        # debounce window; --once must override it (one-shot smoke would
+        # otherwise audit nothing and still exit 0).
+        out = tmp_path / "cycles"
+        rc = main(
+            ["watch", str(corpus), "--once", "--quiet",
+             "--cache-dir", str(tmp_path / "cache"), "--out-dir", str(out)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        stream = out / "cycle-000001.jsonl"
+        assert stream.exists()
+        lines = [json.loads(l) for l in stream.read_text().splitlines()]
+        files = {r["filename"]: r for r in lines if r["type"] == "file"}
+        assert files[str(corpus / "vuln.php")]["safe"] is False
+        assert files[str(corpus / "safe.php")]["safe"] is True
+        trailer = lines[-1]
+        assert trailer["type"] == "stats"
+        assert trailer["cycle"] == 1 and trailer["watched_files"] == 2
+
+    def test_once_on_an_empty_tree_exits_zero(self, tmp_path, capsys):
+        root = tmp_path / "empty"
+        root.mkdir()
+        rc = main(
+            ["watch", str(root), "--once", "--quiet",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--out-dir", str(tmp_path / "cycles")]
+        )
+        capsys.readouterr()
+        assert rc == 0

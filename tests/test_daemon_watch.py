@@ -1,0 +1,206 @@
+"""Snapshot-diffing edge cases for the daemon's tree watcher.
+
+All timing goes through ``daemonutil.FakeClock`` + ``os.utime``-stamped
+mtimes — no real sleeps anywhere.
+"""
+
+import os
+
+from daemonutil import FakeClock, TreeDriver
+
+from repro.daemon.watcher import FileStamp, TreeWatcher, diff_snapshots
+
+PHP = "<?php echo 'hello';\n"
+
+
+def make(tmp_path, debounce=0.0, pattern="*.php"):
+    clock = FakeClock()
+    driver = TreeDriver(tmp_path / "tree", clock)
+    watcher = TreeWatcher(driver.root, pattern=pattern, debounce=debounce, clock=clock)
+    return clock, driver, watcher
+
+
+class TestBasicDiffing:
+    def test_initial_poll_reports_everything_created(self, tmp_path):
+        _, driver, watcher = make(tmp_path)
+        driver.write("a.php", PHP)
+        driver.write("sub/b.php", PHP)
+        driver.write("notes.txt", "ignored")
+        delta = watcher.poll()
+        assert sorted(delta.created) == [
+            str(driver.path("a.php")),
+            str(driver.path("sub/b.php")),
+        ]
+        assert delta.dirty == sorted(delta.created)
+        assert watcher.tracked == 2
+
+    def test_idle_poll_is_empty_and_falsy(self, tmp_path):
+        _, driver, watcher = make(tmp_path)
+        driver.write("a.php", PHP)
+        watcher.poll()
+        delta = watcher.poll()
+        assert not delta
+        assert delta.dirty == [] and delta.gone == []
+
+    def test_content_change_reported_modified(self, tmp_path):
+        clock, driver, watcher = make(tmp_path)
+        driver.write("a.php", PHP)
+        watcher.poll()
+        clock.advance(10)
+        driver.write("a.php", "<?php echo $_GET['q'];\n")
+        delta = watcher.poll()
+        assert delta.modified == [str(driver.path("a.php"))]
+        assert not delta.created and not delta.deleted
+
+    def test_touch_without_change_reported_modified(self, tmp_path):
+        # mtime is the watcher's only change signal; a pure touch is
+        # reported dirty and the engine's content-addressed cache then
+        # absorbs it as a hit (covered in test_daemon_loop).
+        clock, driver, watcher = make(tmp_path)
+        driver.write("a.php", PHP)
+        watcher.poll()
+        clock.advance(10)
+        driver.touch("a.php")
+        delta = watcher.poll()
+        assert delta.modified == [str(driver.path("a.php"))]
+
+    def test_delete_reported(self, tmp_path):
+        _, driver, watcher = make(tmp_path)
+        driver.write("a.php", PHP)
+        watcher.poll()
+        driver.remove("a.php")
+        delta = watcher.poll()
+        assert delta.deleted == [str(driver.path("a.php"))]
+        assert delta.gone == delta.deleted and delta.dirty == []
+        assert watcher.tracked == 0
+
+    def test_delete_and_recreate_between_polls_is_modified(self, tmp_path):
+        clock, driver, watcher = make(tmp_path)
+        driver.write("a.php", PHP)
+        watcher.poll()
+        clock.advance(10)
+        driver.remove("a.php")
+        driver.write("a.php", "<?php echo 'reborn';\n")
+        delta = watcher.poll()
+        # Same path, new inode/mtime: one modified entry, not a
+        # delete+create pair.
+        assert delta.modified == [str(driver.path("a.php"))]
+        assert not delta.created and not delta.deleted
+
+
+class TestMoves:
+    def test_rename_detected_as_move(self, tmp_path):
+        clock, driver, watcher = make(tmp_path)
+        driver.write("old.php", PHP)
+        watcher.poll()
+        clock.advance(10)
+        driver.move("old.php", "new.php")
+        delta = watcher.poll()
+        assert delta.moved == [(str(driver.path("old.php")), str(driver.path("new.php")))]
+        assert not delta.created and not delta.deleted
+        # The new path needs a re-audit (records embed the filename);
+        # the old path is gone.
+        assert delta.dirty == [str(driver.path("new.php"))]
+        assert delta.gone == [str(driver.path("old.php"))]
+
+    def test_distinct_stamps_stay_create_plus_delete(self, tmp_path):
+        clock, driver, watcher = make(tmp_path)
+        driver.write("old.php", PHP)
+        watcher.poll()
+        clock.advance(10)
+        driver.remove("old.php")
+        driver.write("new.php", PHP + "// different\n")
+        delta = watcher.poll()
+        assert delta.created == [str(driver.path("new.php"))]
+        assert delta.deleted == [str(driver.path("old.php"))]
+        assert delta.moved == []
+
+    def test_diff_snapshots_pairs_moves_deterministically(self):
+        stamp = FileStamp(mtime_ns=1, size=10, inode=42)
+        delta = diff_snapshots({"a.php": stamp}, {"b.php": stamp})
+        assert delta.moved == [("a.php", "b.php")]
+
+
+class TestDebounce:
+    def test_fresh_write_deferred_until_quiet(self, tmp_path):
+        clock, driver, watcher = make(tmp_path, debounce=5.0)
+        driver.write("a.php", PHP)
+        watcher.poll()
+        clock.advance(60)
+        watcher.poll()  # settle the baseline past the debounce window
+        driver.write("a.php", "<?php echo 'mid-write';\n")  # mtime == now
+        assert not watcher.poll(), "write inside the window must be deferred"
+        clock.advance(6)
+        delta = watcher.poll()
+        assert delta.modified == [str(driver.path("a.php"))]
+
+    def test_new_file_stays_invisible_until_quiet(self, tmp_path):
+        clock, driver, watcher = make(tmp_path, debounce=5.0)
+        watcher.poll()
+        driver.write("a.php", PHP)
+        assert not watcher.poll()
+        assert watcher.tracked == 0
+        clock.advance(6)
+        delta = watcher.poll()
+        assert delta.created == [str(driver.path("a.php"))]
+
+    def test_settled_files_pass_straight_through(self, tmp_path):
+        clock, driver, watcher = make(tmp_path, debounce=5.0)
+        driver.write("a.php", PHP)
+        clock.advance(6)
+        delta = watcher.poll()
+        assert delta.created == [str(driver.path("a.php"))]
+
+
+class TestRobustness:
+    def test_permission_loss_reported_deleted_then_recovers(self, tmp_path, monkeypatch):
+        _, driver, watcher = make(tmp_path)
+        target = driver.write("a.php", PHP)
+        driver.write("b.php", PHP)
+        watcher.poll()
+        # Simulate read-permission loss via os.access (chmod 000 is not
+        # observable when the suite runs as root).
+        real_access = os.access
+
+        def deny(path, mode, **kwargs):
+            if str(path) == str(target):
+                return False
+            return real_access(path, mode, **kwargs)
+
+        monkeypatch.setattr(os, "access", deny)
+        delta = watcher.poll()
+        assert delta.deleted == [str(target)]
+        assert watcher.tracked == 1
+        monkeypatch.setattr(os, "access", real_access)
+        delta = watcher.poll()
+        assert delta.created == [str(target)]
+
+    def test_symlink_loop_terminates_and_counts_once(self, tmp_path):
+        _, driver, watcher = make(tmp_path)
+        driver.write("a.php", PHP)
+        driver.symlink_dir("loop", driver.root)  # root/loop -> root
+        delta = watcher.poll()
+        assert delta.created == [str(driver.path("a.php"))]
+        assert watcher.tracked == 1
+
+    def test_dangling_file_symlink_invisible(self, tmp_path):
+        _, driver, watcher = make(tmp_path)
+        driver.symlink_file("ghost.php", driver.path("missing.php"))
+        driver.write("real.php", PHP)
+        delta = watcher.poll()
+        assert delta.created == [str(driver.path("real.php"))]
+
+    def test_unreadable_subdirectory_skipped_not_fatal(self, tmp_path, monkeypatch):
+        _, driver, watcher = make(tmp_path)
+        driver.write("ok.php", PHP)
+        driver.write("locked/hidden.php", PHP)
+        real_scandir = os.scandir
+
+        def scandir(path="."):
+            if str(path).endswith("locked"):
+                raise PermissionError(13, "denied", str(path))
+            return real_scandir(path)
+
+        monkeypatch.setattr(os, "scandir", scandir)
+        delta = watcher.poll()
+        assert delta.created == [str(driver.path("ok.php"))]

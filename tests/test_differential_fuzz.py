@@ -1,0 +1,151 @@
+"""Seeded differential fuzzing: static verdicts vs concrete execution.
+
+:func:`repro.corpus.generator.generate_fuzz_program` emits random
+loop-free F(p) programs whose branch conditions each read a dedicated
+``$_GET`` key exactly once.  That gives two independent oracles for the
+same question ("can attacker input reach a sink unsanitized?"):
+
+* **static** — ``WebSSARI.verify_source``: the full parse → filter → AI
+  → rename → BMC pipeline;
+* **concrete** — ``repro.interp.run_php`` over all ``2**k`` branch
+  assignments, with a marker payload (containing ``<`` so
+  ``htmlspecialchars`` destroys it) on the payload parameter.  A leak is
+  the marker surviving verbatim into the response body or the SQL query
+  log.
+
+Because the fragment is loop-free and flows strings only through
+copy/concat, the two must agree exactly — both directions — under the
+*sound* sanitizer semantics (``sanitize_in_place=False``).  The
+paper-faithful default keeps Figure 6's in-place model, whose known
+false negative (``$b = htmlspecialchars($a); echo $a;`` — see
+``test_model_unsoundness.py``) the fuzzer rediscovers at seeds like 1;
+for that mode only the one-sided property holds: a "vulnerable" verdict
+must always be witnessed by a concrete leak.  On top of the verdict
+agreement, every (solver backend × sat-cache) combination must agree
+with itself (extending ``test_solver_parity.py`` to the fuzzed corpus).
+
+Plain ``random.Random(seed)`` loops, no new dependencies.  Override
+``REPRO_FUZZ_SEED`` / ``REPRO_FUZZ_COUNT`` to widen the sweep locally or
+to replay a CI failure (the failing program's source is embedded in the
+assertion message).
+"""
+
+import itertools
+import os
+import random
+
+import pytest
+
+from repro.corpus.generator import generate_fuzz_program
+from repro.interp import HttpRequest, run_php
+from repro.sat.cache import SatQueryCache
+from repro.websari.pipeline import WebSSARI
+
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260806"))
+COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "30"))
+#: Contains ``<`` so htmlspecialchars destroys it (``&lt;ta1nt&gt;``),
+#: and is distinctive enough never to occur in generated literals.
+MARKER = "<ta1nt>"
+
+PROGRAMS = [generate_fuzz_program(random.Random(SEED + i)) for i in range(COUNT)]
+
+
+def concrete_leaks(program) -> bool:
+    """Exhaustive concrete oracle: does ANY branch assignment leak?"""
+    for bits in itertools.product([False, True], repeat=len(program.branch_params)):
+        get = {program.payload_param: MARKER}
+        for key, taken in zip(program.branch_params, bits):
+            if taken:
+                get[key] = "1"  # missing key reads as '' → falsy
+        env = run_php(program.source, HttpRequest(get=get))
+        if MARKER in env.response_body():
+            return True
+        if any(MARKER in query for query in env.database.query_log):
+            return True
+    return False
+
+
+def signature(report):
+    """Everything that must agree across solver/cache variants."""
+    return (
+        report.safe,
+        report.bmc.safe,
+        [
+            (a.assert_id, a.safe, len(a.counterexamples), a.truncated)
+            for a in report.bmc.assertions
+        ],
+        report.bmc_group_count,
+    )
+
+
+class TestGenerator:
+    def test_same_seed_reproduces_the_program(self):
+        a = generate_fuzz_program(random.Random(SEED))
+        b = generate_fuzz_program(random.Random(SEED))
+        assert a == b
+
+    def test_branch_params_each_steer_one_condition(self):
+        for program in PROGRAMS:
+            for key in program.branch_params:
+                assert program.source.count(f"$_GET['{key}']") == 1
+
+    def test_corpus_is_nontrivial(self):
+        """The seeded corpus must exercise both verdicts, or the
+        differential assertions below would be vacuous."""
+        verdicts = {concrete_leaks(p) for p in PROGRAMS}
+        assert verdicts == {False, True}
+
+
+class TestStaticVsConcrete:
+    @pytest.mark.parametrize("index", range(COUNT))
+    def test_sound_mode_matches_exhaustive_execution(self, index):
+        program = PROGRAMS[index]
+        report = WebSSARI(sanitize_in_place=False).verify_source(
+            program.source, f"fuzz{index}.php"
+        )
+        leaked = concrete_leaks(program)
+        # Two-sided: safe ⇒ no concrete leak (soundness of "safe"),
+        # vulnerable ⇒ some concrete leak (no false alarms on F(p)).
+        assert report.bmc.safe == (not leaked), (
+            f"fuzz{index}: BMC safe={report.bmc.safe} but concrete "
+            f"execution {'leaked' if leaked else 'never leaked'} "
+            f"(seed={SEED + index})\nsource:\n{program.source}"
+        )
+
+    @pytest.mark.parametrize("index", range(COUNT))
+    def test_paper_mode_vulnerable_verdicts_are_witnessed(self, index):
+        # The Figure 6 in-place sanitizer model may miss leaks (known
+        # false negative, test_model_unsoundness.py) but must never
+        # invent one: in-place sanitization only *lowers* taint relative
+        # to the pure-function semantics.
+        program = PROGRAMS[index]
+        report = WebSSARI().verify_source(program.source, f"fuzz{index}.php")
+        if not report.bmc.safe:
+            assert concrete_leaks(program), (
+                f"fuzz{index}: paper-mode BMC reported vulnerable but no "
+                f"concrete execution leaks (seed={SEED + index})\n"
+                f"source:\n{program.source}"
+            )
+
+
+class TestVariantParity:
+    @pytest.mark.parametrize("index", range(min(COUNT, 12)))
+    def test_all_solver_and_cache_variants_agree(self, index):
+        # A slice of the corpus keeps the dpll ablation affordable.
+        program = PROGRAMS[index]
+        variants = {
+            ("cdcl", "off"): WebSSARI(solver="cdcl"),
+            ("cdcl", "on"): WebSSARI(solver="cdcl", sat_cache=SatQueryCache()),
+            ("dpll", "off"): WebSSARI(solver="dpll"),
+            ("dpll", "on"): WebSSARI(solver="dpll", sat_cache=SatQueryCache()),
+        }
+        signatures = {
+            key: signature(websari.verify_source(program.source, f"fuzz{index}.php"))
+            for key, websari in variants.items()
+        }
+        baseline = signatures[("cdcl", "off")]
+        for key, sig in signatures.items():
+            assert sig == baseline, (
+                f"fuzz{index}: variant {key} diverged (seed={SEED + index})\n"
+                f"source:\n{program.source}"
+            )

@@ -1,0 +1,148 @@
+"""The daemon's HTTP metrics endpoint: live scrapes, port fallback,
+clean shutdown — plus the registry's scrape-during-mutation safety."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.daemon import MetricsServer
+from repro.daemon.metrics_server import parse_bind
+from repro.obs import MetricsRegistry
+
+
+def fetch(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_files_total", "files by outcome").inc(status="ok")
+    registry.histogram("repro_file_seconds", "per-file seconds").observe(0.02)
+    return registry
+
+
+class TestEndpoints:
+    def test_metrics_text_exposition(self, registry):
+        with MetricsServer(registry) as server:
+            status, content_type, body = fetch(server.port, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_files_total counter" in body
+        assert 'repro_files_total{status="ok"} 1' in body
+
+    def test_healthz_json(self, registry):
+        health = {"status": "ok", "cycles": 7}
+        with MetricsServer(registry, health=lambda: health) as server:
+            status, content_type, body = fetch(server.port, "/healthz")
+        assert status == 200 and content_type == "application/json"
+        assert json.loads(body) == health
+
+    def test_unknown_path_404(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server.port, "/nope")
+            assert err.value.code == 404
+
+
+class TestScrapeDuringActiveCycle:
+    def test_concurrent_mutation_never_corrupts_a_scrape(self, registry):
+        """Hammer the registry from a writer thread while scraping: every
+        response must be complete, parseable exposition text (regression
+        for iterating a mutating dict in ``_samples``)."""
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            counter = registry.counter("repro_files_total")
+            histogram = registry.histogram("repro_file_seconds")
+            i = 0
+            while not stop.is_set():
+                counter.inc(status=f"status-{i % 50}")
+                histogram.observe(0.001 * (i % 100), worker=str(i % 20))
+                i += 1
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            with MetricsServer(registry) as server:
+                for _ in range(25):
+                    status, _, body = fetch(server.port, "/metrics")
+                    if status != 200:
+                        errors.append(status)
+                    if "# TYPE repro_files_total counter" not in body:
+                        errors.append("missing header")
+                    if not body.endswith("\n"):
+                        errors.append("truncated body")
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert errors == []
+
+    def test_render_is_safe_without_server_too(self, registry):
+        stop = threading.Event()
+
+        def writer():
+            gauge = registry.gauge("repro_watch_dirty_files")
+            i = 0
+            while not stop.is_set():
+                gauge.set(i, shard=str(i % 64))
+                i += 1
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(50):
+                registry.render()
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+
+
+class TestPortHandling:
+    def test_port_in_use_falls_back_to_ephemeral(self, registry):
+        with MetricsServer(registry) as first:
+            second = MetricsServer(registry, port=first.port)
+            try:
+                assert second.fell_back
+                assert second.port != first.port
+                second.start()
+                status, _, _ = fetch(second.port, "/metrics")
+                assert status == 200
+            finally:
+                second.close()
+
+    def test_requested_port_recorded(self, registry):
+        with MetricsServer(registry) as server:
+            assert server.requested_port == 0
+            assert server.port != 0
+            assert not server.fell_back
+
+    def test_parse_bind_forms(self):
+        assert parse_bind("9100") == ("127.0.0.1", 9100)
+        assert parse_bind(":9100") == ("127.0.0.1", 9100)
+        assert parse_bind("0.0.0.0:9100") == ("0.0.0.0", 9100)
+        with pytest.raises(ValueError):
+            parse_bind("nope")
+        with pytest.raises(ValueError):
+            parse_bind(":99999")
+
+
+class TestShutdown:
+    def test_close_releases_the_socket(self, registry):
+        server = MetricsServer(registry).start()
+        port = server.port
+        assert fetch(port, "/metrics")[0] == 200
+        server.close()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            fetch(port, "/metrics")
+        # The port is reusable immediately (no lingering listener).
+        rebound = MetricsServer(registry, port=port)
+        try:
+            assert not rebound.fell_back
+        finally:
+            rebound.close()

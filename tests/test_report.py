@@ -111,6 +111,31 @@ class TestRenderReport:
         assert "slowest 2 file(s):" in text
         assert "f4.php" in text and "f0.php" not in text
 
+    def test_mean_duration_line(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl",
+            [
+                file_record("a.php", duration=1.0),
+                file_record("b.php", duration=3.0),
+                file_record("c.php", status="timeout", safe=None),  # no duration
+            ],
+        )
+        text = render_report(load_audit(path))
+        assert "per-file duration: mean 2.000s, max 3.000s" in text
+
+    def test_trailer_only_stream_renders_without_division_by_zero(self, tmp_path):
+        # A drained daemon cycle or an audit interrupted before the first
+        # outcome produces a stats trailer and zero file records; the
+        # duration summary must be omitted, not crash.
+        path = write_stream(tmp_path / "empty.jsonl", [])
+        text = render_report(load_audit(path))
+        assert "files: 0/0 audited" in text
+        assert "per-file duration" not in text
+
+    def test_records_without_durations_omit_the_line(self, tmp_path):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert "per-file duration" not in render_report(load_audit(path))
+
 
 class TestDiffRuns:
     def run_of(self, records):

@@ -1,0 +1,127 @@
+"""End-to-end signal handling: SIGINT to a real ``repro audit`` process.
+
+The in-process engine tests cover the drain machinery; this suite covers
+the actual contract a user's ^C exercises — a subprocess running the CLI
+against a slow corpus, interrupted mid-run, must:
+
+* exit with code 130 (the conventional 128+SIGINT);
+* leave a *well-formed* JSONL stream — every line standalone JSON,
+  exactly one stats trailer carrying ``"interrupted": true``;
+* leave the result cache consistent enough that a warm re-run completes
+  and reuses every verdict the interrupted run managed to finish.
+
+POSIX-only (signal delivery semantics); each file takes ~0.5s to verify
+so the interrupt window after the first completed record is wide.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.skipif(os.name != "posix", reason="POSIX signal semantics")
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+FILE_COUNT = 20
+
+
+def slow_php(i: int, branches: int = 9) -> str:
+    """A branch-heavy vulnerable page: ~0.5s of BMC work per file."""
+    lines = ["<?php", f"$v = $_GET['x{i}'];"]
+    for j in range(branches):
+        lines.append(f"if ($_GET['c{j}']) {{ $v = $v . $_GET['y{j}']; }}")
+    lines.append("echo $v;")
+    return "\n".join(lines) + "\n"
+
+
+def spawn_audit(corpus: Path, cache: Path, stream: Path) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "audit", str(corpus),
+            "--jobs", "2", "--quiet",
+            "--cache-dir", str(cache), "--jsonl", str(stream),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def parsed_lines(stream: Path) -> list[dict]:
+    if not stream.exists():
+        return []
+    out = []
+    for line in stream.read_text().splitlines():
+        if line.strip():
+            out.append(json.loads(line))  # every line must be standalone JSON
+    return out
+
+
+def wait_for_first_record(proc: subprocess.Popen, stream: Path, deadline: float):
+    while time.monotonic() < deadline:
+        records = [r for r in parsed_lines(stream) if r.get("type") == "file"]
+        if records:
+            return records
+        if proc.poll() is not None:
+            pytest.fail(
+                f"audit exited (rc={proc.returncode}) before the first record: "
+                f"{proc.stderr.read()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    pytest.fail("no file record appeared within the deadline")
+
+
+class TestSigintMidCorpus:
+    def test_interrupt_then_warm_rerun(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        for i in range(FILE_COUNT):
+            (corpus / f"f{i}.php").write_text(slow_php(i))
+        cache = tmp_path / "cache"
+        first_stream = tmp_path / "first.jsonl"
+
+        proc = spawn_audit(corpus, cache, first_stream)
+        try:
+            wait_for_first_record(proc, first_stream, time.monotonic() + 120)
+            proc.send_signal(signal.SIGINT)
+            proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        assert proc.returncode == 130
+
+        records = parsed_lines(first_stream)
+        trailers = [r for r in records if r.get("type") == "stats"]
+        files = [r for r in records if r.get("type") == "file"]
+        assert len(trailers) == 1, "exactly one stats trailer even when interrupted"
+        trailer = trailers[0]
+        assert trailer["interrupted"] is True
+        assert trailer["total"] == FILE_COUNT
+        # The interrupt must have landed mid-corpus, or this test proved
+        # nothing — the corpus is slow enough that this cannot race.
+        assert 0 < len(files) < FILE_COUNT
+
+        # Warm re-run over the same cache directory: completes, reuses
+        # every verdict the interrupted run finished, and reports clean.
+        second_stream = tmp_path / "second.jsonl"
+        proc2 = spawn_audit(corpus, cache, second_stream)
+        _, stderr = proc2.communicate(timeout=600)
+        assert proc2.returncode == 1, f"vulnerable corpus must exit 1: {stderr}"
+        second = parsed_lines(second_stream)
+        trailer2 = [r for r in second if r.get("type") == "stats"][0]
+        assert "interrupted" not in trailer2
+        assert trailer2["completed"] == FILE_COUNT
+        assert trailer2["cache_hits"] >= len(files), (
+            "verdicts persisted before the SIGINT must be reused"
+        )
+        assert trailer2["vulnerable"] == FILE_COUNT
