@@ -8,9 +8,16 @@ python -m repro audit   dir/ [--jobs N] [--timeout S] [--cache-dir D]
                         [--no-cache] [--jsonl out.jsonl] [--detailed]
                         [--trace out.json] [--metrics out.prom]
                         [--solver cdcl|dpll] [--sat-cache on|off]
+                        [--shard I/N] [--start-method fork|spawn]
 python -m repro watch   dir/ [--interval S] [--debounce S] [--jobs N]
                         [--serve-metrics [HOST]:PORT] [--out-dir D]
                         [--once] [--cache-dir D] [--sat-cache on|off]
+python -m repro serve   [--bind [HOST]:PORT] [--lease-timeout S]
+                        [--submit PATH ...] [--jsonl-dir D]
+                        [--trace out.json] [--drain-grace S]
+python -m repro work    --connect URL [--node NAME] [--jobs N]
+                        [--poll S] [--lease N] [--timeout S]
+                        [--start-method fork|spawn]
 python -m repro report  audit.jsonl [--top N]
 python -m repro report  --diff old.jsonl new.jsonl
 python -m repro patch   file.php [-o out.php] [--strategy bmc|ts]
@@ -32,7 +39,12 @@ CI-friendly exit-code contract:
 ``watch`` is the incremental re-audit daemon: it polls a tree and pushes
 only changed files through the audit engine, serves live Prometheus
 metrics, and drains gracefully on SIGINT/SIGTERM (see ``repro.daemon``
-and docs/DAEMON.md).  ``report`` summarizes an audit JSONL stream (or diffs two of them —
+and docs/DAEMON.md).  ``serve`` and ``work`` are the distributed audit
+service — an HTTP coordinator that accepts submitted projects and
+leases file-level tasks to remote worker nodes, with ``audit --shard
+i/n`` as the coordination-free alternative for machines sharing a cache
+directory (see ``repro.service`` and docs/SERVICE.md).  ``report``
+summarizes an audit JSONL stream (or diffs two of them —
 exit 1 when the diff shows new/regressed vulnerable files); ``--trace``
 writes a Chrome trace-event file loadable in Perfetto or
 ``chrome://tracing``; ``--metrics`` writes a Prometheus text snapshot
@@ -158,6 +170,20 @@ def build_parser() -> argparse.ArgumentParser:
         "cold (file-level-miss) runs; independent of --no-cache "
         "(see docs/SOLVER.md)",
     )
+    audit.add_argument(
+        "--shard", metavar="I/N", default=None,
+        help="audit only shard I of N (1-based): a deterministic "
+        "content-hash partition of the corpus, disjoint and exhaustive "
+        "across all N shards and stable under file renames — machines "
+        "sharing a --cache-dir can each take one shard with zero "
+        "coordination (see docs/SERVICE.md)",
+    )
+    audit.add_argument(
+        "--start-method", choices=("fork", "spawn"), default=None,
+        help="worker-pool start method (default: fork where available; "
+        "spawn is the portable escape hatch — workers receive their "
+        "policy as an explicit session message either way)",
+    )
 
     watch = sub.add_parser(
         "watch",
@@ -225,6 +251,112 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--sat-cache", choices=("on", "off"), default="on",
         help="persistent SAT-query memo under <cache-dir>/sat (see docs/SOLVER.md)",
+    )
+    watch.add_argument(
+        "--start-method", choices=("fork", "spawn"), default=None,
+        help="worker-pool start method (default: fork where available)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the distributed-audit HTTP coordinator",
+        description="Audit-service coordinator: accepts submitted projects "
+        "(JSON files, tar upload, or a path local to this process), "
+        "enqueues file-level tasks, leases them to `repro work` nodes with "
+        "timeout-based re-queue on node loss, and serves merged per-job "
+        "JSONL streams plus live /metrics and /healthz "
+        "(see docs/SERVICE.md for the endpoint contract).",
+        epilog="exit codes: 0 = clean shutdown on SIGINT/SIGTERM (drains "
+        "outstanding leases first); 2 = bad --bind address or unreadable "
+        "--submit path",
+    )
+    serve.add_argument(
+        "--bind", metavar="[HOST]:PORT", default="127.0.0.1:9410",
+        help="listen address (default 127.0.0.1:9410; empty host = "
+        "loopback; port 0 or a busy port binds an ephemeral one)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=_positive_float, default=60.0,
+        help="seconds a node may hold a task without heartbeating before "
+        "it is re-queued for other nodes (default 60)",
+    )
+    serve.add_argument(
+        "--submit", type=Path, action="append", default=None, metavar="PATH",
+        help="submit this file/directory as a job at startup (repeatable)",
+    )
+    serve.add_argument(
+        "--jsonl-dir", type=Path, default=None,
+        help="write each completed job's merged stream to <dir>/<job>.jsonl",
+    )
+    serve.add_argument(
+        "--trace", type=Path, default=None, metavar="OUT.json",
+        help="write a Chrome trace-event file on shutdown: per-file spans "
+        "stitched from node-reported stage timings, one track per node",
+    )
+    serve.add_argument(
+        "--drain-grace", type=_positive_float, default=30.0,
+        help="seconds to wait for outstanding leases after a shutdown "
+        "signal before exiting anyway (default 30)",
+    )
+
+    work = sub.add_parser(
+        "work",
+        help="run a worker node attached to a coordinator",
+        description="Worker node for the distributed audit service: "
+        "registers with a `repro serve` coordinator, leases batches of "
+        "file-level tasks, audits them through the local worker pool "
+        "(same timeouts, crash isolation, and caching as `repro audit`), "
+        "and reports results back.  Heartbeats keep leases alive during "
+        "long batches; a node that dies simply stops heartbeating and "
+        "its tasks re-queue elsewhere.",
+        epilog="exit codes: 0 = clean drain (coordinator draining, or "
+        "SIGINT/SIGTERM); 1 = coordinator unreachable or registration "
+        "rejected (policy mismatch); 2 = bad --connect URL",
+    )
+    work.add_argument(
+        "--connect", required=True, metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:9410",
+    )
+    work.add_argument(
+        "--node", default=None,
+        help="node name for attribution in merged streams "
+        "(default: <hostname>-<pid>)",
+    )
+    work.add_argument(
+        "--jobs", "-j", type=int, default=os.cpu_count() or 1,
+        help="local worker processes (default: CPU count; 1 = in-process)",
+    )
+    work.add_argument(
+        "--lease", type=int, default=None, metavar="N",
+        help="tasks to lease per batch (default: 2x --jobs)",
+    )
+    work.add_argument(
+        "--poll", type=_positive_float, default=1.0,
+        help="seconds between lease polls when idle (default 1.0)",
+    )
+    work.add_argument(
+        "--timeout", type=_positive_float, default=None,
+        help="per-file wall-clock limit in seconds (needs --jobs >= 2)",
+    )
+    work.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-audit)",
+    )
+    work.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    work.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-batch progress lines"
+    )
+    work.add_argument(
+        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        help="SAT backend (must match the rest of the fleet)",
+    )
+    work.add_argument(
+        "--sat-cache", choices=("on", "off"), default="on",
+        help="persistent SAT-query memo under <cache-dir>/sat",
+    )
+    work.add_argument(
+        "--start-method", choices=("fork", "spawn"), default=None,
+        help="local worker-pool start method (default: fork where available)",
     )
 
     report = sub.add_parser(
@@ -412,6 +544,16 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
     from repro.obs import MetricsRegistry, Tracer, write_chrome_trace
 
+    shard = None
+    if args.shard:
+        from repro.service.sharding import assign_shard, parse_shard
+
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as error:
+            print(f"audit: {error}", file=sys.stderr)
+            return 2
+
     websari = _make_websari(args)
     # Persist SAT query results under the engine's cache root even when
     # --no-cache disables the file-level result cache: the two layers
@@ -424,6 +566,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
     tasks: list[AuditTask] = []
     any_read_error = False
+    skipped_other_shards = 0
     for path in files:
         try:
             source = path.read_text()
@@ -431,7 +574,16 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             print(f"{path}: {error}", file=sys.stderr)
             any_read_error = True
             continue
+        if shard is not None and assign_shard(source, shard[1]) != shard[0]:
+            skipped_other_shards += 1
+            continue
         tasks.append(AuditTask(index=len(tasks), filename=str(path), source=source))
+    if shard is not None:
+        print(
+            f"shard {args.shard}: {len(tasks)} of "
+            f"{len(tasks) + skipped_other_shards} file(s) assigned here",
+            file=sys.stderr,
+        )
 
     cache = None if args.no_cache else ResultCache(args.cache_dir or default_cache_dir())
     sink = JsonlSink(args.jsonl) if args.jsonl else None
@@ -440,6 +592,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     config = EngineConfig(
         jobs=max(1, args.jobs),
         timeout=args.timeout,
+        start_method=args.start_method,
         cache=cache,
         progress=sys.stderr.isatty(),
         jsonl=sink,
@@ -492,7 +645,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         try:
             bind = parse_bind(args.serve_metrics)
         except ValueError as error:
-            print(f"watch: {error}", file=sys.stderr)
+            print(f"watch: invalid metrics address: {error}", file=sys.stderr)
             return 2
 
     websari = _make_websari(args)
@@ -509,6 +662,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         cache=cache,
         jobs=max(1, args.jobs),
         timeout=args.timeout,
+        start_method=args.start_method,
         interval=args.interval,
         # --once is one-shot smoke: a freshly created corpus is always
         # inside the debounce window, so honoring it would silently
@@ -552,6 +706,124 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             signal.signal(signum, handler)
         if server is not None:
             server.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.obs import Tracer, write_chrome_trace
+    from repro.service import Coordinator
+    from repro.service.httpbase import HttpError, parse_bind
+
+    try:
+        bind = parse_bind(args.bind)
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    tracer = Tracer(enabled=True) if args.trace else None
+    coordinator = Coordinator(
+        host=bind[0],
+        port=bind[1],
+        lease_timeout=args.lease_timeout,
+        tracer=tracer,
+        jsonl_dir=args.jsonl_dir,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        print(
+            f"serve: received {signal.Signals(signum).name}, draining "
+            "outstanding leases...",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _request_stop)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        coordinator.start()
+        note = " (requested port busy; fell back)" if coordinator.fell_back else ""
+        print(f"serve: coordinator on {coordinator.url}{note}", file=sys.stderr)
+        for path in args.submit or []:
+            try:
+                job = coordinator.submit_path(path)
+            except HttpError as error:
+                print(f"serve: {path}: {error.message}", file=sys.stderr)
+                return 2
+            print(
+                f"serve: submitted {path} as {job.job_id} "
+                f"({len(job.tasks)} task(s))",
+                file=sys.stderr,
+            )
+        while not stop.wait(0.5):
+            pass
+        coordinator.drain()
+        if not coordinator.wait_for_drain(args.drain_grace):
+            print(
+                f"serve: {coordinator.queue.leased_count} lease(s) still "
+                f"outstanding after {args.drain_grace:g}s grace; exiting anyway",
+                file=sys.stderr,
+            )
+        return 0
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        coordinator.close()
+        if tracer is not None:
+            write_chrome_trace(args.trace, tracer.take_roots())
+            print(f"serve: wrote trace to {args.trace}", file=sys.stderr)
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    import signal
+    import socket
+    import threading
+
+    from repro.engine import ResultCache, default_cache_dir
+    from repro.service.worker_client import WorkerConfig, run_worker
+
+    url = args.connect.rstrip("/")
+    if not url.startswith(("http://", "https://")):
+        print(f"work: invalid coordinator URL {args.connect!r}", file=sys.stderr)
+        return 2
+
+    websari = _make_websari(args)
+    cache_root = args.cache_dir or default_cache_dir()
+    websari.attach_persistent_sat_cache(cache_root)
+    cache = None if args.no_cache else ResultCache(cache_root)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        print(
+            f"work: received {signal.Signals(signum).name}, draining "
+            "the in-flight batch...",
+            file=sys.stderr,
+        )
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _request_stop)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    config = WorkerConfig(
+        node=args.node or f"{socket.gethostname()}-{os.getpid()}",
+        jobs=max(1, args.jobs),
+        lease_max=args.lease,
+        poll=args.poll,
+        timeout=args.timeout,
+        start_method=args.start_method,
+        cache=cache,
+        quiet=args.quiet,
+    )
+    try:
+        return run_worker(url, websari, config, stop_event=stop)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -633,6 +905,8 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "audit": _cmd_audit,
         "watch": _cmd_watch,
+        "serve": _cmd_serve,
+        "work": _cmd_work,
         "report": _cmd_report,
         "patch": _cmd_patch,
         "html": _cmd_html,

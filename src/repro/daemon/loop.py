@@ -62,6 +62,7 @@ class WatchLoop:
         cache: ResultCache | None = None,
         jobs: int = 1,
         timeout: float | None = None,
+        start_method: str | None = None,
         interval: float = 2.0,
         debounce: float = 0.5,
         out_dir: str | Path | None = None,
@@ -77,6 +78,7 @@ class WatchLoop:
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
+        self.start_method = start_method
         self.interval = interval
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.metrics = metrics
@@ -131,6 +133,7 @@ class WatchLoop:
         config = EngineConfig(
             jobs=self.jobs,
             timeout=self.timeout,
+            start_method=self.start_method,
             cache=self.cache,
             metrics=self.metrics,
             drain_event=self.stop_event,

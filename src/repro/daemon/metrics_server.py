@@ -1,7 +1,9 @@
 """Pull-based metrics endpoint for long-running watches.
 
-A stdlib-only HTTP server (``http.server.ThreadingHTTPServer``) on a
-daemon thread, serving:
+A thin subclass of the shared :class:`~repro.service.httpbase.HttpEndpoint`
+base (stdlib ``ThreadingHTTPServer`` on a daemon thread, ephemeral-port
+fallback — the same machinery the ``repro serve`` coordinator runs on),
+serving:
 
 * ``GET /metrics`` (and ``/``) — the live
   :meth:`~repro.obs.MetricsRegistry.render` Prometheus text snapshot;
@@ -19,40 +21,18 @@ crash.
 
 from __future__ import annotations
 
-import errno
 import json
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs import MetricsRegistry
+from repro.service.httpbase import HttpEndpoint, parse_bind
 
 __all__ = ["MetricsServer", "parse_bind"]
 
 
-def parse_bind(spec: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
-    """Parse ``PORT``, ``:PORT``, or ``HOST:PORT`` into ``(host, port)``.
+class MetricsServer(HttpEndpoint):
+    """Serve a registry over HTTP from a daemon thread."""
 
-    An empty host binds loopback, not all interfaces: an audit daemon's
-    metrics should not be network-visible unless asked for explicitly.
-    """
-    host, sep, port_text = spec.rpartition(":")
-    if not sep:
-        port_text = spec
-    try:
-        port = int(port_text)
-    except ValueError:
-        raise ValueError(f"invalid metrics address {spec!r} (want [HOST]:PORT)")
-    if not 0 <= port <= 65535:
-        raise ValueError(f"invalid metrics port {port} (want 0-65535)")
-    return host or default_host, port
-
-
-class MetricsServer:
-    """Serve a registry over HTTP from a daemon thread.
-
-    Usable as a context manager; :meth:`close` shuts the listener down
-    cleanly (pending requests finish, the socket is released).
-    """
+    thread_name = "repro-metrics-server"
 
     def __init__(
         self,
@@ -63,70 +43,15 @@ class MetricsServer:
     ) -> None:
         self.registry = registry
         self.health = health if health is not None else (lambda: {"status": "ok"})
-        self.requested_port = port
-        #: True when ``port`` was taken and an ephemeral one was bound.
-        self.fell_back = False
-        handler = self._make_handler()
-        try:
-            self._server = ThreadingHTTPServer((host, port), handler)
-        except OSError as exc:
-            if port == 0 or exc.errno not in (errno.EADDRINUSE, errno.EACCES):
-                raise
-            self._server = ThreadingHTTPServer((host, 0), handler)
-            self.fell_back = True
-        self._server.daemon_threads = True
-        self.host, self.port = self._server.server_address[:2]
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name="repro-metrics-server",
-            daemon=True,
-        )
+        super().__init__(host, port)
 
-    def start(self) -> "MetricsServer":
-        self._thread.start()
-        return self
-
-    def close(self) -> None:
-        # shutdown() blocks on serve_forever()'s exit handshake, which
-        # never happens for a server that was constructed but not
-        # started — skip it then (server_close alone frees the socket).
-        if self._thread.is_alive():
-            self._server.shutdown()
-            self._thread.join(timeout=5)
-        self._server.server_close()
-
-    def __enter__(self) -> "MetricsServer":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def _make_handler(self):
-        outer = self
-
-        class Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 - http.server API
-                path = self.path.split("?", 1)[0]
-                if path in ("/metrics", "/"):
-                    body = outer.registry.render().encode()
-                    self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
-                elif path == "/healthz":
-                    body = (json.dumps(outer.health(), sort_keys=True) + "\n").encode()
-                    self._reply(200, "application/json", body)
-                else:
-                    self._reply(404, "text/plain; charset=utf-8", b"not found\n")
-
-            def _reply(self, code: int, content_type: str, body: bytes) -> None:
-                self.send_response(code)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                try:
-                    self.wfile.write(body)
-                except (BrokenPipeError, ConnectionResetError):
-                    pass  # scraper went away mid-response
-
-            def log_message(self, format: str, *args) -> None:  # noqa: A002
-                pass  # scrape traffic must not spam the daemon's stderr
-
-        return Handler
+    def handle(self, method: str, path: str, body: bytes) -> tuple[int, str, bytes]:
+        if method != "GET":
+            return self.json_reply({"error": "method not allowed"}, status=405)
+        if path in ("/metrics", "/"):
+            payload = self.registry.render().encode()
+            return 200, "text/plain; version=0.0.4; charset=utf-8", payload
+        if path == "/healthz":
+            payload = (json.dumps(self.health(), sort_keys=True) + "\n").encode()
+            return 200, "application/json", payload
+        return 404, "text/plain; charset=utf-8", b"not found\n"

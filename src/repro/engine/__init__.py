@@ -35,7 +35,7 @@ from repro.engine.cache import (
 from repro.engine.jsonl import JsonlSink
 from repro.engine.scheduler import AuditEngine, EngineConfig, EngineResult
 from repro.engine.stats import EngineStats, ProgressPrinter
-from repro.engine.worker import AuditTask, FileOutcome, execute_task
+from repro.engine.worker import AuditTask, FileOutcome, WorkerSession, execute_task
 
 __all__ = [
     "ENGINE_VERSION",
@@ -49,6 +49,7 @@ __all__ = [
     "JsonlSink",
     "ProgressPrinter",
     "ResultCache",
+    "WorkerSession",
     "cache_key",
     "default_cache_dir",
     "execute_task",

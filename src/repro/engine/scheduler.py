@@ -3,7 +3,9 @@ anything a file can throw at it.
 
 Design (persistent workers, pipelined two-deep):
 
-* ``jobs`` long-lived worker processes are forked once and fed
+* ``jobs`` long-lived worker processes are started once (fork where
+  available, or ``spawn`` via :attr:`EngineConfig.start_method`), given
+  their policy as an explicit session-setup message, and fed
   :class:`~repro.engine.worker.AuditTask` objects over duplex pipes, so
   process start-up cost is paid per *pool*, not per file.
 * Each pipe holds up to :data:`_QUEUE_DEPTH` (2) tasks: while a worker
@@ -48,7 +50,13 @@ from typing import TYPE_CHECKING
 from repro.engine.cache import ResultCache, cache_key, policy_fingerprint
 from repro.engine.jsonl import JsonlSink
 from repro.engine.stats import EngineStats, ProgressPrinter
-from repro.engine.worker import AuditTask, FileOutcome, _worker_loop, safe_execute
+from repro.engine.worker import (
+    AuditTask,
+    FileOutcome,
+    WorkerSession,
+    _worker_loop,
+    safe_execute,
+)
 from repro.obs import MetricsRegistry, Span, Tracer, span_from_dict
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,6 +108,13 @@ class EngineConfig:
     #: SIGINT/SIGTERM handler so a signal drains the in-flight cycle
     #: instead of killing it mid-file.
     drain_event: threading.Event | None = None
+    #: Multiprocessing start method for the pool: ``"fork"``, ``"spawn"``,
+    #: or None to prefer fork where available (fastest) and fall back to
+    #: the platform default.  Workers receive their policy as an explicit
+    #: session-setup message either way, so both methods produce
+    #: identical outcomes — ``spawn`` is the portable escape hatch for
+    #: hosts without fork (and what remote worker nodes default through).
+    start_method: str | None = None
 
     @property
     def tracing(self) -> bool:
@@ -343,20 +358,37 @@ class AuditEngine:
 
     # -- pool execution -----------------------------------------------------
 
-    @staticmethod
-    def _mp_context():
+    def _mp_context(self):
         methods = multiprocessing.get_all_start_methods()
-        return multiprocessing.get_context("fork" if "fork" in methods else None)
+        method = self.config.start_method
+        if method is None:
+            method = "fork" if "fork" in methods else None
+        elif method not in methods:
+            raise ValueError(
+                f"start method {method!r} unavailable on this platform "
+                f"(have: {', '.join(methods)})"
+            )
+        return multiprocessing.get_context(method)
 
     def _spawn_worker(self, ctx) -> _Worker:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
-        process = ctx.Process(
-            target=_worker_loop,
-            args=(child_conn, self.websari, self.config.want_reports, self.config.tracing),
-            daemon=True,
-        )
+        process = ctx.Process(target=_worker_loop, args=(child_conn,), daemon=True)
         process.start()
         child_conn.close()
+        # The policy travels as an explicit session message (not fork
+        # inheritance), so fork and spawn workers are interchangeable.
+        # A worker that dies before reading it surfaces through the
+        # normal broken-pipe crash path on its first task.
+        try:
+            parent_conn.send(
+                WorkerSession(
+                    websari=self.websari,
+                    want_report=self.config.want_reports,
+                    collect_trace=self.config.tracing,
+                )
+            )
+        except (BrokenPipeError, OSError):
+            pass
         return _Worker(process, parent_conn)
 
     def _run_pool(self, pending, stats, progress, outcomes, keys) -> None:

@@ -29,7 +29,24 @@ from repro.php.errors import FrontendError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.websari.pipeline import VerificationReport, WebSSARI
 
-__all__ = ["AuditTask", "FileOutcome", "execute_task"]
+__all__ = ["AuditTask", "FileOutcome", "WorkerSession", "execute_task"]
+
+
+@dataclass(frozen=True)
+class WorkerSession:
+    """Session setup shipped to a fresh worker as its first pipe message.
+
+    The policy (the :class:`~repro.websari.pipeline.WebSSARI` instance
+    with its prelude, lattice, and solver options) travels over the pipe
+    instead of relying on fork-time memory inheritance, so workers behave
+    identically under the ``fork`` and ``spawn`` start methods — and can
+    therefore live on hosts where fork is unavailable (macOS default,
+    Windows) or undesirable (remote worker nodes).
+    """
+
+    websari: "WebSSARI"
+    want_report: bool = False
+    collect_trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -296,12 +313,13 @@ def safe_execute(
     return outcome
 
 
-def _worker_loop(
-    conn, websari: "WebSSARI", want_report: bool, collect_trace: bool = False
-) -> None:
+def _worker_loop(conn) -> None:
     """Entry point of a persistent worker process.
 
-    Receives :class:`AuditTask` objects over the pipe and sends one
+    The first message on the pipe must be a :class:`WorkerSession` (the
+    policy and run options — shipped explicitly rather than inherited
+    through fork, so the loop is start-method agnostic).  After that it
+    receives :class:`AuditTask` objects and sends one
     :class:`FileOutcome` back per task until the scheduler shuts it down
     (``None`` sentinel or closed pipe).  A worker that dies mid-task
     (hard crash, kill, unpicklable result) is detected by the scheduler
@@ -319,6 +337,15 @@ def _worker_loop(
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
     try:
+        try:
+            session = conn.recv()
+        except EOFError:
+            return
+        if not isinstance(session, WorkerSession):
+            raise TypeError(
+                f"worker expected a WorkerSession setup message, got "
+                f"{type(session).__name__}"
+            )
         while True:
             try:
                 task = conn.recv()
@@ -326,6 +353,10 @@ def _worker_loop(
                 return
             if task is None:
                 return
-            conn.send(safe_execute(task, websari, want_report, collect_trace))
+            conn.send(
+                safe_execute(
+                    task, session.websari, session.want_report, session.collect_trace
+                )
+            )
     finally:
         conn.close()

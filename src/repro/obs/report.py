@@ -42,6 +42,10 @@ class AuditRun:
     path: str
     files: list[dict] = field(default_factory=list)
     stats: dict | None = None
+    #: Per-node ``{"type": "stats", "node": ...}`` trailers from a merged
+    #: distributed stream (``repro serve``), keyed by node name.  These
+    #: are attribution detail, never the run-level tally.
+    node_stats: dict[str, dict] = field(default_factory=dict)
     #: True when the stream carries no stats trailer (interrupted before
     #: PR 2's in-``finally`` trailer, or truncated externally).
     truncated: bool = False
@@ -88,7 +92,13 @@ def load_audit(path: str | Path) -> AuditRun:
                 raise ReportError(f"{path}:{lineno}: file record without filename")
             run.files.append(record)
         elif kind == "stats":
-            run.stats = record
+            # Merged distributed streams (repro serve) interleave one
+            # per-node trailer per worker before the global trailer; a
+            # node trailer must never masquerade as the run's stats.
+            if record.get("node") is not None:
+                run.node_stats[str(record["node"])] = record
+            else:
+                run.stats = record
     if run.stats is None:
         run.truncated = True
     return run
@@ -172,6 +182,13 @@ def render_report(run: AuditRun, top: int = 10) -> str:
             f"{stage} {seconds:.2f}s" for stage, seconds in sorted(stage_totals.items())
         )
         lines.append(f"stage time: {stage_text}")
+
+    if run.node_stats:
+        parts = ", ".join(
+            f"{node} ({trailer.get('files', '?')} file(s))"
+            for node, trailer in sorted(run.node_stats.items())
+        )
+        lines.append(f"nodes: {parts}")
 
     solver_totals = _sum_dicts(records, "solver")
     if solver_totals:

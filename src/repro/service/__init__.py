@@ -1,0 +1,49 @@
+"""Distributed audit service: sharding, coordinator, worker nodes.
+
+The paper's evaluation swept 230 SourceForge projects on one machine;
+the ROADMAP's north star is a scanning backend that audits submissions
+from millions of users.  This package is the horizontal-scale layer that
+turns ``repro audit`` from a CLI into that backend:
+
+* :mod:`repro.service.sharding` — deterministic corpus partitioning for
+  ``repro audit --shard i/n``: content-hash-based assignment, so shards
+  are disjoint, exhaustive, and stable under file renames.  Machines
+  sharing a cache directory can each take a shard with zero
+  coordination (the engine and SAT caches already write atomically and
+  tolerate concurrent writers).
+* :mod:`repro.service.httpbase` — the stdlib HTTP endpoint base
+  (``ThreadingHTTPServer`` on a daemon thread, ephemeral-port fallback)
+  shared by the daemon's metrics server and the coordinator.
+* :mod:`repro.service.leases` — timeout-based task leasing with
+  exactly-once completion and automatic re-queue when a worker node
+  dies mid-task.
+* :mod:`repro.service.coordinator` — the ``repro serve`` HTTP
+  coordinator: accepts submitted projects (JSON, tar, or local path),
+  enqueues file-level tasks, leases them to registered worker nodes,
+  merges results into per-job JSONL streams with per-node attribution,
+  and serves ``/metrics`` + ``/healthz``.
+* :mod:`repro.service.worker_client` — the ``repro work --connect URL``
+  node: wraps the existing persistent worker pool, leases task batches,
+  heartbeats, and reports outcomes back.
+
+See docs/SERVICE.md for the architecture, endpoint contract, shard
+semantics, and failure model.
+"""
+
+from repro.service.coordinator import Coordinator
+from repro.service.httpbase import HttpEndpoint, parse_bind
+from repro.service.leases import LeaseQueue
+from repro.service.sharding import assign_shard, parse_shard, shard_partition
+from repro.service.worker_client import CoordinatorClient, run_worker
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorClient",
+    "HttpEndpoint",
+    "LeaseQueue",
+    "assign_shard",
+    "parse_bind",
+    "parse_shard",
+    "run_worker",
+    "shard_partition",
+]

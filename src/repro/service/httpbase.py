@@ -1,0 +1,182 @@
+"""Shared stdlib HTTP endpoint base for repro's long-running servers.
+
+Both the daemon's metrics endpoint (``repro watch --serve-metrics``) and
+the audit coordinator (``repro serve``) need the same machinery: a
+``ThreadingHTTPServer`` on a daemon thread, clean start/close semantics,
+quiet request logging, broken-pipe-tolerant replies, and an
+ephemeral-port fallback when the requested port is taken (a server that
+outlives a stale predecessor should come up reachable, not crash).
+:class:`HttpEndpoint` owns all of that; subclasses implement one
+:meth:`~HttpEndpoint.handle` method mapping ``(method, path, body)`` to
+a response triple.
+
+Responses can be returned (``(status, content_type, body)``) or raised
+(:class:`HttpError`), so deep handler code can abort a request without
+threading status codes through every return value.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["HttpEndpoint", "HttpError", "parse_bind"]
+
+
+def parse_bind(spec: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """Parse ``PORT``, ``:PORT``, or ``HOST:PORT`` into ``(host, port)``.
+
+    An empty host binds loopback, not all interfaces: an audit service's
+    endpoints should not be network-visible unless asked for explicitly.
+    """
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        port_text = spec
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid bind address {spec!r} (want [HOST]:PORT)")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid port {port} (want 0-65535)")
+    return host or default_host, port
+
+
+class HttpError(Exception):
+    """Raise inside :meth:`HttpEndpoint.handle` to abort with a status.
+
+    The body is a JSON object (``{"error": message}``) so programmatic
+    clients never have to sniff between prose and payloads.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class HttpEndpoint:
+    """A threaded HTTP server on a daemon thread; subclass and handle.
+
+    Usable as a context manager; :meth:`close` shuts the listener down
+    cleanly (pending requests finish, the socket is released).  If the
+    requested port is taken, an ephemeral port (``port == 0``) is bound
+    instead and :attr:`fell_back` is set — the actual address is always
+    :attr:`host`::attr:`port`.
+    """
+
+    #: Thread name, overridden by subclasses for debuggability.
+    thread_name = "repro-http-endpoint"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.requested_port = port
+        #: True when ``port`` was taken and an ephemeral one was bound.
+        self.fell_back = False
+        handler = self._make_handler()
+        try:
+            self._server = ThreadingHTTPServer((host, port), handler)
+        except OSError as exc:
+            if port == 0 or exc.errno not in (errno.EADDRINUSE, errno.EACCES):
+                raise
+            self._server = ThreadingHTTPServer((host, 0), handler)
+            self.fell_back = True
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name=self.thread_name, daemon=True
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "HttpEndpoint":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        # shutdown() blocks on serve_forever()'s exit handshake, which
+        # never happens for a server that was constructed but not
+        # started — skip it then (server_close alone frees the socket).
+        if self._thread.is_alive():
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+        self._server.server_close()
+
+    def __enter__(self) -> "HttpEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- subclass API -------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes) -> tuple[int, str, bytes]:
+        """Map one request to ``(status, content_type, body)``.
+
+        ``path`` has the query string stripped; ``body`` is the raw
+        request body (empty for GET).  Raise :class:`HttpError` to abort.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def json_reply(payload, status: int = 200) -> tuple[int, str, bytes]:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return status, "application/json", body
+
+    @staticmethod
+    def read_json(body: bytes) -> dict:
+        """Parse a JSON-object request body (400 on anything else)."""
+        try:
+            payload = json.loads(body.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "expected a JSON object body")
+        return payload
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _make_handler(self):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _dispatch(self) -> None:
+                path = self.path.split("?", 1)[0]
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                try:
+                    status, content_type, payload = outer.handle(
+                        self.command, path, body
+                    )
+                except HttpError as exc:
+                    status, content_type, payload = outer.json_reply(
+                        {"error": exc.message}, status=exc.status
+                    )
+                except Exception as exc:  # noqa: BLE001 - server must survive
+                    status, content_type, payload = outer.json_reply(
+                        {"error": f"{type(exc).__name__}: {exc}"}, status=500
+                    )
+                self._reply(status, content_type, payload)
+
+            do_GET = _dispatch  # noqa: N815 - http.server API
+            do_POST = _dispatch  # noqa: N815
+            do_DELETE = _dispatch  # noqa: N815
+
+            def _reply(self, code: int, content_type: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                try:
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # client went away mid-response
+
+            def log_message(self, format: str, *args) -> None:  # noqa: A002
+                pass  # request traffic must not spam the server's stderr
+
+        return Handler

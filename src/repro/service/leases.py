@@ -1,0 +1,176 @@
+"""Task leasing with timeout-based re-queue and exactly-once completion.
+
+The distributed failure model in one structure: the coordinator hands a
+task to a worker node as a *lease* with a deadline, not a transfer of
+ownership.  A node that completes in time settles the task; a node that
+vanishes (crash, network partition, SIGKILL mid-batch) simply stops
+heartbeating, its leases expire, and the tasks return to the front of
+the queue for the next node.  Because verdicts are deterministic, a
+"zombie" node that finishes *after* its lease expired is harmless: the
+first result to arrive wins, every later one is rejected, so the merged
+stream carries exactly one record per task no matter how ugly the race.
+
+This is the same leasing idea the in-process scheduler applies to its
+pipelined worker pipes (a timed-out worker's queued tasks are requeued,
+the head task is settled once), lifted to a shared abstraction the HTTP
+coordinator can drive over the network.
+
+The queue is deliberately free of I/O and threads: callers decide when
+:meth:`reap` runs (the coordinator reaps lazily on every lease/status
+request) and what the clock is (tests inject a fake one).  All methods
+take and release one internal lock, so a threaded HTTP server can call
+in from any request thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Lease", "LeaseQueue"]
+
+
+@dataclass
+class Lease:
+    """One outstanding task lease."""
+
+    task_id: str
+    owner: str
+    deadline: float
+
+
+class LeaseQueue:
+    """FIFO task queue with owner-scoped, expiring leases."""
+
+    def __init__(self, timeout: float = 60.0, clock=time.monotonic) -> None:
+        self.timeout = timeout
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._pending: deque[str] = deque()
+        self._leases: dict[str, Lease] = {}
+        self._done: set[str] = set()
+        #: Tasks ever re-queued by lease expiry or owner release.
+        self.requeues = 0
+
+    # -- producers ----------------------------------------------------------
+
+    def add(self, task_id: str) -> None:
+        with self._lock:
+            if task_id in self._done or task_id in self._leases:
+                return
+            self._pending.append(task_id)
+
+    # -- consumers ----------------------------------------------------------
+
+    def lease(self, owner: str, max_tasks: int = 1) -> list[str]:
+        """Lease up to ``max_tasks`` pending tasks to ``owner``.
+
+        Expired leases are reaped first, so a task abandoned by a dead
+        node is re-leasable the moment anyone asks for work.
+        """
+        with self._lock:
+            self._reap_locked()
+            leased: list[str] = []
+            deadline = self.clock() + self.timeout
+            while self._pending and len(leased) < max_tasks:
+                task_id = self._pending.popleft()
+                self._leases[task_id] = Lease(task_id, owner, deadline)
+                leased.append(task_id)
+            return leased
+
+    def complete(self, task_id: str) -> bool:
+        """Settle a task; True only for the *first* completion.
+
+        Results are deterministic, so a completion from an expired (or
+        even unknown) lease is accepted when the task is still open —
+        rejecting it would only throw away finished work.  Duplicates
+        and completions for never-enqueued ids return False.
+        """
+        with self._lock:
+            if task_id in self._done:
+                return False
+            if task_id in self._leases:
+                del self._leases[task_id]
+            elif task_id in self._pending:
+                self._pending.remove(task_id)
+            else:
+                return False
+            self._done.add(task_id)
+            return True
+
+    def extend(self, owner: str) -> int:
+        """Heartbeat: push every lease of ``owner`` out by one timeout."""
+        with self._lock:
+            deadline = self.clock() + self.timeout
+            count = 0
+            for lease in self._leases.values():
+                if lease.owner == owner:
+                    lease.deadline = deadline
+                    count += 1
+            return count
+
+    def release(self, owner: str) -> list[str]:
+        """Return all of ``owner``'s unfinished leases to the queue front
+        (a draining node hands its work back instead of letting it age
+        out)."""
+        with self._lock:
+            released = [
+                lease.task_id
+                for lease in self._leases.values()
+                if lease.owner == owner
+            ]
+            for task_id in released:
+                del self._leases[task_id]
+                self._pending.appendleft(task_id)
+            self.requeues += len(released)
+            return released
+
+    def reap(self) -> list[str]:
+        """Re-queue every expired lease; returns the reclaimed task ids."""
+        with self._lock:
+            return self._reap_locked()
+
+    def _reap_locked(self) -> list[str]:
+        now = self.clock()
+        expired = [
+            lease.task_id
+            for lease in self._leases.values()
+            if lease.deadline <= now
+        ]
+        # Front of the queue: an abandoned task has already waited one
+        # full lease; it should not also wait behind the whole backlog.
+        for task_id in expired:
+            del self._leases[task_id]
+            self._pending.appendleft(task_id)
+        self.requeues += len(expired)
+        return expired
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def leased_count(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    @property
+    def done_count(self) -> int:
+        with self._lock:
+            return len(self._done)
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks not yet settled (pending + leased)."""
+        with self._lock:
+            return len(self._pending) + len(self._leases)
+
+    def owner_of(self, task_id: str) -> str | None:
+        with self._lock:
+            lease = self._leases.get(task_id)
+            return lease.owner if lease else None

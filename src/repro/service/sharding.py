@@ -1,0 +1,84 @@
+"""Deterministic corpus sharding for ``repro audit --shard i/n``.
+
+Splitting a corpus across n machines needs a partition that is:
+
+* **disjoint and exhaustive** — every file lands on exactly one shard,
+  so n shard audits merged together equal one whole-corpus audit;
+* **coordination-free** — each machine computes its own subset from
+  nothing but the corpus and its shard spec (the shared cache directory
+  already tolerates concurrent writers, so shards need no locking);
+* **stable under renames** — assignment is a pure function of the file
+  *content*, never its path, so moving/renaming a file keeps it (and
+  its cache entries, which are content-addressed the same way) on the
+  same shard, and adding or removing files never reshuffles the rest.
+
+The assignment is ``sha256(salt ‖ content) mod n``.  Two files with
+identical content land on the same shard — which is exactly right: they
+share one result-cache entry, so co-locating them means one computes it
+and the other hits the cache.
+
+Shard specs are written ``i/n`` with 1-based ``i`` (``--shard 2/4`` =
+the second of four shards); internally assignments are 0-based.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, TypeVar
+
+__all__ = ["assign_shard", "parse_shard", "shard_partition"]
+
+T = TypeVar("T")
+
+#: Domain separator: shard assignment must not collide with the other
+#: sha256 keyings in the codebase (cache keys, CNF fingerprints).
+_SALT = b"repro-shard\x00"
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse ``"i/n"`` into 0-based ``(index, count)``.
+
+    >>> parse_shard("2/4")
+    (1, 4)
+    """
+    index_text, sep, count_text = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError(spec)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(f"invalid shard spec {spec!r} (want I/N, e.g. 2/4)")
+    if count < 1:
+        raise ValueError(f"invalid shard spec {spec!r}: shard count must be >= 1")
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"invalid shard spec {spec!r}: index must be between 1 and {count}"
+        )
+    return index - 1, count
+
+
+def assign_shard(content: str | bytes, count: int) -> int:
+    """The 0-based shard owning ``content`` in an ``count``-way split.
+
+    Pure content hash: independent of filename, corpus composition, and
+    every analyzer option, so all participants agree without talking.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if isinstance(content, str):
+        content = content.encode()
+    digest = hashlib.sha256(_SALT + content).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def shard_partition(
+    items: Iterable[tuple[T, str]], index: int, count: int
+) -> list[T]:
+    """Filter ``(item, content)`` pairs down to shard ``index`` of ``count``.
+
+    Preserves input order; ``index`` is 0-based (as returned by
+    :func:`parse_shard`).
+    """
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} out of range for count {count}")
+    return [item for item, content in items if assign_shard(content, count) == index]

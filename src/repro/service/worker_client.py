@@ -1,0 +1,239 @@
+"""The ``repro work --connect URL`` worker node.
+
+A node is the existing batch-audit engine wearing a network face: it
+registers with a coordinator, leases batches of file-level tasks, runs
+them through the local persistent worker pool (same per-file timeout,
+crash isolation, and caching as ``repro audit``), and reports one JSON
+outcome record per task.  Everything rides stdlib ``urllib`` — a node
+needs nothing but Python and a reachable coordinator.
+
+Liveness protocol: a daemon heartbeat thread pings the coordinator at a
+quarter of the lease timeout, which extends every lease the node holds.
+A node that dies (or loses the network) simply stops heartbeating; its
+leases expire on the coordinator and the tasks re-queue for other nodes.
+The node never has to do anything *right* to fail safely — dying is
+enough.
+
+Shutdown: SIGTERM/SIGINT set the stop event, the in-flight engine batch
+drains (undispatched tasks come back as ``skipped`` and are handed back
+to the coordinator via ``/api/workers/release``), and the node exits 0.
+A coordinator-initiated drain looks identical, delivered through the
+``draining`` flag on lease responses.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from repro.engine import AuditEngine, AuditTask, EngineConfig, ResultCache
+from repro.engine.cache import policy_fingerprint
+
+__all__ = ["CoordinatorClient", "WorkerConfig", "run_worker"]
+
+
+class CoordinatorClient:
+    """Thin JSON-over-HTTP client for the coordinator's API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, path: str, payload: dict | None = None) -> dict:
+        """POST ``payload`` (or GET when None) and decode the JSON reply.
+
+        4xx/5xx responses raise :class:`urllib.error.HTTPError`; callers
+        translate the ones that carry protocol meaning (404 worker →
+        re-register, 409 policy → fatal).
+        """
+        url = self.base_url + path
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            body = response.read()
+        return json.loads(body.decode()) if body else {}
+
+    def get_text(self, path: str) -> str:
+        with urllib.request.urlopen(
+            self.base_url + path, timeout=self.timeout
+        ) as response:
+            return response.read().decode()
+
+
+@dataclass
+class WorkerConfig:
+    """Knobs for one node's lifetime."""
+
+    node: str
+    jobs: int = 1
+    #: Tasks requested per lease (default: enough to keep the pool busy
+    #: two-deep, matching the scheduler's pipeline depth).
+    lease_max: int | None = None
+    poll: float = 1.0
+    timeout: float | None = None
+    start_method: str | None = None
+    cache: ResultCache | None = None
+    #: Consecutive connection failures tolerated before giving up.
+    max_errors: int = 5
+    quiet: bool = False
+
+    def batch_size(self) -> int:
+        return self.lease_max if self.lease_max else max(1, self.jobs) * 2
+
+
+def run_worker(
+    url: str,
+    websari,
+    config: WorkerConfig,
+    stop_event: threading.Event | None = None,
+    stream=None,
+) -> int:
+    """Drive one node until drain or persistent failure.
+
+    Returns the process exit code: 0 for a clean drain (coordinator
+    drained, or our stop event fired), 1 when the coordinator stayed
+    unreachable past ``max_errors`` consecutive attempts.
+    """
+    stop = stop_event if stop_event is not None else threading.Event()
+    out = stream if stream is not None else sys.stderr
+    client = CoordinatorClient(url)
+
+    def say(message: str) -> None:
+        if not config.quiet:
+            print(f"work[{config.node}]: {message}", file=out, flush=True)
+
+    # -- register (with retry: the coordinator may still be booting) -------
+    worker_id = None
+    errors = 0
+    policy = policy_fingerprint(websari)
+    while worker_id is None and not stop.is_set():
+        try:
+            reply = client.request(
+                "/api/workers/register", {"node": config.node, "policy": policy}
+            )
+            worker_id = reply["worker_id"]
+            lease_timeout = float(reply.get("lease_timeout") or 60.0)
+        except urllib.error.HTTPError as exc:
+            say(f"registration rejected: {exc} ({_error_detail(exc)})")
+            return 1
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            errors += 1
+            if errors >= config.max_errors:
+                say(f"cannot reach coordinator at {url}: {exc}")
+                return 1
+            stop.wait(config.poll)
+    if worker_id is None:
+        return 0
+    say(f"registered as {worker_id} (lease timeout {lease_timeout:g}s)")
+
+    # -- heartbeat thread: liveness is decoupled from batch duration -------
+    def heartbeat() -> None:
+        interval = max(0.2, lease_timeout / 4)
+        while not stop.wait(interval):
+            try:
+                client.request("/api/workers/heartbeat", {"worker_id": worker_id})
+            except (urllib.error.URLError, OSError, ValueError):
+                pass  # the lease loop owns failure accounting
+
+    threading.Thread(
+        target=heartbeat, name=f"repro-work-heartbeat-{config.node}", daemon=True
+    ).start()
+
+    engine_config = EngineConfig(
+        jobs=config.jobs,
+        timeout=config.timeout,
+        start_method=config.start_method,
+        cache=config.cache,
+        drain_event=stop,
+    )
+    engine = AuditEngine(websari=websari, config=engine_config)
+    completed = 0
+    errors = 0
+    try:
+        while not stop.is_set():
+            try:
+                lease = client.request(
+                    "/api/lease",
+                    {"worker_id": worker_id, "max": config.batch_size()},
+                )
+                errors = 0
+            except urllib.error.HTTPError as exc:
+                if exc.code == 404:
+                    say("coordinator forgot us; exiting for a clean re-register")
+                    return 1
+                errors += 1
+                if errors >= config.max_errors:
+                    say(f"coordinator keeps failing: {exc}")
+                    return 1
+                stop.wait(config.poll)
+                continue
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                errors += 1
+                if errors >= config.max_errors:
+                    say(f"lost coordinator at {url}: {exc}")
+                    return 1
+                stop.wait(config.poll)
+                continue
+
+            tasks_payload = lease.get("tasks") or []
+            if not tasks_payload:
+                if lease.get("draining"):
+                    say(f"coordinator draining; exiting after {completed} file(s)")
+                    return 0
+                stop.wait(config.poll)
+                continue
+
+            tasks = [
+                AuditTask(
+                    index=index,
+                    filename=str(item["filename"]),
+                    source=str(item["source"]),
+                )
+                for index, item in enumerate(tasks_payload)
+            ]
+            result = engine.run(tasks)
+            for item, outcome in zip(tasks_payload, result.outcomes):
+                if outcome.status == "skipped":
+                    continue  # drained mid-batch; released below
+                try:
+                    reply = client.request(
+                        "/api/result",
+                        {
+                            "worker_id": worker_id,
+                            "task_id": item["task_id"],
+                            "record": outcome.to_record(),
+                        },
+                    )
+                    if reply.get("accepted"):
+                        completed += 1
+                except (urllib.error.URLError, OSError, ValueError) as exc:
+                    # The lease will expire and the task re-queue; losing
+                    # one result report must not kill the node.
+                    say(f"failed to report {item['task_id']}: {exc}")
+            say(
+                f"batch of {len(tasks)} done "
+                f"({result.stats.safe} safe, {result.stats.vulnerable} vulnerable, "
+                f"{result.stats.failed} failed)"
+            )
+    finally:
+        try:
+            client.request("/api/workers/release", {"worker_id": worker_id})
+        except (urllib.error.URLError, OSError, ValueError):
+            pass
+    say(f"drained after {completed} file(s)")
+    return 0
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    try:
+        return json.loads(exc.read().decode()).get("error", "")
+    except Exception:  # noqa: BLE001 - best-effort diagnostics
+        return ""

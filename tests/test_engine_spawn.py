@@ -1,0 +1,67 @@
+"""Start-method agnosticism: the worker pool must produce identical
+verdicts under fork and spawn, because the analyzer session travels to
+workers as an explicit setup message instead of relying on fork's
+copied address space."""
+
+import multiprocessing
+
+import pytest
+
+from repro.engine import AuditEngine, AuditTask, EngineConfig, WorkerSession
+from repro.websari.pipeline import WebSSARI
+
+VULN = "<?php echo $_GET['q'];\n"
+SAFE = "<?php echo 'hello';\n"
+
+TASKS = [
+    ("vuln.php", VULN),
+    ("safe.php", SAFE),
+]
+
+
+def run_with(start_method):
+    engine = AuditEngine(
+        websari=WebSSARI(),
+        config=EngineConfig(jobs=2, start_method=start_method),
+    )
+    tasks = [
+        AuditTask(index=i, filename=name, source=src)
+        for i, (name, src) in enumerate(TASKS)
+    ]
+    result = engine.run(tasks)
+    return {o.filename: (o.status, o.safe) for o in result.outcomes}
+
+
+def verdicts():
+    return {"vuln.php": ("ok", False), "safe.php": ("ok", True)}
+
+
+class TestStartMethods:
+    @pytest.mark.parametrize(
+        "method",
+        [m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()],
+    )
+    def test_same_verdicts_under_each_method(self, method):
+        assert run_with(method) == verdicts()
+
+    def test_default_matches_explicit(self):
+        assert run_with(None) == verdicts()
+
+    def test_unsupported_method_rejected_with_alternatives(self):
+        with pytest.raises(ValueError, match="start method"):
+            run_with("hyperthread")
+
+
+class TestWorkerSession:
+    def test_session_is_picklable(self):
+        """The setup message must survive a spawn pickle round-trip."""
+        import pickle
+
+        session = WorkerSession(websari=WebSSARI(), want_report=True)
+        clone = pickle.loads(pickle.dumps(session))
+        assert clone.want_report and clone.websari is not None
+
+    def test_frozen(self):
+        session = WorkerSession(websari=WebSSARI())
+        with pytest.raises(Exception):
+            session.want_report = True

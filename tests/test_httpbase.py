@@ -1,0 +1,101 @@
+"""The shared HTTP endpoint base (repro.service.httpbase): bind parsing,
+dispatch, HttpError mapping, crash containment, and port fallback."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.httpbase import HttpEndpoint, HttpError, parse_bind
+
+
+class Echo(HttpEndpoint):
+    """Minimal endpoint exercising every dispatch path."""
+
+    def handle(self, method, path, body):
+        if path == "/json":
+            return self.json_reply({"method": method, "body": body.decode()})
+        if path == "/teapot":
+            raise HttpError(418, "short and stout")
+        if path == "/boom":
+            raise RuntimeError("handler exploded")
+        if path == "/echo-json":
+            return self.json_reply(self.read_json(body))
+        raise HttpError(404, "nope")
+
+
+def fetch(url, data=None):
+    request = urllib.request.Request(url, data=data)
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, response.read().decode()
+
+
+class TestParseBind:
+    def test_forms(self):
+        assert parse_bind("9410") == ("127.0.0.1", 9410)
+        assert parse_bind(":9410") == ("127.0.0.1", 9410)
+        assert parse_bind("0.0.0.0:80") == ("0.0.0.0", 80)
+
+    @pytest.mark.parametrize("spec", ["", "host:", "host:port", "1.2.3.4:99999"])
+    def test_invalid(self, spec):
+        with pytest.raises(ValueError):
+            parse_bind(spec)
+
+
+class TestDispatch:
+    def test_get_and_post_share_handle(self):
+        with Echo() as server:
+            _, body = fetch(server.url + "/json")
+            assert json.loads(body) == {"method": "GET", "body": ""}
+            _, body = fetch(server.url + "/json", data=b"hi")
+            assert json.loads(body) == {"method": "POST", "body": "hi"}
+
+    def test_http_error_maps_to_status_and_json(self):
+        with Echo() as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server.url + "/teapot")
+            assert err.value.code == 418
+            assert json.loads(err.value.read().decode()) == {"error": "short and stout"}
+
+    def test_handler_crash_is_a_500_not_a_dead_server(self):
+        with Echo() as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server.url + "/boom")
+            assert err.value.code == 500
+            # The server must still answer after a handler crash.
+            status, _ = fetch(server.url + "/json")
+            assert status == 200
+
+    def test_read_json_rejects_non_objects(self):
+        with Echo() as server:
+            for payload in (b"not json", b"[1, 2]"):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    fetch(server.url + "/echo-json", data=payload)
+                assert err.value.code == 400
+
+
+class TestLifecycle:
+    def test_ephemeral_port_fallback_when_taken(self):
+        with Echo() as first:
+            second = Echo(port=first.port)
+            try:
+                assert second.fell_back
+                assert second.port != first.port
+                second.start()
+                status, _ = fetch(second.url + "/json")
+                assert status == 200
+            finally:
+                second.close()
+
+    def test_close_without_start_releases_socket(self):
+        server = Echo()
+        port = server.port
+        server.close()
+        # The port must be immediately rebindable.
+        with Echo(port=port) as again:
+            assert again.port == port and not again.fell_back
+
+    def test_url_property(self):
+        with Echo(host="127.0.0.1") as server:
+            assert server.url == f"http://127.0.0.1:{server.port}"

@@ -74,6 +74,60 @@ class TestLoadAudit:
         assert by_name["a.php"]["safe"] is False
 
 
+class TestNodeTrailers:
+    """Merged distributed streams (repro serve) interleave per-node
+    stats trailers before the global one; the reader must keep them out
+    of ``run.stats`` (regression: last-trailer-wins clobbered the global
+    tally with the final node's partial counts)."""
+
+    def merged_stream(self, path, with_global=True):
+        records = [
+            file_record("a.php", node="n1"),
+            file_record("b.php", safe=False, node="n2"),
+            {"type": "stats", "node": "n1", "files": 1, "safe": 1,
+             "vulnerable": 0, "failed": 0},
+            {"type": "stats", "node": "n2", "files": 1, "safe": 0,
+             "vulnerable": 1, "failed": 0},
+        ]
+        if with_global:
+            records.append(
+                {"type": "stats", "total": 2, "safe": 1, "vulnerable": 1,
+                 "wall_seconds": 0.5, "nodes": 2}
+            )
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        return path
+
+    def test_node_trailers_do_not_clobber_global_stats(self, tmp_path):
+        run = load_audit(self.merged_stream(tmp_path / "m.jsonl"))
+        assert run.stats["total"] == 2  # the global trailer, not n2's
+        assert not run.truncated
+        assert set(run.node_stats) == {"n1", "n2"}
+        assert run.node_stats["n2"]["vulnerable"] == 1
+
+    def test_incomplete_merged_stream_is_truncated(self, tmp_path):
+        """Node trailers alone (job still running) must read as a
+        truncated run, not as final stats."""
+        run = load_audit(self.merged_stream(tmp_path / "m.jsonl", with_global=False))
+        assert run.stats is None and run.truncated
+        assert len(run.node_stats) == 2
+
+    def test_render_report_lists_nodes(self, tmp_path):
+        text = render_report(load_audit(self.merged_stream(tmp_path / "m.jsonl")))
+        assert "nodes: n1 (1 file(s)), n2 (1 file(s))" in text
+        assert "files: 2/2 audited" in text
+
+    def test_diff_tolerates_merged_streams(self, tmp_path):
+        """`repro report --diff` between a single-box run and a merged
+        fleet run of the same corpus must be clean."""
+        merged = self.merged_stream(tmp_path / "merged.jsonl")
+        single = write_stream(
+            tmp_path / "single.jsonl",
+            [file_record("a.php"), file_record("b.php", safe=False)],
+        )
+        assert main(["report", "--diff", str(single), str(merged)]) == 0
+        assert main(["report", "--diff", str(merged), str(single)]) == 0
+
+
 class TestRenderReport:
     def test_summary_contents(self, tmp_path):
         path = write_stream(

@@ -1,0 +1,231 @@
+"""Distributed service end-to-end: a two-node fleet must produce the
+same verdicts as a single-box ``repro audit``, and a node SIGKILLed
+mid-lease must not lose (or duplicate) any task."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.service import Coordinator
+from repro.service.worker_client import WorkerConfig, run_worker
+from repro.websari.pipeline import WebSSARI
+
+CORPUS = "examples/php"
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return env
+
+
+def normalize_file(record):
+    """The fields that must agree between distributed and single-box
+    runs: verdicts, not node attribution or wall-clock noise."""
+    return {
+        "filename": record["filename"],
+        "status": record["status"],
+        "safe": record.get("safe"),
+    }
+
+
+def wait_until(predicate, timeout=60.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestTwoNodeFleetMatchesSingleBox:
+    def test_merged_stream_equals_single_box_audit(self, tmp_path):
+        """serve + two work subprocesses over examples/php: the merged
+        job stream must carry the same per-file verdicts and tallies as
+        one local ``repro audit --jsonl`` run, and SIGTERM must drain
+        every process to exit code 0."""
+        jsonl_dir = tmp_path / "jobs"
+        serve = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--bind", "127.0.0.1:0",  # ephemeral: parallel-safe
+                "--submit", CORPUS,
+                "--jsonl-dir", str(jsonl_dir),
+                "--drain-grace", "15",
+            ],
+            cwd=REPO,
+            env=worker_env(),
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        workers = []
+        try:
+            # The CLI prints the actual coordinator URL on stderr.
+            line = serve.stderr.readline()
+            assert "http://" in line, f"unexpected serve banner: {line!r}"
+            url = line.strip().split()[-1]
+
+            for node in ("nodeA", "nodeB"):
+                workers.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable, "-m", "repro", "work",
+                            "--connect", url,
+                            "--node", node,
+                            "--jobs", "1",
+                            "--poll", "0.2",
+                            "--no-cache",
+                        ],
+                        cwd=REPO,
+                        env=worker_env(),
+                        stderr=subprocess.DEVNULL,
+                    )
+                )
+
+            def job_done():
+                try:
+                    with urllib.request.urlopen(url + "/healthz", timeout=2) as reply:
+                        return json.loads(reply.read())["jobs_complete"] == 1
+                except OSError:
+                    return False
+
+            assert wait_until(job_done, timeout=120), "fleet never finished the job"
+            with urllib.request.urlopen(
+                url + "/api/jobs/job-0001/results", timeout=5
+            ) as reply:
+                merged = [json.loads(line) for line in reply.read().splitlines()]
+
+            serve.send_signal(signal.SIGTERM)
+            assert serve.wait(timeout=30) == 0
+            for proc in workers:
+                assert proc.wait(timeout=30) == 0, "worker did not drain cleanly"
+        finally:
+            for proc in [serve, *workers]:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+
+        # -- single-box reference run over the same corpus ----------------
+        reference_path = tmp_path / "single.jsonl"
+        assert main(
+            ["audit", CORPUS, "--jsonl", str(reference_path), "--jobs", "1", "--no-cache"]
+        ) in (0, 1)
+        reference = [
+            json.loads(line)
+            for line in reference_path.read_text().splitlines()
+        ]
+
+        merged_files = sorted(
+            (normalize_file(r) for r in merged if r["type"] == "file"),
+            key=lambda r: r["filename"],
+        )
+        reference_files = sorted(
+            (normalize_file(r) for r in reference if r["type"] == "file"),
+            key=lambda r: r["filename"],
+        )
+        assert merged_files == reference_files
+
+        merged_trailer = next(
+            r for r in merged if r["type"] == "stats" and "node" not in r
+        )
+        reference_trailer = next(r for r in reference if r["type"] == "stats")
+        for key in ("total", "completed", "safe", "vulnerable", "errors"):
+            assert merged_trailer[key] == reference_trailer[key]
+
+        # Every file record carries node attribution, and the persisted
+        # job stream matches what the API served.
+        assert all("node" in r for r in merged if r["type"] == "file")
+        persisted = (jsonl_dir / "job-0001.jsonl").read_text()
+        assert [json.loads(line) for line in persisted.splitlines()] == merged
+
+
+HANG_AFTER_LEASE = """
+import json, sys, time, urllib.request
+
+url = sys.argv[1]
+
+def post(path, payload):
+    req = urllib.request.Request(
+        url + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read())
+
+worker = post("/api/workers/register", {"node": "doomed"})
+lease = post("/api/lease", {"worker_id": worker["worker_id"], "max": 999})
+print(len(lease["tasks"]), flush=True)
+time.sleep(600)  # hold the leases until SIGKILL
+"""
+
+
+class TestWorkerLossRequeues:
+    def test_sigkilled_worker_leases_complete_exactly_once_elsewhere(self, tmp_path):
+        """A node that leases the whole corpus and is SIGKILLed mid-task
+        must not strand work: its leases expire, the tasks re-queue, and
+        a live node completes each exactly once."""
+        coordinator = Coordinator(lease_timeout=1.0)
+        coordinator.start()
+        stop = threading.Event()
+        exit_codes = []
+        try:
+            job = coordinator.submit_files(
+                {
+                    "vuln.php": "<?php echo $_GET['q'];\n",
+                    "safe.php": "<?php echo 'hello';\n",
+                }
+            )
+
+            doomed = subprocess.Popen(
+                [sys.executable, "-c", HANG_AFTER_LEASE, coordinator.url],
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            try:
+                assert doomed.stdout.readline().strip() == "2"
+                assert coordinator.queue.leased_count == 2
+            finally:
+                doomed.kill()
+                doomed.wait()
+
+            survivor = threading.Thread(
+                target=lambda: exit_codes.append(
+                    run_worker(
+                        coordinator.url,
+                        WebSSARI(),
+                        WorkerConfig(node="survivor", jobs=1, poll=0.1, quiet=True),
+                        stop_event=stop,
+                    )
+                )
+            )
+            survivor.start()
+
+            assert wait_until(lambda: job.complete, timeout=60), (
+                "survivor never completed the re-queued tasks"
+            )
+            coordinator.drain()
+            survivor.join(timeout=30)
+            assert not survivor.is_alive() and exit_codes == [0]
+
+            records = coordinator.job_records(job)
+            files = [r for r in records if r["type"] == "file"]
+            assert sorted(r["filename"] for r in files) == ["safe.php", "vuln.php"]
+            assert all(r["node"] == "survivor" for r in files)
+            by_name = {r["filename"]: r for r in files}
+            assert by_name["vuln.php"]["safe"] is False
+            assert by_name["safe.php"]["safe"] is True
+            # Both tasks travelled the expiry path, and only once each
+            # made it into the stream.
+            assert coordinator.queue.requeues >= 2
+            assert coordinator.queue.done_count == 2
+        finally:
+            stop.set()
+            coordinator.close()

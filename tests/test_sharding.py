@@ -1,0 +1,108 @@
+"""Deterministic corpus sharding (repro.service.sharding): spec parsing,
+disjoint/exhaustive partitions, and stability under rename/add."""
+
+import pytest
+
+from repro.service import assign_shard, parse_shard, shard_partition
+
+
+def corpus(count=40):
+    """A synthetic corpus of (filename, content) pairs."""
+    return [
+        (f"app/module{i:02d}.php", f"<?php echo $x + {i}; ?>")
+        for i in range(count)
+    ]
+
+
+class TestParseShard:
+    def test_one_based_spec_to_zero_based_pair(self):
+        assert parse_shard("1/1") == (0, 1)
+        assert parse_shard("2/4") == (1, 4)
+        assert parse_shard("16/16") == (15, 16)
+
+    @pytest.mark.parametrize(
+        "spec", ["", "3", "a/b", "1/0", "0/4", "5/4", "-1/4", "1/-2", "1//2"]
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_shard(spec)
+
+
+class TestAssignShard:
+    def test_deterministic_and_in_range(self):
+        for _, content in corpus():
+            first = assign_shard(content, 7)
+            assert first == assign_shard(content, 7)
+            assert 0 <= first < 7
+
+    def test_str_and_bytes_agree(self):
+        assert assign_shard("<?php ?>", 5) == assign_shard(b"<?php ?>", 5)
+
+    def test_single_shard_owns_everything(self):
+        assert all(assign_shard(c, 1) == 0 for _, c in corpus())
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            assign_shard("x", 0)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8])
+    def test_disjoint_and_exhaustive(self, count):
+        """Every file lands on exactly one of the n shards, so the union
+        of all shard audits is the whole corpus with no duplicates."""
+        items = corpus()
+        shards = [shard_partition(items, i, count) for i in range(count)]
+        union = [name for shard in shards for name in shard]
+        assert sorted(union) == sorted(name for name, _ in items)
+        assert len(union) == len(set(union))
+
+    def test_order_preserved_within_shard(self):
+        items = corpus()
+        names = [name for name, _ in items]
+        shard = shard_partition(items, 0, 3)
+        positions = [names.index(name) for name in shard]
+        assert positions == sorted(positions)
+
+    def test_stable_under_rename(self):
+        """Assignment is a pure function of content: renaming every file
+        moves nothing between shards."""
+        items = corpus()
+        by_name = dict(items)
+        renamed = [
+            (f"deep/nested/{i}.php", content)
+            for i, (_, content) in enumerate(items)
+        ]
+        by_new_name = dict(renamed)
+        for count in (2, 3, 5):
+            for index in range(count):
+                original = [by_name[n] for n in shard_partition(items, index, count)]
+                moved = [by_new_name[n] for n in shard_partition(renamed, index, count)]
+                assert original == moved
+
+    def test_stable_under_add_and_remove(self):
+        """Adding or removing files never reshuffles the survivors."""
+        items = corpus()
+        grown = items + [("extra.php", "<?php exit; ?>")]
+        shrunk = items[:-5]
+        for index in range(4):
+            base = set(shard_partition(items, index, 4))
+            assert base <= set(shard_partition(grown, index, 4))
+            survivors = set(shard_partition(shrunk, index, 4))
+            assert survivors == {name for name, _ in shrunk} & base
+
+    def test_duplicate_content_colocates(self):
+        """Identical files share a cache entry, so they must share a shard."""
+        twin = "<?php echo $dup; ?>"
+        items = [("a.php", twin), ("b/z.php", twin)]
+        owners = [
+            index
+            for index in range(6)
+            if shard_partition(items, index, 6)
+        ]
+        assert len(owners) == 1
+        assert len(shard_partition(items, owners[0], 6)) == 2
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            shard_partition(corpus(), 4, 4)
