@@ -43,6 +43,7 @@ from repro.ai.renaming import RenamedAssert, RenamedProgram
 from repro.bmc.encoder import ConstraintGenerator, EncodedAssertion, LatticeEncoding
 from repro.lattice import FiniteLattice, two_point_lattice
 from repro.obs import get_tracer
+from repro.obs.ledger import SlowQueryLedger
 from repro.bmc.trace import CounterexampleTrace, ViolatingVariable, reconstruct_trace
 from repro.sat.cache import CachingSatSolver, SatQueryCache
 from repro.sat.dpll import IncrementalDPLL
@@ -89,6 +90,9 @@ class BMCResult:
     #: Total solve() invocations (>= one per assertion, plus one per
     #: enumerated counterexample).
     num_solve_calls: int = 0
+    #: Top-K hardest SAT queries of the run (ledger record dicts, most
+    #: expensive first; see :mod:`repro.obs.ledger` for the schema).
+    slow_queries: list[dict] = field(default_factory=list)
 
     @property
     def safe(self) -> bool:
@@ -136,6 +140,9 @@ class BMCChecker:
         self.sat_cache = sat_cache
         self._solver_totals: dict[str, int] = {}
         self._num_solve_calls = 0
+        #: Hardest queries of this check; capacity stays small because the
+        #: engine merges one ledger per file into the run-wide top-K.
+        self._ledger = SlowQueryLedger(capacity=8)
 
     def _make_solver(self) -> CDCLSolver | IncrementalDPLL | CachingSatSolver:
         inner: CDCLSolver | IncrementalDPLL
@@ -191,6 +198,7 @@ class BMCChecker:
             solver_backend=self.solver_backend,
             solver_stats=dict(self._solver_totals),
             num_solve_calls=self._num_solve_calls,
+            slow_queries=self._ledger.records(),
         )
 
     def _check_one(
@@ -243,9 +251,23 @@ class BMCChecker:
         iteration = 0
         while True:
             with tracer.span("sat.solve", iteration=iteration) as solve_span:
+                solve_start = time.perf_counter()
                 solve = solver.solve(assumptions=[act])
-            iteration += 1
+                solve_seconds = time.perf_counter() - solve_start
             stats = solve.stats
+            self._ledger.observe(
+                {
+                    "seconds": solve_seconds,
+                    "assert_id": encoded.event.assert_id,
+                    "iteration": iteration,
+                    "decisions": stats.decisions,
+                    "conflicts": stats.conflicts,
+                    "satisfiable": bool(solve.satisfiable),
+                    "backend": self.solver_backend,
+                    "fingerprint": getattr(solver, "last_query_key", None),
+                }
+            )
+            iteration += 1
             solve_span.set(
                 satisfiable=solve.satisfiable,
                 decisions=stats.decisions,

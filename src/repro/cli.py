@@ -18,7 +18,7 @@ python -m repro serve   [--bind [HOST]:PORT] [--lease-timeout S]
 python -m repro work    --connect URL [--node NAME] [--jobs N]
                         [--poll S] [--lease N] [--timeout S]
                         [--start-method fork|spawn]
-python -m repro report  audit.jsonl [--top N]
+python -m repro report  audit.jsonl [--top N] [--json] [--html OUT]
 python -m repro report  --diff old.jsonl new.jsonl
 python -m repro patch   file.php [-o out.php] [--strategy bmc|ts]
 python -m repro html    file.php [-o report.html]
@@ -44,8 +44,10 @@ service — an HTTP coordinator that accepts submitted projects and
 leases file-level tasks to remote worker nodes, with ``audit --shard
 i/n`` as the coordination-free alternative for machines sharing a cache
 directory (see ``repro.service`` and docs/SERVICE.md).  ``report``
-summarizes an audit JSONL stream (or diffs two of them —
-exit 1 when the diff shows new/regressed vulnerable files); ``--trace``
+summarizes an audit JSONL stream (``--json`` for machine-readable
+output, ``--html OUT`` for a self-contained dashboard, or diffs two
+streams — exit 1 when the diff shows new/regressed vulnerable files);
+``--trace``
 writes a Chrome trace-event file loadable in Perfetto or
 ``chrome://tracing``; ``--metrics`` writes a Prometheus text snapshot
 (see ``repro.obs`` and docs/OBSERVABILITY.md).  ``patch`` writes
@@ -56,6 +58,7 @@ instrumented source; ``html`` writes the cross-referenced report;
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -378,6 +381,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--top", type=int, default=10, help="slowest files to list (default 10)"
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as machine-readable JSON instead of text",
+    )
+    report.add_argument(
+        "--html", type=Path, metavar="OUT", default=None,
+        help="also write a self-contained HTML dashboard to OUT",
     )
 
     patch = sub.add_parser("patch", help="verify and insert runtime guards")
@@ -827,13 +838,24 @@ def _cmd_work(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import ReportError, diff_runs, load_audit, render_diff, render_report
+    from repro.obs import (
+        ReportError,
+        diff_runs,
+        load_audit,
+        render_dashboard,
+        render_diff,
+        render_report,
+        summarize_run,
+    )
 
     if args.diff and args.path:
         print("report: give either a stream to summarize or --diff, not both", file=sys.stderr)
         return 2
     if not args.diff and not args.path:
         print("report: nothing to do (give a JSONL path or --diff OLD NEW)", file=sys.stderr)
+        return 2
+    if args.diff and (args.json or args.html):
+        print("report: --json/--html only apply to single-stream summaries", file=sys.stderr)
         return 2
     try:
         if args.diff:
@@ -844,7 +866,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(render_diff(old, new, diff))
             return 1 if diff.has_regressions else 0
         run = load_audit(args.path)
-        print(render_report(run, top=args.top))
+        if args.html is not None:
+            args.html.write_text(render_dashboard(run, top=args.top))
+        if args.json:
+            print(json.dumps(summarize_run(run, top=args.top), indent=2, sort_keys=True))
+        else:
+            print(render_report(run, top=args.top))
+        if args.html is not None:
+            print(f"report: wrote dashboard to {args.html}", file=sys.stderr)
         return 0
     except ReportError as error:
         print(f"report: {error}", file=sys.stderr)

@@ -130,15 +130,23 @@ class WatchLoop:
             tasks.append(AuditTask(index=len(tasks), filename=path, source=source))
 
         self.cycles += 1
+        # The engine writes into a fresh per-cycle registry that is folded
+        # into the long-lived daemon registry afterwards — the exact
+        # snapshot/merge path fleet aggregation uses, so daemon metrics and
+        # coordinator metrics accumulate identically.  Watch-level
+        # counters/gauges below still hit self.metrics directly (live).
+        cycle_metrics = MetricsRegistry() if self.metrics is not None else None
         config = EngineConfig(
             jobs=self.jobs,
             timeout=self.timeout,
             start_method=self.start_method,
             cache=self.cache,
-            metrics=self.metrics,
+            metrics=cycle_metrics,
             drain_event=self.stop_event,
         )
         result = AuditEngine(websari=self.websari, config=config).run(tasks)
+        if self.metrics is not None and cycle_metrics is not None:
+            self.metrics.merge_snapshot(cycle_metrics.snapshot())
         skipped = [o for o in result.outcomes if o.status == "skipped"]
         interrupted = bool(skipped) or self.stop_event.is_set()
         for outcome in result.outcomes:

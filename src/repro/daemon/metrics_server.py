@@ -24,9 +24,10 @@ from __future__ import annotations
 import json
 
 from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_QUANTILES, PROMETHEUS_CONTENT_TYPE
 from repro.service.httpbase import HttpEndpoint, parse_bind
 
-__all__ = ["MetricsServer", "parse_bind"]
+__all__ = ["MetricsServer", "parse_bind", "PROMETHEUS_CONTENT_TYPE"]
 
 
 class MetricsServer(HttpEndpoint):
@@ -40,17 +41,19 @@ class MetricsServer(HttpEndpoint):
         host: str = "127.0.0.1",
         port: int = 0,
         health=None,
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
     ) -> None:
         self.registry = registry
         self.health = health if health is not None else (lambda: {"status": "ok"})
+        self.quantiles = tuple(quantiles)
         super().__init__(host, port)
 
     def handle(self, method: str, path: str, body: bytes) -> tuple[int, str, bytes]:
         if method != "GET":
             return self.json_reply({"error": "method not allowed"}, status=405)
         if path in ("/metrics", "/"):
-            payload = self.registry.render().encode()
-            return 200, "text/plain; version=0.0.4; charset=utf-8", payload
+            payload = self.registry.render(quantiles=self.quantiles).encode()
+            return 200, PROMETHEUS_CONTENT_TYPE, payload
         if path == "/healthz":
             payload = (json.dumps(self.health(), sort_keys=True) + "\n").encode()
             return 200, "application/json", payload

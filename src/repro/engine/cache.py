@@ -43,8 +43,9 @@ __all__ = [
 #: (2: records gained per-file SAT-solver counters.
 #:  3: SolverStats grew sat-cache and preprocessing counters, and the
 #:  CDCL solver gained add-time preprocessing + LBD-aware reduction,
-#:  both of which change the counters embedded in records.)
-ENGINE_VERSION = "3"
+#:  both of which change the counters embedded in records.
+#:  4: records gained the per-file slow-query ledger.)
+ENGINE_VERSION = "4"
 
 #: Cache record schema version (independent of verdict semantics).
 _RECORD_VERSION = 1

@@ -305,6 +305,10 @@ class AuditEngine:
             metrics.counter("repro_verdicts_total", "verdicts by kind").inc(
                 verdict="safe" if outcome.safe else "vulnerable"
             )
+            if outcome.num_ai_assertions:
+                metrics.counter(
+                    "repro_assertions_total", "AI assertions checked by the BMC stage"
+                ).inc(outcome.num_ai_assertions)
         metrics.counter("repro_cache_lookups_total", "result-cache probes").inc(
             result="hit" if outcome.cached else "miss"
         )
@@ -316,9 +320,13 @@ class AuditEngine:
         stage_counter = metrics.counter(
             "repro_stage_seconds_total", "worker CPU seconds by pipeline stage"
         )
+        stage_histogram = metrics.histogram(
+            "repro_stage_seconds", "per-file wall seconds by pipeline stage"
+        )
         for stage, seconds in outcome.timings.items():
             if isinstance(seconds, (int, float)):
                 stage_counter.inc(float(seconds), stage=stage)
+                stage_histogram.observe(float(seconds), stage=stage)
         solver_counter = metrics.counter(
             "repro_solver_events_total", "aggregated SAT-solver counters"
         )

@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import IO, TYPE_CHECKING
 
+from repro.obs.ledger import SlowQueryLedger
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.worker import FileOutcome
 
@@ -50,6 +52,9 @@ class EngineStats:
     #: (and in :attr:`failed`) instead of being silently folded into
     #: ``errors``.
     other_statuses: dict[str, int] = field(default_factory=dict)
+    #: Run-wide top-K hardest SAT queries, merged from per-file ledgers
+    #: (cache hits contribute nothing: their solves never ran this run).
+    slow_queries: SlowQueryLedger = field(default_factory=SlowQueryLedger)
 
     def record(self, outcome: "FileOutcome") -> None:
         self.completed += 1
@@ -68,6 +73,7 @@ class EngineStats:
             for name, value in (getattr(outcome, "solver", None) or {}).items():
                 if name != "backend" and isinstance(value, int) and not isinstance(value, bool):
                     self.solver_totals[name] = self.solver_totals.get(name, 0) + value
+            self.slow_queries.merge(getattr(outcome, "slow_queries", None))
         self.retries += max(0, outcome.attempts - 1)
         if outcome.status == "ok":
             if outcome.safe:
@@ -118,6 +124,7 @@ class EngineStats:
             "stage_seconds": {k: round(v, 6) for k, v in sorted(self.stage_seconds.items())},
             "solver": dict(sorted(self.solver_totals.items())),
             "other_statuses": dict(sorted(self.other_statuses.items())),
+            "slow_queries": self.slow_queries.records(),
         }
 
     def summary_lines(self) -> list[str]:
@@ -173,6 +180,12 @@ class EngineStats:
                     f"sat-cache: {self.solver_totals.get('cache_hits', 0)} hit(s), "
                     f"{self.solver_totals.get('cache_misses', 0)} miss(es)"
                 )
+        if self.slow_queries:
+            top = self.slow_queries.records()[0]
+            lines.append(
+                f"slowest sat query: {float(top.get('seconds', 0.0)):.3f}s "
+                f"({top.get('file', '?')}, assertion {top.get('assert_id', '?')})"
+            )
         return lines
 
 

@@ -106,6 +106,9 @@ class FileOutcome:
     #: and the aggregated :class:`~repro.sat.solver.SolverStats` fields
     #: (decisions, conflicts, propagations, restarts, ...).
     solver: dict = field(default_factory=dict)
+    #: Hardest SAT queries of this file (ledger records from the BMC
+    #: check, each stamped with ``file``; see :mod:`repro.obs.ledger`).
+    slow_queries: list[dict] = field(default_factory=list)
     #: End-to-end seconds for this file as seen by the scheduler.
     duration: float = 0.0
     cached: bool = False
@@ -134,6 +137,7 @@ class FileOutcome:
         "error",
         "timings",
         "solver",
+        "slow_queries",
     )
 
     def to_record(self) -> dict:
@@ -276,6 +280,14 @@ def _run_stages(
             "solve_calls": bmc_result.num_solve_calls,
             **bmc_result.solver_stats,
         },
+        slow_queries=[
+            {
+                **query,
+                "seconds": round(float(query.get("seconds", 0.0)), 6),
+                "file": task.filename,
+            }
+            for query in bmc_result.slow_queries
+        ],
         report=report if want_report else None,
     )
 

@@ -15,18 +15,27 @@ disabled:
 * :mod:`repro.obs.export` — Chrome trace-event JSON export (loadable in
   Perfetto or ``chrome://tracing``).
 * :mod:`repro.obs.report` — consumers for ``repro audit`` JSONL streams:
-  run summaries and new/fixed/regressed diffs.
+  run summaries (text and JSON) and new/fixed/regressed diffs.
+* :mod:`repro.obs.ledger` — bounded top-K ledger of the hardest SAT
+  queries, merged fleet-wide through JSONL stats trailers.
+* :mod:`repro.obs.html` — self-contained HTML audit dashboard
+  (``repro report --html``).
 
 See ``docs/OBSERVABILITY.md`` for the span model and CLI usage.
 """
 
 from repro.obs.export import chrome_trace_events, write_chrome_trace
+from repro.obs.html import render_dashboard
+from repro.obs.ledger import SlowQueryLedger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
     Counter,
+    FleetMetrics,
     Gauge,
     Histogram,
     MetricsRegistry,
+    estimate_quantile,
 )
 from repro.obs.report import (
     AuditDiff,
@@ -36,6 +45,7 @@ from repro.obs.report import (
     load_audit,
     render_diff,
     render_report,
+    summarize_run,
 )
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -52,21 +62,27 @@ __all__ = [
     "AuditRun",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "FleetMetrics",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
     "ReportError",
+    "SlowQueryLedger",
     "Span",
     "Tracer",
     "chrome_trace_events",
     "diff_runs",
+    "estimate_quantile",
     "get_tracer",
     "load_audit",
+    "render_dashboard",
     "render_diff",
     "render_report",
     "set_tracer",
     "span_from_dict",
+    "summarize_run",
     "write_chrome_trace",
 ]

@@ -14,23 +14,93 @@ Prometheus text exposition format (``# HELP``/``# TYPE`` headers,
 ``name{label="value"} 1.0`` samples, cumulative histogram buckets with a
 ``+Inf`` bucket plus ``_sum``/``_count`` series).  All operations are
 thread-safe behind one registry lock.
+
+Fleet aggregation: ``MetricsRegistry.snapshot()`` serialises the whole
+registry into a JSON-able dict, ``merge_snapshot()`` adds one into
+another registry (optionally stamping extra labels such as ``node``),
+and ``FleetMetrics`` turns a stream of *cumulative* per-node snapshots
+into delta-merged fleet series — tolerant of node restarts (counter
+resets) and strict about histogram bucket boundaries.
 """
 
 from __future__ import annotations
 
 import math
+import re
 import threading
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "FleetMetrics",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
+    "PROMETHEUS_CONTENT_TYPE",
+    "estimate_quantile",
+]
+
+#: Canonical Prometheus text-exposition content type (format version 0.0.4)
+#: served by every ``/metrics`` endpoint in the system.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Seconds-oriented default histogram buckets (audit files span ~1 ms to minutes).
 DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
 
+#: Quantiles surfaced as ``_quantile`` gauges by ``render(quantiles=...)``.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
 LabelKey = tuple[tuple[str, str], ...]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: Label names the exposition format claims for itself: user label sets may
+#: never carry them or rendered samples become ambiguous/invalid.
+_RESERVED_LABELS = frozenset({"le", "quantile"})
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+# Normalisation cache: _label_key runs on every inc()/observe() so repeated
+# label names must not pay the regex cost twice.
+_label_name_cache: dict[str, str] = {}
+
+
+def _validate_metric_name(name: str) -> str:
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def _normalize_label_name(name: str) -> str:
+    """Map an arbitrary label name onto valid exposition text, or reject it.
+
+    Names that would render as invalid or ambiguous exposition text are
+    either normalised (``sat-cache`` -> ``sat_cache``, ``9th`` -> ``_9th``)
+    or rejected outright (``le``/``quantile`` are reserved by the format,
+    ``__``-prefixed names are reserved by Prometheus internals).
+    """
+    cached = _label_name_cache.get(name)
+    if cached is not None:
+        return cached
+    if name in _RESERVED_LABELS:
+        raise ValueError(f"label name {name!r} is reserved by the exposition format")
+    if name.startswith("__"):
+        raise ValueError(f"label name {name!r} is reserved (double underscore prefix)")
+    normalized = name
+    if not _LABEL_NAME_RE.match(normalized):
+        normalized = _INVALID_LABEL_CHARS.sub("_", normalized)
+        if not normalized or not _LABEL_NAME_RE.match(normalized):
+            normalized = "_" + normalized
+    _label_name_cache[name] = normalized
+    return normalized
 
 
 def _label_key(labels: dict) -> LabelKey:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    return tuple(
+        sorted((_normalize_label_name(str(k)), str(v)) for k, v in labels.items())
+    )
 
 
 def _escape(value: str) -> str:
@@ -53,11 +123,37 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def estimate_quantile(
+    bounds: tuple[float, ...], cumulative: list, count: int, q: float
+) -> float | None:
+    """Bucket-interpolated quantile from cumulative histogram counts.
+
+    Same semantics as PromQL ``histogram_quantile``: linear interpolation
+    inside the bucket that contains the target rank, with observations in
+    the ``+Inf`` overflow bucket clamped to the highest finite bound.  The
+    result is an *estimate* bounded by the bucket layout, not an exact
+    order statistic.  Returns ``None`` for an empty series.
+    """
+    if count <= 0:
+        return None
+    q = min(max(q, 0.0), 1.0)
+    rank = q * count
+    prev_bound = 0.0
+    prev_cum = 0
+    for bound, cum in zip(bounds, cumulative):
+        if cum >= rank and cum > prev_cum:
+            span = cum - prev_cum
+            fraction = (rank - prev_cum) / span if span else 1.0
+            return prev_bound + (bound - prev_bound) * min(max(fraction, 0.0), 1.0)
+        prev_bound, prev_cum = bound, cum
+    return bounds[-1]
+
+
 class _Metric:
     kind = "untyped"
 
     def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
-        self.name = name
+        self.name = _validate_metric_name(name)
         self.help = help_text
         self._lock = lock
         self._values: dict[LabelKey, float] = {}
@@ -75,6 +171,17 @@ class _Metric:
         for key in sorted(values):
             lines.append(f"{self.name}{_render_labels(key)} {_format_value(values[key])}")
         return lines
+
+    def _snapshot_samples(self) -> list:
+        with self._lock:
+            return [[list(map(list, key)), value] for key, value in self._values.items()]
+
+    def _merge_sample(self, key: LabelKey, value: float, *, additive: bool) -> None:
+        with self._lock:
+            if additive:
+                self._values[key] = self._values.get(key, 0.0) + value
+            else:
+                self._values[key] = float(value)
 
 
 class Counter(_Metric):
@@ -117,7 +224,7 @@ class Histogram:
         lock: threading.Lock,
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> None:
-        self.name = name
+        self.name = _validate_metric_name(name)
         self.help = help_text
         self._lock = lock
         self.buckets = tuple(sorted(buckets))
@@ -147,14 +254,42 @@ class Histogram:
         series = self._series.get(_label_key(labels))
         return series[1] if series else 0.0
 
-    def _samples(self) -> list[str]:
-        # Deep-copy under the lock for the same scrape-vs-observe race as
-        # ``_Metric._samples`` (bucket count lists mutate in place).
+    def quantile(self, q: float, **labels) -> float | None:
+        """Bucket-interpolated quantile estimate for one label set."""
         with self._lock:
-            series_snapshot = {
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return None
+            counts, _total, count = list(series[0]), series[1], series[2]
+        return estimate_quantile(self.buckets, counts, count, q)
+
+    def _snapshot_series(self) -> dict[LabelKey, tuple]:
+        # Deep-copy under the lock: bucket count lists mutate in place.
+        with self._lock:
+            return {
                 key: (list(counts), total, count)
                 for key, (counts, total, count) in self._series.items()
             }
+
+    def _merge_series(
+        self, key: LabelKey, counts: list, total: float, count: int
+    ) -> None:
+        if len(counts) != len(self.buckets):
+            raise ValueError(
+                f"histogram {self.name!r}: bucket count mismatch "
+                f"({len(counts)} vs {len(self.buckets)})"
+            )
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [[0] * len(self.buckets), 0.0, 0]
+            for i, delta in enumerate(counts):
+                series[0][i] += delta
+            series[1] += total
+            series[2] += count
+
+    def _samples(self) -> list[str]:
+        series_snapshot = self._snapshot_series()
         lines = []
         for key in sorted(series_snapshot):
             counts, total, count = series_snapshot[key]
@@ -168,6 +303,30 @@ class Histogram:
             lines.append(f"{self.name}_count{_render_labels(key)} {count}")
         return lines
 
+    def _quantile_samples(self, quantiles: tuple[float, ...]) -> list[str]:
+        series_snapshot = self._snapshot_series()
+        lines = []
+        for key in sorted(series_snapshot):
+            counts, _total, count = series_snapshot[key]
+            for q in quantiles:
+                estimate = estimate_quantile(self.buckets, counts, count, q)
+                if estimate is None:
+                    continue
+                extra = (("quantile", _format_value(q)),)
+                lines.append(
+                    f"{self.name}_quantile{_render_labels(key, extra)} "
+                    f"{_format_value(estimate)}"
+                )
+        return lines
+
+
+def _key_from_snapshot(raw, extra_labels: dict | None) -> LabelKey:
+    pairs = {str(name): str(value) for name, value in raw}
+    if extra_labels:
+        for name, value in extra_labels.items():
+            pairs[str(name)] = str(value)
+    return _label_key(pairs)
+
 
 class MetricsRegistry:
     """Named metrics with get-or-create accessors and a text snapshot."""
@@ -177,6 +336,7 @@ class MetricsRegistry:
         self._metrics: dict[str, object] = {}
 
     def _get_or_create(self, name: str, factory, kind: str):
+        _validate_metric_name(name)
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
@@ -202,8 +362,86 @@ class MetricsRegistry:
             name, lambda: Histogram(name, help_text, self._lock, buckets), "histogram"
         )
 
-    def render(self) -> str:
-        """Prometheus text exposition snapshot of every registered metric."""
+    def snapshot(self) -> dict:
+        """JSON-able cumulative snapshot of every metric in the registry.
+
+        The result survives a JSON round-trip unchanged (tuples become
+        lists either way) and is the wire format workers piggyback on
+        heartbeat/lease/release requests.
+        """
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        entries = []
+        for name, metric in metrics:
+            entry = {"name": name, "kind": metric.kind, "help": metric.help}  # type: ignore[attr-defined]
+            if metric.kind == "histogram":
+                entry["buckets"] = list(metric.buckets)  # type: ignore[attr-defined]
+                entry["series"] = [
+                    [list(map(list, key)), counts, total, count]
+                    for key, (counts, total, count) in metric._snapshot_series().items()  # type: ignore[attr-defined]
+                ]
+            else:
+                entry["samples"] = metric._snapshot_samples()  # type: ignore[attr-defined]
+            entries.append(entry)
+        return {"version": 1, "metrics": entries}
+
+    def merge_snapshot(
+        self,
+        snapshot: dict,
+        labels: dict | None = None,
+        kinds: tuple[str, ...] | None = None,
+    ) -> None:
+        """Add a snapshot into this registry.
+
+        Counter and histogram samples merge additively (so feeding deltas
+        accumulates and feeding disjoint registries unions them); gauges
+        are set to the snapshot value.  ``labels`` stamps every merged
+        sample with extra labels (e.g. ``{"node": "worker-3"}``);
+        ``kinds`` restricts the merge to the listed metric kinds.  Raises
+        ``ValueError`` when a histogram arrives with bucket boundaries
+        that differ from an already-registered histogram of the same name.
+        """
+        for entry in snapshot.get("metrics", []):
+            kind = entry.get("kind")
+            name = entry.get("name")
+            if not name or (kinds is not None and kind not in kinds):
+                continue
+            help_text = entry.get("help", "")
+            if kind == "counter":
+                metric = self.counter(name, help_text)
+                for raw_key, value in entry.get("samples", []):
+                    if value:
+                        metric._merge_sample(
+                            _key_from_snapshot(raw_key, labels), float(value), additive=True
+                        )
+            elif kind == "gauge":
+                metric = self.gauge(name, help_text)
+                for raw_key, value in entry.get("samples", []):
+                    metric._merge_sample(
+                        _key_from_snapshot(raw_key, labels), float(value), additive=False
+                    )
+            elif kind == "histogram":
+                buckets = tuple(entry.get("buckets", ()))
+                histogram = self.histogram(name, help_text, buckets=buckets or DEFAULT_BUCKETS)
+                if buckets and histogram.buckets != tuple(sorted(buckets)):
+                    raise ValueError(
+                        f"histogram {name!r}: incompatible bucket boundaries "
+                        f"{tuple(sorted(buckets))} vs registered {histogram.buckets}"
+                    )
+                for raw_key, counts, total, count in entry.get("series", []):
+                    histogram._merge_series(
+                        _key_from_snapshot(raw_key, labels),
+                        list(counts),
+                        float(total),
+                        int(count),
+                    )
+
+    def render(self, quantiles: tuple[float, ...] = ()) -> str:
+        """Prometheus text exposition snapshot of every registered metric.
+
+        With ``quantiles``, each histogram additionally exposes
+        bucket-interpolated ``<name>_quantile{quantile="0.x"}`` gauges.
+        """
         lines: list[str] = []
         with self._lock:
             metrics = sorted(self._metrics.items())
@@ -212,4 +450,130 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {metric.help}")  # type: ignore[attr-defined]
             lines.append(f"# TYPE {name} {metric.kind}")  # type: ignore[attr-defined]
             lines.extend(metric._samples())  # type: ignore[attr-defined]
+            if quantiles and metric.kind == "histogram":
+                quantile_lines = metric._quantile_samples(tuple(quantiles))  # type: ignore[attr-defined]
+                if quantile_lines:
+                    lines.append(f"# TYPE {name}_quantile gauge")
+                    lines.extend(quantile_lines)
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+class FleetMetrics:
+    """Delta-merge cumulative per-node snapshots into one fleet registry.
+
+    Workers ship their whole (cumulative) ``MetricsRegistry`` snapshot on
+    every heartbeat/lease/release request.  ``ingest`` diffs each arrival
+    against the node's previous snapshot and applies only the delta —
+    twice: once stamped with a ``node`` label and once unstamped, so the
+    registry simultaneously carries per-node series and fleet-summed
+    series under the same metric names.
+
+    A node restart (counter reset: new value below the remembered one) is
+    tolerated by treating the new cumulative value as the delta, so fleet
+    counters never move backwards.  Histograms arriving with bucket
+    boundaries that differ from the node's previous snapshot — or from
+    the fleet registry — raise ``ValueError``.
+    """
+
+    def __init__(self, registry: MetricsRegistry, node_label: str = "node") -> None:
+        self.registry = registry
+        self.node_label = node_label
+        self._lock = threading.Lock()
+        # node -> {metric name -> remembered cumulative state}
+        self._last: dict[str, dict] = {}
+
+    def forget(self, node: str) -> None:
+        """Drop a node's remembered snapshot (its series stay in the registry)."""
+        with self._lock:
+            self._last.pop(node, None)
+
+    def ingest(self, node: str, snapshot: dict) -> None:
+        with self._lock:
+            previous = self._last.get(node, {})
+            delta = self._delta(previous, snapshot)
+        # Apply outside our lock (registry has its own); per-node first so a
+        # bucket-boundary conflict with the registry aborts before any
+        # fleet-sum pollution of the unlabelled series.
+        self.registry.merge_snapshot(delta, labels={self.node_label: node})
+        self.registry.merge_snapshot(delta, kinds=("counter", "histogram"))
+        with self._lock:
+            self._last[node] = self._remember(snapshot)
+
+    @staticmethod
+    def _remember(snapshot: dict) -> dict:
+        state: dict[str, dict] = {}
+        for entry in snapshot.get("metrics", []):
+            name, kind = entry.get("name"), entry.get("kind")
+            if not name:
+                continue
+            if kind == "histogram":
+                state[name] = {
+                    "kind": kind,
+                    "buckets": tuple(entry.get("buckets", ())),
+                    "series": {
+                        tuple(map(tuple, raw_key)): (list(counts), float(total), int(count))
+                        for raw_key, counts, total, count in entry.get("series", [])
+                    },
+                }
+            else:
+                state[name] = {
+                    "kind": kind,
+                    "samples": {
+                        tuple(map(tuple, raw_key)): float(value)
+                        for raw_key, value in entry.get("samples", [])
+                    },
+                }
+        return state
+
+    @staticmethod
+    def _delta(previous: dict, snapshot: dict) -> dict:
+        entries = []
+        for entry in snapshot.get("metrics", []):
+            name, kind = entry.get("name"), entry.get("kind")
+            if not name:
+                continue
+            last = previous.get(name, {})
+            if kind == "counter":
+                last_samples = last.get("samples", {})
+                samples = []
+                for raw_key, value in entry.get("samples", []):
+                    value = float(value)
+                    old = last_samples.get(tuple(map(tuple, raw_key)), 0.0)
+                    # Counter reset (node restart): the cumulative value is
+                    # itself the progress since the reset.
+                    delta = value - old if value >= old else value
+                    if delta > 0:
+                        samples.append([raw_key, delta])
+                if samples:
+                    entries.append({**entry, "samples": samples})
+            elif kind == "gauge":
+                # Gauges are point-in-time: pass the current value through.
+                if entry.get("samples"):
+                    entries.append(entry)
+            elif kind == "histogram":
+                buckets = tuple(entry.get("buckets", ()))
+                last_buckets = last.get("buckets")
+                if last_buckets and buckets and tuple(last_buckets) != buckets:
+                    raise ValueError(
+                        f"histogram {name!r}: node changed bucket boundaries "
+                        f"({tuple(last_buckets)} -> {buckets})"
+                    )
+                last_series = last.get("series", {})
+                series = []
+                for raw_key, counts, total, count in entry.get("series", []):
+                    counts, total, count = list(counts), float(total), int(count)
+                    old = last_series.get(tuple(map(tuple, raw_key)))
+                    if old is not None:
+                        old_counts, old_total, old_count = old
+                        reset = count < old_count or any(
+                            new < prev for new, prev in zip(counts, old_counts)
+                        )
+                        if not reset:
+                            counts = [new - prev for new, prev in zip(counts, old_counts)]
+                            total = max(total - old_total, 0.0)
+                            count = count - old_count
+                    if count or any(counts):
+                        series.append([raw_key, counts, total, count])
+                if series:
+                    entries.append({**entry, "series": series})
+        return {"version": 1, "metrics": entries}

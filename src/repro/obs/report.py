@@ -5,13 +5,16 @@ file plus a final ``{"type": "stats", ...}`` trailer (see
 ``repro.engine.jsonl``).  This module turns those streams into:
 
 * :func:`render_report` — verdict/cache tallies, per-file duration
-  mean/max, per-stage and solver totals, and the top-N slowest files of
-  one run;
+  mean/max, per-stage totals and bucket-interpolated p50/p90/p99
+  latency, the fleet-wide slow-query table, and the top-N slowest files
+  of one run;
+* :func:`summarize_run` — the same summary as a machine-readable dict
+  (``repro report --json``);
 * :func:`diff_runs` / :func:`render_diff` — new / fixed / regressed
   classification between two runs of the same corpus (the CI story:
   fail the build when a change introduces vulnerabilities).
 
-Both are exposed through the ``repro report`` subcommand.
+All are exposed through the ``repro report`` subcommand.
 """
 
 from __future__ import annotations
@@ -20,15 +23,26 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.ledger import SlowQueryLedger
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = [
     "AuditRun",
     "AuditDiff",
     "ReportError",
     "load_audit",
     "render_report",
+    "summarize_run",
+    "stage_quantiles",
     "diff_runs",
     "render_diff",
 ]
+
+#: Pipeline stage order for latency sections (extra stages sort after).
+_STAGE_ORDER = ("parse", "filter", "ai", "sat")
+
+#: Quantiles surfaced in report latency breakdowns.
+_REPORT_QUANTILES = (0.5, 0.9, 0.99)
 
 
 class ReportError(Exception):
@@ -53,6 +67,39 @@ class AuditRun:
     def by_filename(self) -> dict[str, dict]:
         """Last record per filename (re-audits supersede earlier lines)."""
         return {record["filename"]: record for record in self.files}
+
+    def slow_queries(self, top: int | None = None) -> list[dict]:
+        """Fleet-wide hardest SAT queries, most expensive first.
+
+        Sources, in preference order (never mixed, so nothing double
+        counts): node-attributed ledgers from per-node stats trailers of
+        a merged distributed stream; the global trailer's ledger; and —
+        for truncated streams with no trailer at all — the per-file
+        ``slow_queries`` record fields.  An empty-ledger trailer is a
+        valid (empty) answer, not a fallback trigger.
+        """
+        ledger = SlowQueryLedger(capacity=max(top or 0, 64))
+        node_trailers = [
+            trailer
+            for trailer in self.node_stats.values()
+            if isinstance(trailer.get("slow_queries"), list)
+        ]
+        if node_trailers:
+            for trailer in node_trailers:
+                node = trailer.get("node")
+                ledger.merge(
+                    {**query, "node": query.get("node", node)}
+                    for query in trailer["slow_queries"]
+                    if isinstance(query, dict)
+                )
+        elif isinstance((self.stats or {}).get("slow_queries"), list):
+            ledger.merge(self.stats["slow_queries"])
+        else:
+            for record in self.files:
+                if not record.get("cached"):
+                    ledger.merge(record.get("slow_queries") or [])
+        records = ledger.records()
+        return records[:top] if top is not None else records
 
 
 def _is_vulnerable(record: dict) -> bool:
@@ -130,6 +177,77 @@ def _sum_dicts(records: list[dict], key: str) -> dict[str, float]:
     return totals
 
 
+def _failures_by_status(records: list[dict]) -> dict[str, int]:
+    by_status: dict[str, int] = {}
+    for record in records:
+        if record.get("status") != "ok":
+            by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+    return by_status
+
+
+def _stage_sort_key(stage: str) -> tuple[int, str]:
+    return (
+        _STAGE_ORDER.index(stage) if stage in _STAGE_ORDER else len(_STAGE_ORDER),
+        stage,
+    )
+
+
+def stage_quantiles(records: list[dict]) -> dict[str, dict]:
+    """Per-stage latency quantiles from file-record timings.
+
+    Observations go through the same cumulative-bucket histogram and
+    interpolating estimator as the ``/metrics`` ``_quantile`` gauges, so
+    a report and a scrape of the same run agree (both are estimates
+    bounded by the bucket layout, not exact order statistics).  Cached
+    records are skipped — their stages never ran in this run.
+    """
+    registry = MetricsRegistry()
+    histogram = registry.histogram("report_stage_seconds")
+    counts: dict[str, int] = {}
+    for record in records:
+        if record.get("cached"):
+            continue
+        timings = record.get("timings")
+        if not isinstance(timings, dict):
+            continue
+        for stage, seconds in timings.items():
+            if isinstance(seconds, (int, float)) and not isinstance(seconds, bool):
+                histogram.observe(float(seconds), stage=str(stage))
+                counts[str(stage)] = counts.get(str(stage), 0) + 1
+    out: dict[str, dict] = {}
+    for stage in sorted(counts, key=_stage_sort_key):
+        out[stage] = {
+            "count": counts[stage],
+            **{
+                f"p{int(q * 100)}": histogram.quantile(q, stage=stage)
+                for q in _REPORT_QUANTILES
+            },
+        }
+    return out
+
+
+def _format_slow_query(query: dict) -> str:
+    parts = [
+        f"{float(query.get('seconds') or 0.0):9.3f}s",
+        str(query.get("file") or "?"),
+        f"assertion {query.get('assert_id', '?')}",
+    ]
+    counters = [
+        f"{int(query[name])} {name}"
+        for name in ("decisions", "conflicts")
+        if isinstance(query.get(name), (int, float))
+        and not isinstance(query.get(name), bool)
+    ]
+    if counters:
+        parts.append(", ".join(counters))
+    if query.get("node"):
+        parts.append(f"node {query['node']}")
+    fingerprint = query.get("fingerprint")
+    if isinstance(fingerprint, str) and fingerprint:
+        parts.append(f"fp {fingerprint[:12]}")
+    return "  ".join(parts)
+
+
 def render_report(run: AuditRun, top: int = 10) -> str:
     """Human-readable summary of one audit run."""
     records = run.files
@@ -168,11 +286,8 @@ def render_report(run: AuditRun, top: int = 10) -> str:
             f"max {max(durations):.3f}s"
         )
 
-    failures = [r for r in records if r.get("status") != "ok"]
-    if failures:
-        by_status: dict[str, int] = {}
-        for record in failures:
-            by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+    by_status = _failures_by_status(records)
+    if by_status:
         parts = ", ".join(f"{count} {status}" for status, count in sorted(by_status.items()))
         lines.append(f"failures: {parts}")
 
@@ -182,6 +297,15 @@ def render_report(run: AuditRun, top: int = 10) -> str:
             f"{stage} {seconds:.2f}s" for stage, seconds in sorted(stage_totals.items())
         )
         lines.append(f"stage time: {stage_text}")
+
+    quantiles = stage_quantiles(records)
+    if quantiles:
+        lines.append("stage latency p50/p90/p99 (bucket-interpolated):")
+        for stage, latency in quantiles.items():
+            lines.append(
+                f"  {stage:<7} {latency['p50']:.3f}s / {latency['p90']:.3f}s / "
+                f"{latency['p99']:.3f}s  (n={latency['count']})"
+            )
 
     if run.node_stats:
         parts = ", ".join(
@@ -203,6 +327,12 @@ def render_report(run: AuditRun, top: int = 10) -> str:
         if parts:
             lines.append("solver: " + ", ".join(parts))
 
+    slow = run.slow_queries(top=max(0, top))
+    if slow:
+        lines.append(f"slow queries (top {len(slow)}):")
+        for query in slow:
+            lines.append("  " + _format_slow_query(query))
+
     slowest = sorted(
         (r for r in records if isinstance(r.get("duration"), (int, float))),
         key=lambda r: r["duration"],
@@ -218,6 +348,73 @@ def render_report(run: AuditRun, top: int = 10) -> str:
             )
             lines.append(f"  {record['duration']:9.3f}s  {record['filename']}  [{verdict}]")
     return "\n".join(lines)
+
+
+def summarize_run(run: AuditRun, top: int = 10) -> dict:
+    """Machine-readable run summary (the ``repro report --json`` payload).
+
+    Carries everything :func:`render_report` prints — tallies, stage
+    sums and quantiles, node attribution, the slow-query ledger, the
+    slowest files — as plain JSON-able data, so CI and bench harnesses
+    stop scraping the human-oriented text.
+    """
+    records = run.files
+    stats = run.stats or {}
+    durations = [
+        r["duration"]
+        for r in records
+        if isinstance(r.get("duration"), (int, float))
+        and not isinstance(r.get("duration"), bool)
+    ]
+    slowest = sorted(
+        (r for r in records if isinstance(r.get("duration"), (int, float))),
+        key=lambda r: r["duration"],
+        reverse=True,
+    )[: max(0, top)]
+
+    def verdict_of(record: dict) -> str:
+        if _is_vulnerable(record):
+            return "vulnerable"
+        if _is_safe(record):
+            return "safe"
+        return str(record.get("status", "?"))
+
+    return {
+        "path": run.path,
+        "truncated": run.truncated,
+        "interrupted": bool(stats.get("interrupted")),
+        "files_audited": len(records),
+        "files_total": stats.get("total", len(records)),
+        "wall_seconds": stats.get("wall_seconds"),
+        "verdicts": _tally(records),
+        "failures": _failures_by_status(records),
+        "duration": {
+            "mean": sum(durations) / len(durations) if durations else None,
+            "max": max(durations) if durations else None,
+        },
+        "stage_seconds": {
+            stage: seconds
+            for stage, seconds in sorted(_sum_dicts(records, "timings").items())
+        },
+        "stage_quantiles": stage_quantiles(records),
+        "solver": {
+            name: value
+            for name, value in sorted(_sum_dicts(records, "solver").items())
+        },
+        "nodes": {
+            node: {k: v for k, v in trailer.items() if k not in ("type", "node")}
+            for node, trailer in sorted(run.node_stats.items())
+        },
+        "slow_queries": run.slow_queries(top=max(0, top)),
+        "slowest_files": [
+            {
+                "filename": record["filename"],
+                "duration": record["duration"],
+                "verdict": verdict_of(record),
+            }
+            for record in slowest
+        ],
+    }
 
 
 @dataclass

@@ -189,6 +189,9 @@ class CachingSatSolver:
         seed.update(b"\x00")
         self._hash = seed
         self.stats = SolverStats()
+        #: Canonical-CNF fingerprint of the most recent solve() — the slow-
+        #: query ledger's stable cross-node query identity.
+        self.last_query_key: str | None = None
 
     # -- canonicalization --------------------------------------------------
 
@@ -237,6 +240,10 @@ class CachingSatSolver:
     ) -> SolveResult:
         assumptions = tuple(assumptions)
         key = self._query_key(assumptions)
+        # Exposed for observability: the BMC checker records this as the
+        # slow-query ledger fingerprint, tying hard queries back to their
+        # canonical-CNF cache entries.
+        self.last_query_key = key
         record = self._cache.get(key)
         if record is not None:
             self.stats = SolverStats(cache_hits=1)

@@ -33,15 +33,19 @@ Endpoints (all request/response bodies JSON unless noted)::
                                 {"path": dir-on-coordinator} |
                                 raw tar body (Content-Type: */x-tar)
     POST /api/workers/register  {"node": name, "policy"?: fingerprint}
-    POST /api/workers/heartbeat {"worker_id"}
-    POST /api/workers/release   {"worker_id"}       (drain hand-back)
-    POST /api/lease             {"worker_id", "max"?: n}
+    POST /api/workers/heartbeat {"worker_id", "metrics"?: snapshot}
+    POST /api/workers/release   {"worker_id", "metrics"?: snapshot}
+    POST /api/lease             {"worker_id", "max"?: n, "metrics"?: snapshot}
     POST /api/result            {"worker_id", "task_id", "record"}
     GET  /api/jobs              job summaries
     GET  /api/jobs/<id>         one job's status counters
     GET  /api/jobs/<id>/results merged JSONL stream (application/x-ndjson)
-    GET  /metrics               Prometheus text
+    GET  /metrics               Prometheus text (fleet + service series)
     GET  /healthz               liveness JSON
+
+``metrics`` payloads are cumulative :meth:`MetricsRegistry.snapshot`
+dicts; the coordinator delta-merges them (node-restart tolerant) into
+node-labelled and fleet-summed series on its ``/metrics`` endpoint.
 
 See docs/SERVICE.md for the architecture and failure model.
 """
@@ -59,7 +63,9 @@ from pathlib import Path
 from repro.engine.jsonl import JsonlSink
 from repro.engine.stats import EngineStats
 from repro.engine.worker import FileOutcome
-from repro.obs import MetricsRegistry, Span, Tracer
+from repro.obs import FleetMetrics, MetricsRegistry, Span, Tracer
+from repro.obs.ledger import SlowQueryLedger
+from repro.obs.metrics import DEFAULT_QUANTILES, PROMETHEUS_CONTENT_TYPE
 from repro.service.httpbase import HttpEndpoint, HttpError
 from repro.service.leases import LeaseQueue
 
@@ -154,6 +160,10 @@ class Coordinator(HttpEndpoint):
     ) -> None:
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Delta-merges node registry snapshots (piggybacked on heartbeat /
+        #: lease / release requests) into ``self.metrics`` as node-labelled
+        #: plus fleet-summed series, so one scrape covers the whole fleet.
+        self.fleet = FleetMetrics(self.metrics)
         self.tracer = tracer
         self.jsonl_dir = Path(jsonl_dir) if jsonl_dir is not None else None
         self.queue = LeaseQueue(timeout=lease_timeout, clock=clock)
@@ -368,6 +378,7 @@ class Coordinator(HttpEndpoint):
                 for task in settled
             ]
             per_node: dict[str, dict] = {}
+            node_ledgers: dict[str, SlowQueryLedger] = {}
             for task in settled:
                 entry = per_node.setdefault(
                     task.node,
@@ -379,9 +390,24 @@ class Coordinator(HttpEndpoint):
                     entry["safe" if record.get("safe") else "vulnerable"] += 1
                 else:
                     entry["failed"] += 1
+                queries = record.get("slow_queries") or []
+                if queries:
+                    ledger = node_ledgers.setdefault(task.node, SlowQueryLedger())
+                    ledger.merge(
+                        {**query, "node": task.node}
+                        for query in queries
+                        if isinstance(query, dict)
+                    )
             for node in sorted(per_node):
+                node_ledger = node_ledgers.get(node)
                 lines.append(
-                    {"type": "stats", "node": node, "job": job.job_id, **per_node[node]}
+                    {
+                        "type": "stats",
+                        "node": node,
+                        "job": job.job_id,
+                        **per_node[node],
+                        "slow_queries": node_ledger.records() if node_ledger else [],
+                    }
                 )
             if job.complete:
                 stats = EngineStats(total=len(job.tasks))
@@ -389,6 +415,12 @@ class Coordinator(HttpEndpoint):
                     stats.record(FileOutcome.from_record(task.record))
                 stats.wall_seconds = (job.finished or self.clock()) - job.created
                 trailer = stats.as_dict()
+                # Rebuild the fleet ledger from the node-annotated records
+                # so the global trailer attributes every query to its node.
+                fleet_ledger = SlowQueryLedger()
+                for node_ledger in node_ledgers.values():
+                    fleet_ledger.merge(node_ledger.records())
+                trailer["slow_queries"] = fleet_ledger.records()
                 trailer["job"] = job.job_id
                 trailer["nodes"] = len(per_node)
                 lines.append({"type": "stats", **trailer})
@@ -408,6 +440,22 @@ class Coordinator(HttpEndpoint):
         return path
 
     # -- observability ------------------------------------------------------
+
+    def _ingest_metrics(self, worker: WorkerInfo, payload: dict) -> None:
+        """Fold a node's piggybacked registry snapshot into the fleet.
+
+        Incompatible snapshots (histogram bucket boundaries that disagree
+        with the node's own history or with the fleet registry) are
+        rejected with a 400 carrying the mismatch detail — merging them
+        would corrupt every fleet-summed bucket series.
+        """
+        snapshot = payload.get("metrics")
+        if not isinstance(snapshot, dict):
+            return
+        try:
+            self.fleet.ingest(worker.node, snapshot)
+        except ValueError as exc:
+            raise HttpError(400, f"metrics snapshot rejected: {exc}")
 
     def _stitch_span(self, task: ServiceTask) -> None:
         """Rebuild one file's span tree from its reported stage timings.
@@ -528,8 +576,8 @@ class Coordinator(HttpEndpoint):
 
     def _handle_get(self, path: str) -> tuple[int, str, bytes]:
         if path in ("/metrics", "/"):
-            return 200, "text/plain; version=0.0.4; charset=utf-8", (
-                self.metrics.render().encode()
+            return 200, PROMETHEUS_CONTENT_TYPE, (
+                self.metrics.render(quantiles=DEFAULT_QUANTILES).encode()
             )
         if path == "/healthz":
             return self.json_reply(self.health())
@@ -574,22 +622,25 @@ class Coordinator(HttpEndpoint):
         if path == "/api/workers/heartbeat":
             payload = self.read_json(body)
             worker = self._touch_worker(str(payload.get("worker_id")))
+            self._ingest_metrics(worker, payload)
             extended = self.queue.extend(worker.worker_id)
             return self.json_reply(
                 {"ok": True, "extended": extended, "draining": self.draining.is_set()}
             )
         if path == "/api/workers/release":
             payload = self.read_json(body)
-            released = self.release_worker(str(payload.get("worker_id")))
+            worker = self._touch_worker(str(payload.get("worker_id")))
+            self._ingest_metrics(worker, payload)
+            released = self.release_worker(worker.worker_id)
             return self.json_reply({"released": released})
         if path == "/api/lease":
             payload = self.read_json(body)
             max_tasks = payload.get("max", 1)
             if not isinstance(max_tasks, int) or max_tasks < 1:
                 raise HttpError(400, "lease max must be a positive integer")
-            return self.json_reply(
-                self.lease_tasks(str(payload.get("worker_id")), max_tasks)
-            )
+            worker = self._touch_worker(str(payload.get("worker_id")))
+            self._ingest_metrics(worker, payload)
+            return self.json_reply(self.lease_tasks(worker.worker_id, max_tasks))
         if path == "/api/result":
             payload = self.read_json(body)
             accepted = self.report_result(

@@ -7,6 +7,12 @@ crash isolation, and caching as ``repro audit``), and reports one JSON
 outcome record per task.  Everything rides stdlib ``urllib`` — a node
 needs nothing but Python and a reachable coordinator.
 
+Observability: the engine fills a node-local
+:class:`~repro.obs.MetricsRegistry`, and every heartbeat / lease /
+release request piggybacks a cumulative ``registry.snapshot()`` that the
+coordinator delta-merges into node-labelled and fleet-summed series on
+its own ``/metrics`` endpoint — no extra connections, no push gateway.
+
 Liveness protocol: a daemon heartbeat thread pings the coordinator at a
 quarter of the lease timeout, which extends every lease the node holds.
 A node that dies (or loses the network) simply stops heartbeating; its
@@ -32,6 +38,7 @@ from dataclasses import dataclass
 
 from repro.engine import AuditEngine, AuditTask, EngineConfig, ResultCache
 from repro.engine.cache import policy_fingerprint
+from repro.obs import MetricsRegistry
 
 __all__ = ["CoordinatorClient", "WorkerConfig", "run_worker"]
 
@@ -134,12 +141,21 @@ def run_worker(
         return 0
     say(f"registered as {worker_id} (lease timeout {lease_timeout:g}s)")
 
+    # Node-local registry: the engine fills it while the heartbeat/lease
+    # loops piggyback cumulative snapshots onto requests they already make.
+    # The coordinator delta-merges them into node-labelled + fleet-summed
+    # series, so one scrape of the coordinator covers the whole fleet.
+    metrics = MetricsRegistry()
+
     # -- heartbeat thread: liveness is decoupled from batch duration -------
     def heartbeat() -> None:
         interval = max(0.2, lease_timeout / 4)
         while not stop.wait(interval):
             try:
-                client.request("/api/workers/heartbeat", {"worker_id": worker_id})
+                client.request(
+                    "/api/workers/heartbeat",
+                    {"worker_id": worker_id, "metrics": metrics.snapshot()},
+                )
             except (urllib.error.URLError, OSError, ValueError):
                 pass  # the lease loop owns failure accounting
 
@@ -152,6 +168,7 @@ def run_worker(
         timeout=config.timeout,
         start_method=config.start_method,
         cache=config.cache,
+        metrics=metrics,
         drain_event=stop,
     )
     engine = AuditEngine(websari=websari, config=engine_config)
@@ -162,7 +179,11 @@ def run_worker(
             try:
                 lease = client.request(
                     "/api/lease",
-                    {"worker_id": worker_id, "max": config.batch_size()},
+                    {
+                        "worker_id": worker_id,
+                        "max": config.batch_size(),
+                        "metrics": metrics.snapshot(),
+                    },
                 )
                 errors = 0
             except urllib.error.HTTPError as exc:
@@ -225,7 +246,12 @@ def run_worker(
             )
     finally:
         try:
-            client.request("/api/workers/release", {"worker_id": worker_id})
+            # Final snapshot rides the release: whatever the last lease
+            # cycle produced reaches the fleet registry before we vanish.
+            client.request(
+                "/api/workers/release",
+                {"worker_id": worker_id, "metrics": metrics.snapshot()},
+            )
         except (urllib.error.URLError, OSError, ValueError):
             pass
     say(f"drained after {completed} file(s)")

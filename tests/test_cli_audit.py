@@ -111,7 +111,7 @@ class TestAuditCache:
         second = capsys.readouterr().out
         assert "3 hit(s)" in second and "0 miss(es)" in second
         # Byte-identical per-file verdict text between cold and warm runs.
-        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:", "solver:", "sat-cache:"))]
+        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:", "solver:", "sat-cache:", "slowest sat query:"))]
         assert strip(first) == strip(second)
 
     def test_no_cache_flag(self, corpus, tmp_path, capsys):
@@ -147,7 +147,7 @@ class TestAuditParallel:
         parallel_out = capsys.readouterr().out
         assert audit(corpus, "--no-cache", "--jobs", "1") == 1
         inline_out = capsys.readouterr().out
-        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:", "solver:", "sat-cache:"))]
+        strip = lambda out: [l for l in out.splitlines() if not l.startswith(("audited", "cache:", "stage time:", "solver:", "sat-cache:", "slowest sat query:"))]
         assert strip(parallel_out) == strip(inline_out)
 
 

@@ -1,0 +1,184 @@
+"""Fleet observability end-to-end (deterministic, in-process): two worker
+nodes alternately lease single files from one coordinator, run the real
+audit engine with node-local registries, and piggyback cumulative metric
+snapshots on their protocol requests.  The coordinator's ``/metrics``
+must then expose per-node AND fleet-summed series whose file/assertion
+counter totals equal a single-box audit of the same corpus, and the
+merged JSONL report must print a slow-query table with at least one
+entry per node."""
+
+import json
+
+import pytest
+
+from repro.engine import AuditEngine, AuditTask, EngineConfig
+from repro.obs import MetricsRegistry, load_audit, render_dashboard, render_report
+from repro.service import Coordinator
+
+CORPUS = {
+    "vuln_a.php": "<?php echo $_GET['a'];\n",
+    "vuln_b.php": "<?php echo $_GET['b'];\n",
+    "safe_c.php": "<?php echo htmlspecialchars($_GET['c']);\n",
+    "safe_d.php": "<?php echo 'static';\n",
+}
+
+
+def make_engine(registry):
+    return AuditEngine(config=EngineConfig(jobs=1, metrics=registry))
+
+
+def run_single_box():
+    registry = MetricsRegistry()
+    tasks = [
+        AuditTask(index=i, filename=name, source=source)
+        for i, (name, source) in enumerate(sorted(CORPUS.items()))
+    ]
+    result = make_engine(registry).run(tasks)
+    return registry, result
+
+
+class Node:
+    """One in-process worker: its own engine, registry, and worker_id."""
+
+    def __init__(self, coord, name):
+        self.coord = coord
+        self.name = name
+        self.worker = coord.register_worker(name)
+        self.registry = MetricsRegistry()
+        self.engine = make_engine(self.registry)
+        self.completed = 0
+
+    def lease_and_run_one(self):
+        """Lease via HTTP handler (so the snapshot rides the request the
+        way the real client ships it), run the file, report the record."""
+        body = json.dumps(
+            {
+                "worker_id": self.worker.worker_id,
+                "max": 1,
+                "metrics": self.registry.snapshot(),
+            }
+        ).encode()
+        _status, _ctype, reply = self.coord.handle("POST", "/api/lease", body)
+        tasks = json.loads(reply)["tasks"]
+        if not tasks:
+            return False
+        item = tasks[0]
+        result = self.engine.run(
+            [AuditTask(index=0, filename=item["filename"], source=item["source"])]
+        )
+        self.coord.report_result(
+            self.worker.worker_id, item["task_id"], result.outcomes[0].to_record()
+        )
+        self.completed += 1
+        return True
+
+    def release(self):
+        body = json.dumps(
+            {"worker_id": self.worker.worker_id, "metrics": self.registry.snapshot()}
+        ).encode()
+        self.coord.handle("POST", "/api/workers/release", body)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Run the whole two-node fleet once; the tests assert on its wake."""
+    single_registry, single_result = run_single_box()
+    coord = Coordinator(lease_timeout=60.0)
+    try:
+        job = coord.submit_files(CORPUS)
+        nodes = [Node(coord, "wa"), Node(coord, "wb")]
+        # Strict alternation: with 4 files each node audits exactly 2.
+        progressed = True
+        while progressed:
+            progressed = False
+            for node in nodes:
+                progressed = node.lease_and_run_one() or progressed
+        for node in nodes:
+            node.release()
+        metrics_text = coord.handle("GET", "/metrics", b"")[2].decode()
+        stream = coord.render_job_stream(job)
+        yield {
+            "single_registry": single_registry,
+            "single_result": single_result,
+            "nodes": nodes,
+            "metrics": metrics_text,
+            "stream": stream,
+        }
+    finally:
+        coord.close()
+
+
+def family_total(text, name, node_labelled):
+    """Sum one counter family's samples, split on node attribution."""
+    total = 0.0
+    seen = False
+    for line in text.splitlines():
+        if not (line.startswith(f"{name} ") or line.startswith(f"{name}{{")):
+            continue
+        if ("node=" in line) != node_labelled:
+            continue
+        total += float(line.split()[-1])
+        seen = True
+    assert seen, f"no {'node' if node_labelled else 'fleet'} series {name!r} in:\n{text}"
+    return total
+
+
+class TestFleetMetricsEndpoint:
+    def test_both_nodes_did_work(self, fleet):
+        assert [node.completed for node in fleet["nodes"]] == [2, 2]
+
+    def test_per_node_series_present(self, fleet):
+        text = fleet["metrics"]
+        assert 'repro_files_total{node="wa",status="ok"} 2' in text
+        assert 'repro_files_total{node="wb",status="ok"} 2' in text
+
+    def test_fleet_sums_equal_single_box(self, fleet):
+        text = fleet["metrics"]
+        single = fleet["single_registry"]
+        for name in ("repro_files_total", "repro_assertions_total"):
+            expected = sum(single._metrics[name]._values.values())
+            assert expected > 0, name
+            assert family_total(text, name, node_labelled=False) == expected, name
+            assert family_total(text, name, node_labelled=True) == expected, name
+
+    def test_stage_histograms_cover_all_files(self, fleet):
+        single = fleet["single_registry"]
+        expected = single.histogram("repro_stage_seconds").count(stage="sat")
+        assert expected > 0
+        assert f'repro_stage_seconds_count{{stage="sat"}} {expected}' in fleet["metrics"]
+
+    def test_quantile_gauges_exposed(self, fleet):
+        assert "# TYPE repro_file_seconds_quantile gauge" in fleet["metrics"]
+
+
+class TestMergedStreamReport:
+    def test_verdicts_match_single_box(self, fleet, tmp_path):
+        path = tmp_path / "merged.jsonl"
+        path.write_text(fleet["stream"])
+        run = load_audit(path)
+        merged = {
+            record["filename"]: (record["status"], record.get("safe"))
+            for record in run.by_filename().values()
+        }
+        single = {
+            outcome.filename: (outcome.status, outcome.safe)
+            for outcome in fleet["single_result"].outcomes
+        }
+        assert merged == single
+
+    def test_slow_query_table_has_entries_for_every_node(self, fleet, tmp_path):
+        path = tmp_path / "merged.jsonl"
+        path.write_text(fleet["stream"])
+        run = load_audit(path)
+        slow = run.slow_queries()
+        assert {query["node"] for query in slow} == {"wa", "wb"}
+        text = render_report(run)
+        assert "slow queries" in text
+        assert "node wa" in text and "node wb" in text
+
+    def test_dashboard_renders_fleet_stream(self, fleet, tmp_path):
+        path = tmp_path / "merged.jsonl"
+        path.write_text(fleet["stream"])
+        page = render_dashboard(load_audit(path))
+        assert "id='nodes'" in page and ">wa<" in page and ">wb<" in page
+        assert "id='slow-queries'" in page

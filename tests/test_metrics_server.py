@@ -9,7 +9,7 @@ import urllib.request
 import pytest
 
 from repro.daemon import MetricsServer
-from repro.daemon.metrics_server import parse_bind
+from repro.daemon.metrics_server import PROMETHEUS_CONTENT_TYPE, parse_bind
 from repro.obs import MetricsRegistry
 
 
@@ -34,6 +34,19 @@ class TestEndpoints:
         assert content_type.startswith("text/plain")
         assert "# TYPE repro_files_total counter" in body
         assert 'repro_files_total{status="ok"} 1' in body
+
+    def test_metrics_canonical_content_type(self, registry):
+        """Prometheus scrapers negotiate on the exact format version."""
+        with MetricsServer(registry) as server:
+            _status, content_type, _body = fetch(server.port, "/metrics")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+
+    def test_metrics_include_quantile_gauges(self, registry):
+        with MetricsServer(registry) as server:
+            _status, _content_type, body = fetch(server.port, "/metrics")
+        assert "# TYPE repro_file_seconds_quantile gauge" in body
+        assert 'repro_file_seconds_quantile{quantile="0.5"}' in body
 
     def test_healthz_json(self, registry):
         health = {"status": "ok", "cycles": 7}

@@ -14,7 +14,9 @@ from repro.obs import (
     load_audit,
     render_diff,
     render_report,
+    summarize_run,
 )
+from repro.obs.report import stage_quantiles
 
 
 def file_record(filename, status="ok", safe=True, **extra):
@@ -247,6 +249,118 @@ class TestDiffRuns:
         assert "regressed (safe → vulnerable): 1" in text
 
 
+class TestStageQuantiles:
+    def records(self):
+        return [
+            file_record("a.php", timings={"parse": 0.02, "sat": 0.4}),
+            file_record("b.php", timings={"parse": 0.03, "sat": 0.6}),
+            file_record("c.php", cached=True, timings={"parse": 9.0}),
+        ]
+
+    def test_cached_records_excluded(self):
+        quantiles = stage_quantiles(self.records())
+        assert quantiles["parse"]["count"] == 2
+        assert quantiles["parse"]["p99"] < 1.0  # the cached 9.0s never counted
+
+    def test_stage_order_and_bounds(self):
+        quantiles = stage_quantiles(self.records())
+        assert list(quantiles) == ["parse", "sat"]
+        sat = quantiles["sat"]
+        assert 0.0 < sat["p50"] <= sat["p90"] <= sat["p99"]
+
+    def test_render_report_prints_quantile_section(self, tmp_path):
+        path = write_stream(tmp_path / "a.jsonl", self.records())
+        text = render_report(load_audit(path))
+        assert "stage latency p50/p90/p99 (bucket-interpolated):" in text
+        assert "parse" in text and "sat" in text
+
+    def test_no_timings_no_section(self, tmp_path):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert "stage latency" not in render_report(load_audit(path))
+
+
+class TestSlowQueries:
+    def fleet_stream(self, path):
+        queries = {
+            "n1": [{"seconds": 0.5, "file": "a.php", "assert_id": 1,
+                    "decisions": 10, "conflicts": 2, "fingerprint": "f" * 64}],
+            "n2": [{"seconds": 0.9, "file": "b.php", "assert_id": 2,
+                    "decisions": 20, "conflicts": 4, "fingerprint": "e" * 64}],
+        }
+        records = [
+            file_record("a.php", node="n1"),
+            file_record("b.php", node="n2"),
+            {"type": "stats", "node": "n1", "files": 1, "safe": 1,
+             "vulnerable": 0, "failed": 0, "slow_queries": queries["n1"]},
+            {"type": "stats", "node": "n2", "files": 1, "safe": 1,
+             "vulnerable": 0, "failed": 0, "slow_queries": queries["n2"]},
+            {"type": "stats", "total": 2, "safe": 2, "vulnerable": 0,
+             "wall_seconds": 0.5},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        return path
+
+    def test_merged_across_node_trailers(self, tmp_path):
+        run = load_audit(self.fleet_stream(tmp_path / "m.jsonl"))
+        slow = run.slow_queries()
+        assert [q["seconds"] for q in slow] == [0.9, 0.5]
+        assert [q["node"] for q in slow] == ["n2", "n1"]
+
+    def test_top_limits(self, tmp_path):
+        run = load_audit(self.fleet_stream(tmp_path / "m.jsonl"))
+        assert len(run.slow_queries(top=1)) == 1
+
+    def test_render_report_table(self, tmp_path):
+        text = render_report(load_audit(self.fleet_stream(tmp_path / "m.jsonl")))
+        assert "slow queries (top 2):" in text
+        assert "node n1" in text and "node n2" in text
+        assert "fp eeeeeeeeeeee" in text
+
+    def test_falls_back_to_file_records(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl",
+            [file_record("a.php", slow_queries=[
+                {"seconds": 0.3, "file": "a.php", "assert_id": 1}
+            ])],
+        )
+        slow = load_audit(path).slow_queries()
+        assert len(slow) == 1 and slow[0]["seconds"] == 0.3
+
+    def test_absent_ledger_renders_no_section(self, tmp_path):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert "slow queries" not in render_report(load_audit(path))
+
+
+class TestSummarizeRun:
+    def test_json_able_and_complete(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl",
+            [
+                file_record("a.php", duration=0.2,
+                            timings={"parse": 0.1, "sat": 0.1}),
+                file_record("b.php", safe=False, duration=0.4,
+                            timings={"parse": 0.2, "sat": 0.2}),
+            ],
+        )
+        summary = summarize_run(load_audit(path))
+        json.dumps(summary)  # must be JSON-able as-is
+        assert summary["files_audited"] == 2
+        assert summary["verdicts"]["safe"] == 1
+        assert summary["verdicts"]["vulnerable"] == 1
+        assert summary["verdicts"]["failed"] == 0
+        assert summary["duration"]["max"] == 0.4
+        assert summary["stage_quantiles"]["sat"]["count"] == 2
+        assert [f["filename"] for f in summary["slowest_files"]] == ["b.php", "a.php"]
+
+    def test_top_bounds_lists(self, tmp_path):
+        path = write_stream(
+            tmp_path / "a.jsonl",
+            [file_record(f"f{i}.php", duration=0.1 * i) for i in range(5)],
+        )
+        summary = summarize_run(load_audit(path), top=2)
+        assert len(summary["slowest_files"]) == 2
+
+
 class TestReportCli:
     def test_summary_exit_zero(self, tmp_path, capsys):
         path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
@@ -279,3 +393,35 @@ class TestReportCli:
         path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
         assert main(["report"]) == 2
         assert main(["report", str(path), "--diff", str(path), str(path)]) == 2
+
+    def test_json_flag_emits_machine_readable_summary(self, tmp_path, capsys):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert main(["report", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["files_audited"] == 1
+        assert summary["verdicts"]["safe"] == 1
+
+    def test_html_flag_writes_dashboard(self, tmp_path, capsys):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        out = tmp_path / "dash.html"
+        assert main(["report", str(path), "--html", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "audit report" in captured.out  # text report still printed
+        assert "wrote dashboard" in captured.err
+        page = out.read_text()
+        assert page.startswith("<!DOCTYPE html>") and "id='verdicts'" in page
+
+    def test_json_and_html_combine(self, tmp_path, capsys):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        out = tmp_path / "dash.html"
+        assert main(["report", str(path), "--json", "--html", str(out)]) == 0
+        json.loads(capsys.readouterr().out)
+        assert out.exists()
+
+    def test_diff_with_json_or_html_rejected(self, tmp_path, capsys):
+        path = write_stream(tmp_path / "a.jsonl", [file_record("a.php")])
+        assert main(["report", "--diff", str(path), str(path), "--json"]) == 2
+        assert main(
+            ["report", "--diff", str(path), str(path), "--html", str(tmp_path / "x.html")]
+        ) == 2
+        assert "single-stream" in capsys.readouterr().err

@@ -10,7 +10,8 @@ import urllib.request
 
 import pytest
 
-from repro.obs import load_audit
+from repro.obs import MetricsRegistry, load_audit
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.service import Coordinator, LeaseQueue
 from repro.service.httpbase import HttpError
 
@@ -261,6 +262,90 @@ class TestDrain:
         coord.drain()
         coord.release_worker(worker.worker_id)
         assert coord.wait_for_drain(grace=1.0)
+
+
+class TestFleetObservability:
+    def heartbeat(self, coord, worker, registry):
+        body = json.dumps(
+            {"worker_id": worker.worker_id, "metrics": registry.snapshot()}
+        ).encode()
+        return coord.handle("POST", "/api/workers/heartbeat", body)
+
+    def node_registry(self, files):
+        registry = MetricsRegistry()
+        registry.counter("repro_files_total", "files").inc(files)
+        registry.histogram("repro_file_seconds", "seconds").observe(0.01 * files)
+        return registry
+
+    def test_heartbeat_snapshots_roll_up_per_node_and_fleet(self, coord):
+        a = coord.register_worker("nodeA")
+        b = coord.register_worker("nodeB")
+        self.heartbeat(coord, a, self.node_registry(2))
+        self.heartbeat(coord, b, self.node_registry(3))
+        status, content_type, body = coord.handle("GET", "/metrics", b"")
+        text = body.decode()
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        assert 'repro_files_total{node="nodeA"} 2' in text
+        assert 'repro_files_total{node="nodeB"} 3' in text
+        assert "\nrepro_files_total 5" in text
+        assert 'repro_file_seconds_count{node="nodeA"} 1' in text
+
+    def test_repeated_cumulative_snapshots_not_double_counted(self, coord):
+        worker = coord.register_worker("nodeA")
+        registry = self.node_registry(4)
+        self.heartbeat(coord, worker, registry)
+        self.heartbeat(coord, worker, registry)
+        text = coord.handle("GET", "/metrics", b"")[2].decode()
+        assert 'repro_files_total{node="nodeA"} 4' in text
+
+    def test_bucket_mismatch_snapshot_rejected_with_400(self, coord):
+        worker = coord.register_worker("nodeA")
+        self.heartbeat(coord, worker, self.node_registry(1))
+        odd = MetricsRegistry()
+        odd.histogram("repro_file_seconds", buckets=(0.5, 5.0)).observe(0.1)
+        with pytest.raises(HttpError) as err:
+            self.heartbeat(coord, worker, odd)
+        assert err.value.status == 400
+        assert "metrics snapshot rejected" in err.value.message
+
+    def test_metrics_render_quantile_gauges(self, coord):
+        worker = coord.register_worker("nodeA")
+        self.heartbeat(coord, worker, self.node_registry(1))
+        text = coord.handle("GET", "/metrics", b"")[2].decode()
+        assert "# TYPE repro_file_seconds_quantile gauge" in text
+
+    def test_trailers_carry_slow_query_ledgers(self, coord, tmp_path):
+        job = coord.submit_files(CORPUS)
+        worker = coord.register_worker("n1")
+        for task in coord.lease_tasks(worker.worker_id, max_tasks=10)["tasks"]:
+            record = record_for(task["filename"])
+            record["slow_queries"] = [
+                {"seconds": 0.05, "file": task["filename"], "assert_id": 1}
+            ]
+            coord.report_result(worker.worker_id, task["task_id"], record)
+        records = coord.job_records(job)
+        node_trailer, global_trailer = records[-2], records[-1]
+        assert len(node_trailer["slow_queries"]) == 3
+        assert all(q["node"] == "n1" for q in node_trailer["slow_queries"])
+        assert len(global_trailer["slow_queries"]) == 3
+        # The merged stream round-trips through the report loader.
+        path = tmp_path / "merged.jsonl"
+        path.write_text(coord.render_job_stream(job))
+        run = load_audit(path)
+        assert {q["node"] for q in run.slow_queries()} == {"n1"}
+
+    def test_empty_ledger_trailer_is_explicit_empty_list(self, coord):
+        """Nodes whose records carry no slow queries still get a
+        ``slow_queries`` key — consumers need not special-case."""
+        job = coord.submit_files({"a.php": "<?php ?>"})
+        worker = coord.register_worker("n1")
+        task = coord.lease_tasks(worker.worker_id)["tasks"][0]
+        coord.report_result(worker.worker_id, task["task_id"], record_for("a.php"))
+        records = coord.job_records(job)
+        node_trailer, global_trailer = records[-2], records[-1]
+        assert node_trailer["slow_queries"] == []
+        assert global_trailer["slow_queries"] == []
 
 
 class TestIncompleteStream:
