@@ -47,12 +47,13 @@ from repro.obs.ledger import SlowQueryLedger
 from repro.bmc.trace import CounterexampleTrace, ViolatingVariable, reconstruct_trace
 from repro.sat.cache import CachingSatSolver, SatQueryCache
 from repro.sat.dpll import IncrementalDPLL
+from repro.sat.portfolio import PortfolioSolver
 from repro.sat.solver import CDCLSolver, SolverStats, accumulate_stats
 
 __all__ = ["AssertionResult", "BMCResult", "BMCChecker", "check_program"]
 
 AccumulatePolicy = Literal["never", "safe-only", "always"]
-SolverBackend = Literal["cdcl", "dpll"]
+SolverBackend = Literal["cdcl", "dpll", "portfolio"]
 
 
 @dataclass
@@ -121,6 +122,9 @@ class BMCChecker:
         blocking: Literal["deciding", "all-bn"] = "deciding",
         solver_backend: SolverBackend = "cdcl",
         sat_cache: SatQueryCache | None = None,
+        restart_strategy: str = "geometric",
+        sat_seed: int = 0,
+        sat_incremental: bool = True,
     ) -> None:
         self.program = program
         self.lattice = lattice if lattice is not None else two_point_lattice()
@@ -133,9 +137,21 @@ class BMCChecker:
         #: formulation, which re-enumerates each path once per assignment
         #: of the irrelevant variables.  Kept for the ABL-ENUM ablation.
         self.blocking = blocking
-        if solver_backend not in ("cdcl", "dpll"):
+        if solver_backend not in ("cdcl", "dpll", "portfolio"):
             raise ValueError(f"unknown solver backend {solver_backend!r}")
         self.solver_backend = solver_backend
+        #: CDCL tuning knobs threaded from the CLI; ``restart_strategy``
+        #: picks the restart schedule and ``sat_seed`` perturbs VSIDS
+        #: tie-breaks / initial phases (0 = historical deterministic
+        #: defaults).  In portfolio mode they configure the primary lane.
+        self.restart_strategy = restart_strategy
+        self.sat_seed = sat_seed
+        #: Ablation switch: False restores the pre-incremental CDCL
+        #: behaviour (backtrack-to-root between solves, linear VSIDS
+        #: scan, no learned-clause sharing through the query cache) so
+        #: benchmarks can measure the incremental machinery against an
+        #: in-process seed-equivalent baseline.
+        self.sat_incremental = sat_incremental
         #: Shared SAT-level query memo (repro.sat.cache); None disables.
         self.sat_cache = sat_cache
         self._solver_totals: dict[str, int] = {}
@@ -144,14 +160,29 @@ class BMCChecker:
         #: engine merges one ledger per file into the run-wide top-K.
         self._ledger = SlowQueryLedger(capacity=8)
 
-    def _make_solver(self) -> CDCLSolver | IncrementalDPLL | CachingSatSolver:
-        inner: CDCLSolver | IncrementalDPLL
+    def _make_solver(
+        self,
+    ) -> CDCLSolver | IncrementalDPLL | PortfolioSolver | CachingSatSolver:
+        inner: CDCLSolver | IncrementalDPLL | PortfolioSolver
         if self.solver_backend == "dpll":
             inner = IncrementalDPLL()
+        elif self.solver_backend == "portfolio":
+            inner = PortfolioSolver(
+                restart_strategy=self.restart_strategy, seed=self.sat_seed
+            )
         else:
-            inner = CDCLSolver()
+            inner = CDCLSolver(
+                restart_strategy=self.restart_strategy,
+                seed=self.sat_seed,
+                incremental=self.sat_incremental,
+            )
         if self.sat_cache is not None:
-            return CachingSatSolver(inner, self.sat_cache, backend=self.solver_backend)
+            return CachingSatSolver(
+                inner,
+                self.sat_cache,
+                backend=self.solver_backend,
+                share_learned=self.sat_incremental,
+            )
         return inner
 
     def _tally_solve(self, stats: SolverStats) -> None:
@@ -231,6 +262,16 @@ class BMCChecker:
                 truncated=result.truncated,
             )
 
+        if result.counterexamples:
+            # The assertion's enumeration is over and ``act`` will never
+            # be assumed again: retire the gate permanently.  Fixing
+            # ``¬act`` at root level makes the gate implication and every
+            # blocking clause of this enumeration root-satisfied, which
+            # schedules the incremental solver's lazy dead-clause sweep.
+            # (A safe assertion accumulated no blocking clauses — nothing
+            # to reclaim, so skip the unit and the sweep it would cause.)
+            solver.add_clause((-act,))
+
         if self.accumulate == "always" or (
             self.accumulate == "safe-only" and result.safe
         ):
@@ -255,18 +296,22 @@ class BMCChecker:
                 solve = solver.solve(assumptions=[act])
                 solve_seconds = time.perf_counter() - solve_start
             stats = solve.stats
-            self._ledger.observe(
-                {
-                    "seconds": solve_seconds,
-                    "assert_id": encoded.event.assert_id,
-                    "iteration": iteration,
-                    "decisions": stats.decisions,
-                    "conflicts": stats.conflicts,
-                    "satisfiable": bool(solve.satisfiable),
-                    "backend": self.solver_backend,
-                    "fingerprint": getattr(solver, "last_query_key", None),
-                }
-            )
+            winner = getattr(solver, "last_winner", None)
+            record = {
+                "seconds": solve_seconds,
+                "assert_id": encoded.event.assert_id,
+                "iteration": iteration,
+                "decisions": stats.decisions,
+                "conflicts": stats.conflicts,
+                "satisfiable": bool(solve.satisfiable),
+                "backend": self.solver_backend,
+                "fingerprint": getattr(solver, "last_query_key", None),
+            }
+            if winner is not None:
+                # Portfolio mode: name the configuration that decided the
+                # query, so ledger entries attribute hard solves per-lane.
+                record["winner"] = winner
+            self._ledger.observe(record)
             iteration += 1
             solve_span.set(
                 satisfiable=solve.satisfiable,
@@ -279,6 +324,12 @@ class BMCChecker:
                 sat_cache_hit=stats.cache_hits > 0,
             )
             self._tally_solve(stats)
+            if stats.portfolio_races and winner is not None:
+                # Dynamic per-winner counters ride the same solver_stats
+                # dict as the dataclass counters, so they flow into the
+                # JSONL records, metrics, and reports unchanged.
+                key = "portfolio_win_" + winner.replace("-", "_")
+                self._solver_totals[key] = self._solver_totals.get(key, 0) + 1
             if not solve.satisfiable:
                 break
             model = solve.model
@@ -323,6 +374,9 @@ def check_program(
     blocking: Literal["deciding", "all-bn"] = "deciding",
     solver_backend: SolverBackend = "cdcl",
     sat_cache: SatQueryCache | None = None,
+    restart_strategy: str = "geometric",
+    sat_seed: int = 0,
+    sat_incremental: bool = True,
 ) -> BMCResult:
     """Convenience wrapper: check every assertion of a renamed program."""
     checker = BMCChecker(
@@ -333,5 +387,8 @@ def check_program(
         blocking=blocking,
         solver_backend=solver_backend,
         sat_cache=sat_cache,
+        restart_strategy=restart_strategy,
+        sat_seed=sat_seed,
+        sat_incremental=sat_incremental,
     )
     return checker.run()

@@ -2,12 +2,14 @@
 
 ```
 python -m repro verify  file.php [dir/ ...] [--detailed] [--prelude P]
-                        [--stats] [--solver cdcl|dpll] [--trace out.json]
-                        [--sat-cache on|off]
+                        [--stats] [--solver cdcl|dpll|portfolio]
+                        [--restart-strategy geometric|luby] [--sat-seed N]
+                        [--trace out.json] [--sat-cache on|off]
 python -m repro audit   dir/ [--jobs N] [--timeout S] [--cache-dir D]
                         [--no-cache] [--jsonl out.jsonl] [--detailed]
                         [--trace out.json] [--metrics out.prom]
-                        [--solver cdcl|dpll] [--sat-cache on|off]
+                        [--solver cdcl|dpll|portfolio] [--sat-cache on|off]
+                        [--restart-strategy geometric|luby] [--sat-seed N]
                         [--shard I/N] [--start-method fork|spawn]
 python -m repro watch   dir/ [--interval S] [--debounce S] [--jobs N]
                         [--serve-metrics [HOST]:PORT] [--out-dir D]
@@ -109,13 +111,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-file SAT-solver and formula statistics",
     )
     verify.add_argument(
-        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        "--solver", choices=("cdcl", "dpll", "portfolio"), default="cdcl",
         help="SAT backend (dpll is the slow ablation baseline)",
     )
     verify.add_argument(
         "--sat-cache", choices=("on", "off"), default="off",
         help="memoize SAT queries by canonical CNF fingerprint across the "
         "files of this run (in-memory; see docs/SOLVER.md)",
+    )
+    verify.add_argument(
+        "--restart-strategy", choices=("geometric", "luby"), default="geometric",
+        help="CDCL restart schedule (primary lane in portfolio mode)",
+    )
+    verify.add_argument(
+        "--sat-seed", type=int, default=0, metavar="N",
+        help="deterministic VSIDS/phase seed for the CDCL solver "
+        "(0 = historical defaults; portfolio lanes derive their own)",
     )
     verify.add_argument(
         "--trace", type=Path, default=None, metavar="OUT.json",
@@ -163,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Prometheus text-format metrics snapshot of the run",
     )
     audit.add_argument(
-        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        "--solver", choices=("cdcl", "dpll", "portfolio"), default="cdcl",
         help="SAT backend (dpll is the slow ablation baseline)",
     )
     audit.add_argument(
@@ -172,6 +183,15 @@ def build_parser() -> argparse.ArgumentParser:
         "under <cache-dir>/sat so repeated code shapes accelerate even "
         "cold (file-level-miss) runs; independent of --no-cache "
         "(see docs/SOLVER.md)",
+    )
+    audit.add_argument(
+        "--restart-strategy", choices=("geometric", "luby"), default="geometric",
+        help="CDCL restart schedule (primary lane in portfolio mode)",
+    )
+    audit.add_argument(
+        "--sat-seed", type=int, default=0, metavar="N",
+        help="deterministic VSIDS/phase seed for the CDCL solver "
+        "(0 = historical defaults; portfolio lanes derive their own)",
     )
     audit.add_argument(
         "--shard", metavar="I/N", default=None,
@@ -248,12 +268,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", "-q", action="store_true", help="suppress per-cycle summaries"
     )
     watch.add_argument(
-        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        "--solver", choices=("cdcl", "dpll", "portfolio"), default="cdcl",
         help="SAT backend (dpll is the slow ablation baseline)",
     )
     watch.add_argument(
         "--sat-cache", choices=("on", "off"), default="on",
         help="persistent SAT-query memo under <cache-dir>/sat (see docs/SOLVER.md)",
+    )
+    watch.add_argument(
+        "--restart-strategy", choices=("geometric", "luby"), default="geometric",
+        help="CDCL restart schedule (primary lane in portfolio mode)",
+    )
+    watch.add_argument(
+        "--sat-seed", type=int, default=0, metavar="N",
+        help="deterministic VSIDS/phase seed for the CDCL solver "
+        "(0 = historical defaults; portfolio lanes derive their own)",
     )
     watch.add_argument(
         "--start-method", choices=("fork", "spawn"), default=None,
@@ -350,12 +379,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", "-q", action="store_true", help="suppress per-batch progress lines"
     )
     work.add_argument(
-        "--solver", choices=("cdcl", "dpll"), default="cdcl",
+        "--solver", choices=("cdcl", "dpll", "portfolio"), default="cdcl",
         help="SAT backend (must match the rest of the fleet)",
     )
     work.add_argument(
         "--sat-cache", choices=("on", "off"), default="on",
         help="persistent SAT-query memo under <cache-dir>/sat",
+    )
+    work.add_argument(
+        "--restart-strategy", choices=("geometric", "luby"), default="geometric",
+        help="CDCL restart schedule (primary lane in portfolio mode)",
+    )
+    work.add_argument(
+        "--sat-seed", type=int, default=0, metavar="N",
+        help="deterministic VSIDS/phase seed for the CDCL solver "
+        "(0 = historical defaults; portfolio lanes derive their own)",
     )
     work.add_argument(
         "--start-method", choices=("fork", "spawn"), default=None,
@@ -460,6 +498,8 @@ def _make_websari(args: argparse.Namespace) -> WebSSARI:
         prelude=prelude,
         solver=getattr(args, "solver", "cdcl"),
         sat_cache=sat_cache,
+        restart_strategy=getattr(args, "restart_strategy", "geometric"),
+        sat_seed=getattr(args, "sat_seed", 0),
     )
 
 
@@ -488,6 +528,25 @@ def _solver_stats_lines(report) -> list[str]:
             f"  sat-cache: {totals.get('cache_hits', 0)} hit(s), "
             f"{totals.get('cache_misses', 0)} miss(es)"
         )
+    if totals.get("learned_imported", 0) or totals.get("root_satisfied_deleted", 0):
+        lines.append(
+            f"  incremental: {totals.get('learned_imported', 0)} learned "
+            f"clause(s) imported, {totals.get('root_satisfied_deleted', 0)} "
+            "dead clause(s) reclaimed"
+        )
+    if totals.get("portfolio_races", 0):
+        wins = ", ".join(
+            f"{name[len('portfolio_win_'):].replace('_', '-')} x{count}"
+            for name, count in sorted(totals.items())
+            if name.startswith("portfolio_win_")
+        )
+        line = (
+            f"  portfolio: {totals.get('portfolio_races', 0)} race(s), "
+            f"{totals.get('portfolio_wasted_conflicts', 0)} wasted conflict(s)"
+        )
+        if wins:
+            line += f"; wins: {wins}"
+        lines.append(line)
     lines.append(
         f"  formula: {bmc.num_vars} var(s), {bmc.num_clauses} clause(s), "
         f"{bmc.solve_seconds:.3f}s solving"

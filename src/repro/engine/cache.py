@@ -44,8 +44,12 @@ __all__ = [
 #:  3: SolverStats grew sat-cache and preprocessing counters, and the
 #:  CDCL solver gained add-time preprocessing + LBD-aware reduction,
 #:  both of which change the counters embedded in records.
-#:  4: records gained the per-file slow-query ledger.)
-ENGINE_VERSION = "4"
+#:  4: records gained the per-file slow-query ledger.
+#:  5: the CDCL solver became incremental (trail/VSIDS/learned-clause
+#:  retention across the enumeration, gate retirement sweeps, learned
+#:  clause import) and the portfolio backend landed — verdicts are
+#:  unchanged but every embedded counter is.)
+ENGINE_VERSION = "5"
 
 #: Cache record schema version (independent of verdict semantics).
 _RECORD_VERSION = 1
@@ -87,6 +91,13 @@ def policy_fingerprint(websari: "WebSSARI") -> str:
                 # never changes verdicts, but records embed its hit/miss
                 # counters, so runs with and without it must not alias.
                 "sat_cache": getattr(websari, "sat_cache", None) is not None,
+                # Restart schedule and VSIDS/phase seed steer the search
+                # order: verdict-neutral, counter-visible — same rule.
+                "restart_strategy": getattr(websari, "restart_strategy", "geometric"),
+                "sat_seed": getattr(websari, "sat_seed", 0),
+                # Ablation switch for the incremental machinery: verdicts
+                # agree either way, embedded counters do not.
+                "sat_incremental": getattr(websari, "sat_incremental", True),
             },
         },
         sort_keys=True,

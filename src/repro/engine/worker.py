@@ -249,6 +249,9 @@ def _run_stages(
             max_counterexamples=websari.max_counterexamples,
             solver_backend=solver_backend,
             sat_cache=getattr(websari, "sat_cache", None),
+            restart_strategy=getattr(websari, "restart_strategy", "geometric"),
+            sat_seed=getattr(websari, "sat_seed", 0),
+            sat_incremental=getattr(websari, "sat_incremental", True),
         )
         grouping = group_errors(bmc_result)
     timings["sat"] = clock() - mark

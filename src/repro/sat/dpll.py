@@ -144,9 +144,13 @@ class IncrementalDPLL:
         assumptions: Iterable[int] = (),
         conflict_budget: int | None = None,
     ) -> SolveResult:
+        """DPLL has no conflict counter in the CDCL sense; a budget is
+        honored as a cap on decisions, the closest analogue of bounded
+        search effort (portfolio racing relies on this to time-slice the
+        diversity baseline)."""
         cnf = self._cnf.copy()
         for lit in assumptions:
             cnf.add_unit(lit)
-        result = DPLLSolver(cnf).solve()
+        result = DPLLSolver(cnf, max_decisions=conflict_budget).solve()
         self.stats = result.stats
         return result

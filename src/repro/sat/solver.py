@@ -15,6 +15,18 @@ The public entry points are :meth:`CDCLSolver.solve` (one-shot) and the
 incremental pattern used by the BMC engine: keep one solver instance, call
 :meth:`add_clause` to append blocking clauses between :meth:`solve` calls.
 
+Incremental mode (the default) keeps VSIDS scores, saved phases, and the
+learned-clause database alive across calls, reuses the shared
+assumption-prefix of the trail between consecutive solves instead of
+re-propagating from level 0, and accepts clauses mid-search without
+rewinding further than watch soundness requires.  Root-level units added
+between solves (e.g. a retired assertion gate ``add_clause((-act,))``)
+schedule a lazy sweep that deletes clauses the new root assignment
+satisfies — dead blocking clauses disappear instead of burdening every
+later propagation.  Constructing with ``incremental=False`` restores the
+historical solve-from-scratch behaviour (and the original linear-scan
+decision loop), which the benchmarks use as the ablation baseline.
+
 The solver is deliberately free of NumPy so that its behaviour is easy to
 audit; BMC formulas derived from loop-free abstract interpretations are
 small enough that pure Python is comfortable.
@@ -24,6 +36,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass, field, fields as dataclass_fields
+from heapq import heappop, heappush
 
 from repro.sat.cnf import CNF
 
@@ -83,6 +96,22 @@ class SolverStats:
     #: :class:`repro.sat.cache.CachingSatSolver`, zero otherwise).
     cache_hits: int = stat_counter()
     cache_misses: int = stat_counter()
+    #: Learned clauses imported from an isomorphic previously-solved
+    #: query (see :meth:`CDCLSolver.import_learned` and the SAT cache's
+    #: learned-clause store).
+    learned_imported: int = stat_counter()
+    #: Clauses deleted by the lazy root-satisfied sweep that runs after a
+    #: root unit lands between solves (retired gates kill their blocking
+    #: clauses this way).
+    root_satisfied_deleted: int = stat_counter()
+    #: Solve calls that kept at least one assumption level from the
+    #: previous call instead of rewinding to level 0.
+    assumption_prefix_reused: int = stat_counter()
+    #: Portfolio-mode counters (populated by
+    #: :class:`repro.sat.portfolio.PortfolioSolver`, zero otherwise):
+    #: races actually run, and conflicts spent by losing configurations.
+    portfolio_races: int = stat_counter()
+    portfolio_wasted_conflicts: int = stat_counter()
 
 
 def accumulate_stats(totals: dict[str, int], stats: "SolverStats") -> None:
@@ -143,6 +172,7 @@ class CDCLSolver:
         phase_saving: bool = True,
         learned_limit_factor: float = 2.0,
         seed: int = 0,
+        incremental: bool = True,
     ) -> None:
         self._num_vars = 0
         self._clauses: list[_Clause] = []
@@ -168,12 +198,34 @@ class CDCLSolver:
         self._saved_phase: list[bool] = [False]  # 1-indexed by variable
         self._learned_limit_factor = learned_limit_factor
         self._seed = seed
+        self._incremental = incremental
+        #: Assumption literals currently installed on the trail;
+        #: assumption i occupies decision level i+1.  Trimmed by
+        #: :meth:`_backtrack` so the list always mirrors the trail.
+        self._assumptions: list[int] = []
+        #: Lazy-deletion priority queue of (-activity, var); stale entries
+        #: (assigned vars, outdated activities) are discarded or refreshed
+        #: at pop time.  Only consulted in incremental mode.
+        self._order_heap: list[tuple[float, int]] = []
+        #: Persistent scratch buffer for conflict analysis (incremental
+        #: mode): avoids an O(num_vars) allocation per conflict.
+        self._seen: list[bool] = [False]
         self._root_conflict = False
         self._propagate_head = 0
+        #: A root-level unit landed via add_clause since the last sweep;
+        #: the next solve() entered at level 0 deletes every clause the
+        #: strengthened root assignment satisfies.  The sweep itself is an
+        #: O(clause database) scan, so it runs geometrically: only once
+        #: the root trail has doubled since the previous sweep (total
+        #: sweep work stays O(F log U) per file instead of O(F·U)).
+        self._dead_sweep_pending = False
+        self._swept_trail_len = 0
         #: Clauses simplified at add time since the last solve() call;
         #: snapshot into that call's stats so no counting is lost to the
         #: per-call stats reset.
         self._pending_preprocessed = 0
+        #: Clauses accepted by import_learned() since the last solve().
+        self._pending_imported = 0
         self.stats = SolverStats()
         if formula is not None:
             self.add_formula(formula)
@@ -183,11 +235,25 @@ class CDCLSolver:
     def _ensure_var(self, var: int) -> None:
         while self._num_vars < var:
             self._num_vars += 1
+            v = self._num_vars
             self._assign.append(_UNASSIGNED)
             self._level.append(0)
             self._reason.append(None)
-            self._activity.append(0.0)
-            self._saved_phase.append(False)
+            self._seen.append(False)
+            if self._seed:
+                # Deterministic per-(seed, var) jitter: perturbs VSIDS
+                # tie-breaks and initial phases so differently-seeded
+                # solvers explore genuinely different search trees.
+                h = (v * 0x9E3779B1 + self._seed * 0x85EBCA77) & 0xFFFFFFFF
+                h ^= h >> 16
+                h = (h * 0x045D9F3B) & 0xFFFFFFFF
+                h ^= h >> 16
+                self._activity.append((h / 4294967296.0) * 1e-6)
+                self._saved_phase.append(bool(h & 1))
+            else:
+                self._activity.append(0.0)
+                self._saved_phase.append(False)
+            heappush(self._order_heap, (-self._activity[v], v))
 
     def add_formula(self, formula: CNF) -> None:
         self._ensure_var(formula.num_vars)
@@ -197,8 +263,11 @@ class CDCLSolver:
     def add_clause(self, literals: Iterable[int]) -> None:
         """Add a problem clause.  Safe to call between solve() calls.
 
-        Adding a clause cancels any in-progress assignment (the trail is
-        rewound to level 0) so that incremental solving restarts cleanly.
+        In incremental mode the in-progress assignment is preserved: the
+        trail is rewound only as far as watch soundness requires (a clause
+        arriving fully falsified forces a backjump to the level where it
+        becomes unit).  In non-incremental mode the historical behaviour —
+        rewind to level 0 on every add — is kept.
 
         Preprocessing happens here, before the clause ever reaches the
         watch lists: tautologies and duplicate literals are eliminated,
@@ -206,7 +275,8 @@ class CDCLSolver:
         unit clauses propagated to fixpoint immediately so later adds see
         the strengthened root assignment (top-level unit propagation).
         """
-        self._backtrack(0)
+        if not self._incremental:
+            self._backtrack(0)
         dedup = False
         lits: list[int] = []
         seen: set[int] = set()
@@ -225,22 +295,30 @@ class CDCLSolver:
         if not lits:
             self._root_conflict = True
             return
-        # Drop literals already false at level 0; satisfy check for true ones.
+        # Drop literals already false at level 0; satisfy check for
+        # root-true ones.  Assignments above level 0 (kept trail) are
+        # transient and must not simplify the clause.
         fixed: list[int] = []
         for lit in lits:
             val = self._value(lit)
+            if val == _UNASSIGNED or self._level[abs(lit)] > 0:
+                fixed.append(lit)
+                continue
             if val == _TRUE:
                 self._pending_preprocessed += 1
                 return  # already satisfied at root
-            if val == _UNASSIGNED:
-                fixed.append(lit)
+            # root-false: stripped
         if dedup or len(fixed) < len(lits):
             self._pending_preprocessed += 1
         if not fixed:
             self._root_conflict = True
             return
         if len(fixed) == 1:
+            # Root-implied unit: force it at level 0 (rewinding any kept
+            # trail) and propagate to fixpoint so later adds see the
+            # strengthened root assignment.
             self._pending_preprocessed += 1
+            self._backtrack(0)
             # Propagate against a scratch stats object: the previous
             # solve's SolveResult still references self.stats, and
             # add-time propagation must not mutate an already-reported
@@ -251,14 +329,128 @@ class CDCLSolver:
                     self._root_conflict = True
             finally:
                 self.stats = saved_stats
+            self._dead_sweep_pending = True
             return
-        clause = _Clause(fixed)
-        self._clauses.append(clause)
+        if self._decision_level() == 0:
+            # All surviving literals are unassigned: plain install.
+            clause = _Clause(fixed)
+            self._clauses.append(clause)
+            self._watch(clause)
+            return
+        self._attach_clause(fixed, learned=False, lbd=0)
+
+    def _attach_clause(self, lits: list[int], learned: bool, lbd: int) -> _Clause:
+        """Install a clause (>= 2 literals, none root-fixed) without
+        rewinding to level 0.
+
+        Watch soundness only needs both watched literals to be non-false
+        at attach time.  A clause arriving fully falsified is handled by
+        backjumping to the deepest level at which it stops being
+        conflicting: if its highest-level literal is unique the clause
+        becomes unit there (and is enqueued), otherwise at least two
+        literals free up.
+        """
+        if all(self._value(lit) == _FALSE for lit in lits):
+            levels = sorted((self._level[abs(lit)] for lit in lits), reverse=True)
+            target = levels[1] if levels[0] > levels[1] else levels[0] - 1
+            self._backtrack(target)
+        nonfalse = [lit for lit in lits if self._value(lit) != _FALSE]
+        falses = sorted(
+            (lit for lit in lits if self._value(lit) == _FALSE),
+            key=lambda lit: -self._level[abs(lit)],
+        )
+        clause = _Clause(nonfalse + falses, learned=learned, lbd=lbd)
+        (self._learned if learned else self._clauses).append(clause)
         self._watch(clause)
+        if len(nonfalse) == 1 and self._value(nonfalse[0]) == _UNASSIGNED:
+            # Unit under the current assignment: assert it here with the
+            # new clause as reason (scratch stats — see add_clause).
+            saved_stats, self.stats = self.stats, SolverStats()
+            try:
+                self._enqueue(nonfalse[0], clause)
+            finally:
+                self.stats = saved_stats
+        return clause
 
     def _watch(self, clause: _Clause) -> None:
         for lit in clause.literals[:2]:
             self._watches.setdefault(lit, []).append(clause)
+
+    # -- learned-clause exchange ------------------------------------------
+
+    def export_learned(
+        self, limit: int = 64, max_lbd: int = 4, max_len: int = 16
+    ) -> list[tuple[list[int], int]]:
+        """Snapshot the most reusable learned clauses as
+        ``(literals, lbd)`` pairs, best (lowest LBD, then shortest) first.
+
+        Used by the SAT cache to persist lemmas per canonical formula so
+        an isomorphic future query can start from them instead of from
+        nothing."""
+        pool = [
+            c
+            for c in self._learned
+            if c.lbd <= max_lbd and len(c.literals) <= max_len
+        ]
+        pool.sort(key=lambda c: (c.lbd, len(c.literals)))
+        return [(sorted(c.literals, key=abs), c.lbd) for c in pool[:limit]]
+
+    def import_learned(self, records: Iterable[tuple[list[int], int]]) -> int:
+        """Install learned clauses exported from a solver that saw an
+        equisatisfiable clause set (e.g. the same canonical formula under
+        the cache's renaming).  Returns the number of clauses accepted.
+
+        Imported clauses are root-simplified like problem clauses but
+        join the *learned* database, so they keep their LBD (glue survives
+        reduction) and can be dropped again under memory pressure."""
+        count = 0
+        for lits, lbd in records:
+            if self._root_conflict:
+                break
+            simplified: list[int] = []
+            seen: set[int] = set()
+            satisfied = False
+            for lit in lits:
+                if lit == 0 or -lit in seen:
+                    satisfied = True  # malformed/tautological: skip record
+                    break
+                if lit in seen:
+                    continue
+                seen.add(lit)
+                self._ensure_var(abs(lit))
+                val = self._value(lit)
+                if val != _UNASSIGNED and self._level[abs(lit)] == 0:
+                    if val == _TRUE:
+                        satisfied = True
+                        break
+                    continue  # root-false: stripped
+                simplified.append(lit)
+            if satisfied:
+                continue
+            if not simplified:
+                # The lemma is false under the root assignment — and it is
+                # implied by the clause set, so the formula is root-UNSAT.
+                self._root_conflict = True
+                count += 1
+                break
+            if len(simplified) == 1:
+                self._backtrack(0)
+                saved_stats, self.stats = self.stats, SolverStats()
+                try:
+                    if (
+                        not self._enqueue(simplified[0], None)
+                        or self._propagate() is not None
+                    ):
+                        self._root_conflict = True
+                finally:
+                    self.stats = saved_stats
+                self._dead_sweep_pending = True
+                count += 1
+                continue
+            self._attach_clause(simplified, learned=True, lbd=lbd or len(simplified))
+            count += 1
+        self._pending_imported += count
+        return count
 
     # -- assignment primitives -------------------------------------------
 
@@ -291,13 +483,64 @@ class CDCLSolver:
         if self._decision_level() <= level:
             return
         limit = self._trail_lim[level]
+        heap = self._order_heap
         for lit in reversed(self._trail[limit:]):
             var = abs(lit)
             self._assign[var] = _UNASSIGNED
             self._reason[var] = None
+            heappush(heap, (-self._activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
+        if level < len(self._assumptions):
+            del self._assumptions[level:]
         self._propagate_head = min(self._propagate_head, len(self._trail))
+
+    # -- dead-clause sweeping ----------------------------------------------
+
+    def _sweep_root_satisfied(self) -> None:
+        """Delete every clause satisfied by the root assignment.
+
+        Runs lazily (next solve() that starts at level 0 after a root
+        unit landed between solves).  The motivating case is a retired
+        assertion gate: ``add_clause((-act,))`` fixes ``-act`` at root,
+        which makes the gate clause and every ``-act``-tagged blocking
+        clause from that assertion's enumeration permanently satisfied —
+        dead weight in the watch lists otherwise."""
+        self._dead_sweep_pending = False
+        self._swept_trail_len = len(self._trail)
+        removed = 0
+        assign = self._assign
+        for attr in ("_clauses", "_learned"):
+            store: list[_Clause] = getattr(self, attr)
+            kept: list[_Clause] = []
+            for clause in store:
+                satisfied = False
+                for lit in clause.literals:
+                    if lit > 0:
+                        if assign[lit] == _TRUE:
+                            satisfied = True
+                            break
+                    elif assign[-lit] == _FALSE:
+                        satisfied = True
+                        break
+                if satisfied:
+                    for lit in clause.literals[:2]:
+                        watchers = self._watches.get(lit)
+                        if watchers is not None:
+                            try:
+                                watchers.remove(clause)
+                            except ValueError:
+                                pass
+                    removed += 1
+                else:
+                    kept.append(clause)
+            setattr(self, attr, kept)
+        if removed:
+            # Root assignments never participate in conflict analysis, so
+            # their reason clauses (possibly just swept) can be dropped.
+            for lit in self._trail:
+                self._reason[abs(lit)] = None
+        self.stats.root_satisfied_deleted += removed
 
     # -- unit propagation (two watched literals) --------------------------
 
@@ -355,6 +598,7 @@ class CDCLSolver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+        heappush(self._order_heap, (-self._activity[var], var))
 
     def _decay_var_activity(self) -> None:
         self._var_inc /= self._var_decay
@@ -369,7 +613,8 @@ class CDCLSolver:
     def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
         """First-UIP analysis: returns (learned clause literals, backjump level)."""
         learned: list[int] = [0]  # slot 0 reserved for the asserting literal
-        seen = [False] * (self._num_vars + 1)
+        seen = self._seen
+        touched: list[int] = []
         counter = 0
         lit = 0
         clause: _Clause | None = conflict
@@ -385,6 +630,7 @@ class CDCLSolver:
                 var = abs(q)
                 if not seen[var] and self._level[var] > 0:
                     seen[var] = True
+                    touched.append(var)
                     self._bump_var(var)
                     if self._level[var] == current_level:
                         counter += 1
@@ -402,6 +648,8 @@ class CDCLSolver:
                 break
             clause = self._reason[abs(lit)]
         learned[0] = -lit
+        for var in touched:
+            seen[var] = False
 
         # Conflict-clause minimization: drop literals implied by the rest.
         marked = set(abs(x) for x in learned)
@@ -480,13 +728,34 @@ class CDCLSolver:
     # -- decision heuristic ------------------------------------------------
 
     def _pick_branch_var(self) -> int:
-        best = 0
-        best_act = -1.0
-        for var in range(1, self._num_vars + 1):
-            if self._assign[var] == _UNASSIGNED and self._activity[var] > best_act:
-                best = var
-                best_act = self._activity[var]
-        return best
+        if not self._incremental:
+            best = 0
+            best_act = -1.0
+            for var in range(1, self._num_vars + 1):
+                if self._assign[var] == _UNASSIGNED and self._activity[var] > best_act:
+                    best = var
+                    best_act = self._activity[var]
+            return best
+        # Lazy-deletion heap: entries for assigned vars are discarded,
+        # entries whose recorded activity went stale (bump since push, or
+        # a rescale) are refreshed and re-pushed.  Because every bump
+        # pushes a fresh entry, a variable's priority is never
+        # under-represented, so the first exact entry that surfaces is the
+        # true (max activity, lowest index) choice — identical to the
+        # linear scan's tie-breaking.
+        heap = self._order_heap
+        assign = self._assign
+        activity = self._activity
+        while heap:
+            neg_act, var = heap[0]
+            if assign[var] != _UNASSIGNED:
+                heappop(heap)
+            elif -neg_act != activity[var]:
+                heappop(heap)
+                heappush(heap, (-activity[var], var))
+            else:
+                return var
+        return 0
 
     # -- main loop ----------------------------------------------------------
 
@@ -501,26 +770,71 @@ class CDCLSolver:
         decisions; an UNSAT answer under assumptions means the clause set
         together with the assumptions is unsatisfiable (the clause set
         alone may still be satisfiable).
+
+        In incremental mode, consecutive calls sharing an assumption
+        prefix keep that part of the trail (and everything propagated or
+        decided above it when the assumption sets are identical) instead
+        of re-propagating from scratch; a SAT answer also leaves the
+        satisfying trail in place so the next call — typically after a
+        blocking clause lands — resumes the enumeration mid-search.
         """
         self.stats = SolverStats()
-        # Credit this call with the add-time preprocessing done since the
-        # previous solve (the per-call stats reset must not lose it).
+        # Credit this call with the add-time preprocessing and clause
+        # imports done since the previous solve (the per-call stats reset
+        # must not lose them).
         self.stats.preprocessed_clauses = self._pending_preprocessed
+        self.stats.learned_imported = self._pending_imported
         self._pending_preprocessed = 0
+        self._pending_imported = 0
         if self._root_conflict:
             return SolveResult(satisfiable=False, stats=self.stats)
-        self._backtrack(0)
-        conflict = self._propagate()
-        if conflict is not None:
-            self._root_conflict = True
-            return SolveResult(satisfiable=False, stats=self.stats)
 
-        num_assumptions = 0
-        for lit in assumptions:
+        wanted = [int(lit) for lit in assumptions]
+        for lit in wanted:
             self._ensure_var(abs(lit))
+
+        if self._incremental:
+            # Keep the longest trail prefix whose assumption levels match.
+            k = 0
+            installed = self._assumptions
+            while k < len(wanted) and k < len(installed) and installed[k] == wanted[k]:
+                k += 1
+            if k < len(installed) or len(wanted) > k:
+                # Either a mismatched assumption must be undone, or new
+                # assumption levels must be pushed above level k: rewind
+                # exactly to the shared prefix.
+                self._backtrack(k)
+            if k:
+                self.stats.assumption_prefix_reused += 1
+            if (
+                self._dead_sweep_pending
+                and self._decision_level() == 0
+                and len(self._trail) >= max(64, 2 * self._swept_trail_len)
+            ):
+                self._sweep_root_satisfied()
+        else:
+            self._backtrack(0)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._root_conflict = True
+                return SolveResult(satisfiable=False, stats=self.stats)
+            k = 0
+
+        num_assumptions = len(wanted)
+        for lit in wanted[k:]:
+            conflict = self._propagate()
+            if conflict is not None:
+                # Conflict while every decision level is an assumption
+                # level: UNSAT under the assumption set (root-UNSAT when
+                # there are no assumption levels yet).
+                if self._decision_level() == 0:
+                    self._root_conflict = True
+                self._backtrack(0)
+                return SolveResult(satisfiable=False, stats=self.stats)
             self._trail_lim.append(len(self._trail))
-            num_assumptions += 1
-            if not self._enqueue(lit, None) or self._propagate() is not None:
+            if self._incremental:
+                self._assumptions.append(lit)
+            if not self._enqueue(lit, None):
                 self._backtrack(0)
                 return SolveResult(satisfiable=False, stats=self.stats)
 
@@ -556,7 +870,8 @@ class CDCLSolver:
                 self._decay_var_activity()
                 self._cla_inc /= self._cla_decay
                 if conflict_budget is not None and self.stats.conflicts >= conflict_budget:
-                    self._backtrack(0)
+                    if not self._incremental:
+                        self._backtrack(0)
                     return SolveResult(satisfiable=None, stats=self.stats)
                 if conflicts_since_restart >= restart_limit:
                     self.stats.restarts += 1
@@ -577,7 +892,8 @@ class CDCLSolver:
                 model = {
                     v: self._assign[v] == _TRUE for v in range(1, self._num_vars + 1)
                 }
-                self._backtrack(0)
+                if not self._incremental:
+                    self._backtrack(0)
                 return SolveResult(satisfiable=True, model=model, stats=self.stats)
             self.stats.decisions += 1
             self._trail_lim.append(len(self._trail))

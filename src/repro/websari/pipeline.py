@@ -144,6 +144,9 @@ class WebSSARI:
         sanitize_in_place: bool = True,
         solver: SolverBackend = "cdcl",
         sat_cache: "SatQueryCache | None" = None,
+        restart_strategy: str = "geometric",
+        sat_seed: int = 0,
+        sat_incremental: bool = True,
     ) -> None:
         self.prelude = prelude if prelude is not None else default_php_prelude()
         self.accumulate = accumulate
@@ -152,12 +155,23 @@ class WebSSARI:
         #: Figure-6-faithful in-place sanitizer postconditions; see
         #: repro.ir.filter.ProgramFilter for the soundness caveat.
         self.sanitize_in_place = sanitize_in_place
-        #: SAT backend for the BMC engine: "cdcl" (the ZChaff stand-in)
-        #: or "dpll" (the ablation baseline, markedly slower).
+        #: SAT backend for the BMC engine: "cdcl" (the ZChaff stand-in),
+        #: "dpll" (the ablation baseline, markedly slower), or
+        #: "portfolio" (racing configurations for budget-blowing queries).
         self.solver = solver
         #: SAT-level query memo shared across every file this verifier
         #: checks (repro.sat.cache); None disables the layer.
         self.sat_cache = sat_cache
+        #: CDCL restart schedule ("geometric" | "luby") and VSIDS/phase
+        #: seed, threaded into the solver (primary lane in portfolio
+        #: mode) and folded into the engine policy fingerprint.
+        self.restart_strategy = restart_strategy
+        self.sat_seed = sat_seed
+        #: Ablation switch for the incremental CDCL machinery (trail /
+        #: VSIDS / learned-clause retention across the enumeration and
+        #: cross-query lemma exchange).  True is the production default;
+        #: False measures the pre-incremental baseline in-process.
+        self.sat_incremental = sat_incremental
 
     @property
     def lattice(self) -> FiniteLattice:
@@ -213,6 +227,9 @@ class WebSSARI:
                 max_counterexamples=self.max_counterexamples,
                 solver_backend=self.solver,
                 sat_cache=self.sat_cache,
+                restart_strategy=self.restart_strategy,
+                sat_seed=self.sat_seed,
+                sat_incremental=self.sat_incremental,
             )
             grouping = group_errors(bmc_result)
         return VerificationReport(

@@ -1,28 +1,72 @@
 """Verdict parity across solver backends and the SAT query cache.
 
-Both acceleration layers are pure optimizations: for any program, every
-``(solver backend, sat-cache)`` combination must produce the same
-:class:`BMCResult` verdicts and the same counterexample counts.  These
-tests pin that property over Figure-10-generator projects (the
-property-style corpus: deterministic seeds, varied topology/shapes) plus
-a few hand-picked tricky sources.
+All acceleration layers — the query cache, the incremental CDCL
+machinery (trail/VSIDS/lemma retention across the enumeration plus
+cross-query clause import), and the portfolio racer — are pure
+optimizations: for any program, every ``(solver backend, sat-cache,
+incremental)`` combination must produce the same :class:`BMCResult`
+verdicts, the same counterexample counts, and the same witness
+signatures.  These tests pin that property over Figure-10-generator
+projects (the property-style corpus: deterministic seeds, varied
+topology/shapes), random fuzz programs, and a few hand-picked tricky
+sources, and pin byte-stable JSONL output for a fixed ``--sat-seed``.
 """
+
+import json
+import random
 
 import pytest
 
-from repro.corpus.generator import ProjectSpec, generate_project
+from repro.corpus.generator import ProjectSpec, generate_fuzz_program, generate_project
 from repro.sat.cache import SatQueryCache
 from repro.websari.pipeline import WebSSARI
 
 
 def _variants():
-    """One verifier per (backend, cache) combination, fresh caches each."""
+    """One verifier per (backend, cache) combination, fresh caches each.
+
+    Covers the full cdcl/dpll/portfolio × cache on/off grid plus the
+    incremental-machinery ablation and the non-default tuning knobs
+    (Luby restarts, nonzero VSIDS/phase seed).
+    """
     return {
         ("cdcl", "off"): WebSSARI(solver="cdcl"),
         ("cdcl", "on"): WebSSARI(solver="cdcl", sat_cache=SatQueryCache()),
         ("dpll", "off"): WebSSARI(solver="dpll"),
         ("dpll", "on"): WebSSARI(solver="dpll", sat_cache=SatQueryCache()),
+        ("portfolio", "off"): WebSSARI(solver="portfolio"),
+        ("portfolio", "on"): WebSSARI(
+            solver="portfolio", sat_cache=SatQueryCache()
+        ),
+        ("cdcl-nonincremental", "off"): WebSSARI(
+            solver="cdcl", sat_incremental=False
+        ),
+        ("cdcl-nonincremental", "on"): WebSSARI(
+            solver="cdcl", sat_cache=SatQueryCache(), sat_incremental=False
+        ),
+        ("cdcl-luby-seeded", "on"): WebSSARI(
+            solver="cdcl",
+            sat_cache=SatQueryCache(),
+            restart_strategy="luby",
+            sat_seed=7,
+        ),
     }
+
+
+def _witnesses(assertion):
+    """Order-insensitive witness signature of one assertion: the set of
+    enumerated paths (deciding-branch assignments) and what each one
+    violates.  Enumeration *order* is solver-dependent; the set is not.
+    """
+    return tuple(
+        sorted(
+            (
+                tuple(sorted(cx.deciding_branches.items())),
+                tuple(sorted(cx.violating_names)),
+            )
+            for cx in assertion.counterexamples
+        )
+    )
 
 
 def _signature(report):
@@ -31,7 +75,7 @@ def _signature(report):
         report.safe,
         report.bmc.safe,
         [
-            (a.assert_id, a.safe, len(a.counterexamples), a.truncated)
+            (a.assert_id, a.safe, len(a.counterexamples), a.truncated, _witnesses(a))
             for a in report.bmc.assertions
         ],
         report.bmc_group_count,
@@ -84,6 +128,91 @@ class TestGeneratedProjectParity:
         warm_stats = [r.bmc.solver_stats for r in second.reports]
         assert any(s.get("cache_hits", 0) > 0 for s in warm_stats)
         assert all(s.get("cache_misses", 0) == 0 for s in warm_stats)
+
+
+class TestFuzzProgramParity:
+    """The ISSUE-8 parity sweep: random loop-free F(p) programs through
+    the full variant grid, witness-equivalence included."""
+
+    SEED = 20260808
+    COUNT = 6
+
+    @pytest.mark.parametrize("index", range(COUNT))
+    def test_all_variants_agree(self, index):
+        program = generate_fuzz_program(random.Random(self.SEED + index))
+        signatures = {
+            key: _signature(
+                websari.verify_source(program.source, f"fuzz{index}.php")
+            )
+            for key, websari in _variants().items()
+        }
+        baseline = signatures[("cdcl", "off")]
+        for key, signature in signatures.items():
+            assert signature == baseline, (
+                f"fuzz{index}: variant {key} diverged "
+                f"(seed={self.SEED + index})\nsource:\n{program.source}"
+            )
+
+
+class TestSeededJsonlDeterminism:
+    """A fixed ``--sat-seed`` must make two identical audits emit
+    byte-identical JSONL modulo wall-clock fields."""
+
+    VOLATILE = {"duration", "timings", "stage_seconds", "ts", "wall_seconds", "seconds"}
+
+    def _scrub(self, record):
+        out = {}
+        for key, value in record.items():
+            if key in self.VOLATILE:
+                continue
+            if key == "slow_queries":
+                # The ledger ranks by wall seconds — a timing artifact —
+                # so compare it as an order-free set of scrubbed records.
+                value = sorted(
+                    (
+                        {k: v for k, v in q.items() if k not in self.VOLATILE}
+                        for q in value
+                    ),
+                    key=lambda q: (q.get("fingerprint", ""), q.get("assert_id", 0)),
+                )
+            out[key] = value
+        return out
+
+    def _audit(self, tmp_path, corpus, tag):
+        from repro.cli import main
+
+        out = tmp_path / f"audit-{tag}.jsonl"
+        main(
+            [
+                "audit",
+                str(corpus),
+                "--jobs",
+                "1",
+                "--no-cache",
+                "--sat-cache",
+                "on",
+                "--sat-seed",
+                "7",
+                "--restart-strategy",
+                "luby",
+                "--jsonl",
+                str(out),
+                "--quiet",
+            ]
+        )
+        with open(out) as handle:
+            return [self._scrub(json.loads(line)) for line in handle]
+
+    def test_two_runs_identical(self, tmp_path):
+        corpus = tmp_path / "php"
+        corpus.mkdir()
+        rng = random.Random(99)
+        for i in range(4):
+            program = generate_fuzz_program(rng)
+            (corpus / f"f{i}.php").write_text(program.source)
+        first = self._audit(tmp_path, corpus, "a")
+        second = self._audit(tmp_path, corpus, "b")
+        assert first == second
 
 
 class TestTrickySourcesParity:
