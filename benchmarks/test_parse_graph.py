@@ -1,0 +1,213 @@
+"""PARSE-GRAPH — closure-scoped keys, parse-cache reuse, slice shipping.
+
+The corpus is the shape the include graph was built for: ``N`` small
+entry files all splicing one fat shared prelude (plus one standalone
+leaf that never touches it).  Four contracts, from ISSUE 9:
+
+* **invalidation** — with a persistent result cache, a second
+  cold-process audit after touching one leaf entry re-verifies exactly
+  that entry; editing the shared prelude re-verifies every includer.
+* **parse reuse** — a warm persistent parse cache makes the summed
+  ``parse`` stage ≥ 2× faster than running with the cache off (the
+  prelude parses once per content hash instead of once per entry).
+* **slice shipping** — with ``jobs=2``, the bytes actually written to
+  worker pipes (closure slices + per-worker dedup) beat the historical
+  whole-project-per-task volume by ≥ 5×.
+* **parity** — verdicts and summaries are identical across closure
+  keying on/off × parse cache on/off.
+
+A trajectory point is appended to ``BENCH_parse_graph.json`` at the
+repo root.  Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks
+the corpus and drops the timing assertion — queue jitter on shared
+runners makes small absolute times meaningless — but keeps the
+invalidation, shipping, and parity contracts; the point then goes to
+``$REPRO_BENCH_OUT`` instead of the tracked file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import WebSSARI
+from repro.engine import AuditEngine, AuditTask, EngineConfig, ResultCache
+from repro.php import SourceProject, scan_includes
+from repro.php.parsecache import ParseCache
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Entry files splicing the shared prelude.  The shipping ratio is
+#: roughly n_tasks / workers (the prelude dominates both sides), so the
+#: corpus stays large enough for the 5x contract even in smoke mode.
+N_ENTRIES = 10 if SMOKE else 16
+#: Statements in the shared prelude — fat enough that parsing it
+#: dominates the parse stage when repeated once per entry.
+PRELUDE_STATEMENTS = 60 if SMOKE else 400
+
+
+def make_corpus() -> dict[str, str]:
+    prelude = ["<?php"]
+    for i in range(PRELUDE_STATEMENTS):
+        prelude.append(f"$p{i} = 'prelude value {i}';")
+    prelude.append("$shared = $_GET['q'];")
+    files = {"common.php": "\n".join(prelude) + "\n"}
+    for i in range(N_ENTRIES):
+        # Alternate verdicts: even entries echo the tainted prelude
+        # variable (vulnerable), odd ones a constant (safe).
+        sink = "$shared" if i % 2 == 0 else f"'entry {i}'"
+        files[f"entry{i}.php"] = f"<?php include 'common.php'; echo {sink};\n"
+    files["leaf.php"] = "<?php echo 'standalone leaf';\n"
+    return files
+
+
+def make_tasks(files: dict[str, str], *, closure_keys: bool = True) -> list[AuditTask]:
+    """Build project tasks the way the pipeline's scheduler does."""
+    project = SourceProject(files)
+    entries = sorted(files)
+    tasks = []
+    for i, entry in enumerate(entries):
+        if closure_keys:
+            scan = scan_includes(project, entry)
+            assert not scan.widened, "bench corpus must stay statically bounded"
+            slice_files = {p: files[p] for p in sorted(scan.closure)}
+        else:
+            slice_files = dict(files)
+        tasks.append(
+            AuditTask(index=i, filename=entry, project_files=slice_files, entry=entry)
+        )
+    return tasks
+
+
+def sweep(
+    files: dict[str, str],
+    *,
+    jobs: int = 1,
+    closure_keys: bool = True,
+    parse_cache: ParseCache | None = None,
+    cache: ResultCache | None = None,
+):
+    websari = WebSSARI(parse_cache=parse_cache, closure_keys=closure_keys)
+    engine = AuditEngine(websari=websari, config=EngineConfig(jobs=jobs, cache=cache))
+    return engine.run(make_tasks(files, closure_keys=closure_keys))
+
+
+def parse_seconds(result) -> float:
+    return sum(o.timings.get("parse", 0.0) for o in result.outcomes)
+
+
+def record_trajectory(point: dict) -> None:
+    path = Path(__file__).resolve().parent.parent / "BENCH_parse_graph.json"
+    try:
+        trajectory = json.loads(path.read_text())
+        assert isinstance(trajectory, list)
+    except (OSError, ValueError, AssertionError):
+        trajectory = []
+    trajectory.append(point)
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.benchmark(group="parse-graph")
+def test_closure_keys_parse_cache_and_slicing(benchmark, tmp_path):
+    files = make_corpus()
+    total_bytes = sum(len(text) for text in files.values())
+    n_tasks = len(files)
+
+    # -- baseline: verdict reference, parse-cache off, whole project ----
+    baseline = sweep(files, closure_keys=False)
+
+    # -- contract: closure-scoped invalidation across cold processes ----
+    result_dir = tmp_path / "results"
+    first = sweep(files, cache=ResultCache(result_dir))
+    assert first.stats.cache_misses == n_tasks
+
+    edited_leaf = dict(files)
+    edited_leaf["entry1.php"] = files["entry1.php"].replace("entry 1", "entry 1 v2")
+    second = sweep(edited_leaf, cache=ResultCache(result_dir))
+    assert second.stats.cache_misses == 1, "a leaf edit must re-verify only itself"
+    assert second.stats.cache_hits == n_tasks - 1
+
+    edited_prelude = dict(files)
+    edited_prelude["common.php"] = files["common.php"].replace(
+        "prelude value 0", "prelude value 0 v2"
+    )
+    third = sweep(edited_prelude, cache=ResultCache(result_dir))
+    # Every includer of common.php misses (plus common.php itself as its
+    # own entry); the standalone leaf still hits.
+    assert third.stats.cache_misses == N_ENTRIES + 1
+    assert third.stats.cache_hits == 1
+
+    # -- contract: warm parse cache ≥ 2× on the parse stage -------------
+    persist = tmp_path / "parse"
+    nocache = sweep(files)
+    cold = sweep(files, parse_cache=ParseCache(persist_dir=persist))
+    warm = benchmark.pedantic(
+        lambda: sweep(files, parse_cache=ParseCache(persist_dir=persist)),
+        rounds=1,
+        iterations=1,
+    )
+    nocache_parse = parse_seconds(nocache)
+    warm_parse = parse_seconds(warm)
+    ratio = nocache_parse / warm_parse if warm_parse else float("inf")
+
+    # -- contract: slice shipping beats whole-project shipping ≥ 5× -----
+    pooled = sweep(files, jobs=2)
+    shipped = pooled.stats.closure_bytes_shipped
+    whole_project_volume = n_tasks * total_bytes
+    shipping_ratio = whole_project_volume / shipped if shipped else float("inf")
+    assert shipped > 0
+    assert shipping_ratio >= 5.0, (
+        f"closure slices shipped {shipped} bytes; whole-project shipping "
+        f"would be {whole_project_volume} — only {shipping_ratio:.1f}x better"
+    )
+
+    # -- contract: verdict parity across every switch combination -------
+    reference = [(o.safe, o.summary) for o in baseline.outcomes]
+    for label, result in [
+        ("closure+nocache", nocache),
+        ("closure+cold", cold),
+        ("closure+warm", warm),
+        ("closure+pool", pooled),
+        ("whole+cache", sweep(files, closure_keys=False, parse_cache=ParseCache())),
+    ]:
+        got = [(o.safe, o.summary) for o in result.outcomes]
+        assert got == reference, f"{label} sweep changed a verdict"
+
+    print()
+    print(
+        f"parse graph — {N_ENTRIES} entries × {PRELUDE_STATEMENTS}-statement "
+        f"prelude ({total_bytes} bytes)"
+    )
+    print(
+        f"parse stage: nocache {nocache_parse:.3f}s, cold {parse_seconds(cold):.3f}s, "
+        f"warm {warm_parse:.3f}s  ({ratio:.1f}x warm speedup)"
+    )
+    print(
+        f"shipping: {shipped} bytes over the pipe vs {whole_project_volume} "
+        f"whole-project ({shipping_ratio:.1f}x), "
+        f"{pooled.stats.closure_bytes_deduped} deduped"
+    )
+
+    point = {
+        "bench": "parse_graph",
+        "entries": N_ENTRIES,
+        "prelude_statements": PRELUDE_STATEMENTS,
+        "corpus_bytes": total_bytes,
+        "leaf_edit_misses": second.stats.cache_misses,
+        "prelude_edit_misses": third.stats.cache_misses,
+        "parse_nocache_seconds": round(nocache_parse, 4),
+        "parse_warm_seconds": round(warm_parse, 4),
+        "parse_warm_speedup": round(ratio, 3) if warm_parse else None,
+        "bytes_shipped": shipped,
+        "bytes_deduped": pooled.stats.closure_bytes_deduped,
+        "shipping_ratio": round(shipping_ratio, 2),
+    }
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        Path(out).write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
+    if not SMOKE:
+        # Acceptance contract (ISSUE 9): warm parse ≥ 2× nocache parse.
+        assert ratio >= 2.0, f"warm parse speedup {ratio:.2f}x below the 2x contract"
+        record_trajectory(point)

@@ -9,11 +9,13 @@ python -m repro audit   dir/ [--jobs N] [--timeout S] [--cache-dir D]
                         [--no-cache] [--jsonl out.jsonl] [--detailed]
                         [--trace out.json] [--metrics out.prom]
                         [--solver cdcl|dpll|portfolio] [--sat-cache on|off]
+                        [--parse-cache on|off]
                         [--restart-strategy geometric|luby] [--sat-seed N]
                         [--shard I/N] [--start-method fork|spawn]
 python -m repro watch   dir/ [--interval S] [--debounce S] [--jobs N]
                         [--serve-metrics [HOST]:PORT] [--out-dir D]
                         [--once] [--cache-dir D] [--sat-cache on|off]
+                        [--parse-cache on|off]
 python -m repro serve   [--bind [HOST]:PORT] [--lease-timeout S]
                         [--submit PATH ...] [--jsonl-dir D]
                         [--trace out.json] [--drain-grace S]
@@ -185,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/SOLVER.md)",
     )
     audit.add_argument(
+        "--parse-cache", choices=("on", "off"), default="on", dest="parse_cache",
+        help="memoize parse results by content hash, persisted under "
+        "<cache-dir>/parse so shared include files parse once per "
+        "content across entries, workers, and runs (see docs/AUDIT_ENGINE.md)",
+    )
+    audit.add_argument(
         "--restart-strategy", choices=("geometric", "luby"), default="geometric",
         help="CDCL restart schedule (primary lane in portfolio mode)",
     )
@@ -274,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--sat-cache", choices=("on", "off"), default="on",
         help="persistent SAT-query memo under <cache-dir>/sat (see docs/SOLVER.md)",
+    )
+    watch.add_argument(
+        "--parse-cache", choices=("on", "off"), default="on", dest="parse_cache",
+        help="content-hash parse memo under <cache-dir>/parse "
+        "(see docs/DAEMON.md)",
     )
     watch.add_argument(
         "--restart-strategy", choices=("geometric", "luby"), default="geometric",
@@ -387,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent SAT-query memo under <cache-dir>/sat",
     )
     work.add_argument(
+        "--parse-cache", choices=("on", "off"), default="on", dest="parse_cache",
+        help="content-hash parse memo under <cache-dir>/parse (folded into "
+        "the policy fingerprint: must match the rest of the fleet)",
+    )
+    work.add_argument(
         "--restart-strategy", choices=("geometric", "luby"), default="geometric",
         help="CDCL restart schedule (primary lane in portfolio mode)",
     )
@@ -488,11 +506,15 @@ def _collect_php_files(paths: list[Path]) -> list[Path]:
 
 
 def _make_websari(args: argparse.Namespace) -> WebSSARI:
+    from repro.php.parsecache import ParseCache
     from repro.sat.cache import SatQueryCache
 
     prelude = load_prelude(args.prelude) if args.prelude else None
     sat_cache = (
         SatQueryCache() if getattr(args, "sat_cache", "off") == "on" else None
+    )
+    parse_cache = (
+        ParseCache() if getattr(args, "parse_cache", "off") == "on" else None
     )
     return WebSSARI(
         prelude=prelude,
@@ -500,6 +522,7 @@ def _make_websari(args: argparse.Namespace) -> WebSSARI:
         sat_cache=sat_cache,
         restart_strategy=getattr(args, "restart_strategy", "geometric"),
         sat_seed=getattr(args, "sat_seed", 0),
+        parse_cache=parse_cache,
     )
 
 
@@ -626,9 +649,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
     websari = _make_websari(args)
     # Persist SAT query results under the engine's cache root even when
-    # --no-cache disables the file-level result cache: the two layers
-    # are independent (see docs/SOLVER.md).
+    # --no-cache disables the file-level result cache: the layers are
+    # independent (see docs/SOLVER.md); the parse cache follows the same
+    # rule under <cache-dir>/parse.
     websari.attach_persistent_sat_cache(args.cache_dir or default_cache_dir())
+    websari.attach_persistent_parse_cache(args.cache_dir or default_cache_dir())
     files = _collect_php_files(args.paths)
     if not files:
         print("no PHP files found", file=sys.stderr)
@@ -721,9 +746,15 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     websari = _make_websari(args)
     cache_root = Path(args.cache_dir or default_cache_dir())
     websari.attach_persistent_sat_cache(cache_root)
+    websari.attach_persistent_parse_cache(cache_root)
     # Hot layer on top of the shared on-disk cache: unchanged files are
     # answered from memory for the daemon's lifetime.
     cache = None if args.no_cache else HotResultCache(cache_root)
+    # The include graph is independent of the result cache: reverse-graph
+    # invalidation must work even under --no-cache.
+    from repro.php.parsecache import IncludeGraph
+
+    include_graph = IncludeGraph(cache_root / "include-graph.json")
     metrics = MetricsRegistry()
     stop = threading.Event()
     loop = WatchLoop(
@@ -742,6 +773,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         metrics=metrics,
         stop_event=stop,
         quiet=args.quiet,
+        include_graph=include_graph,
     )
 
     def _request_stop(signum, frame) -> None:
@@ -864,6 +896,7 @@ def _cmd_work(args: argparse.Namespace) -> int:
     websari = _make_websari(args)
     cache_root = args.cache_dir or default_cache_dir()
     websari.attach_persistent_sat_cache(cache_root)
+    websari.attach_persistent_parse_cache(cache_root)
     cache = None if args.no_cache else ResultCache(cache_root)
     stop = threading.Event()
 

@@ -15,27 +15,72 @@ and a long-lived verifier + cache pair.  Each cycle:
    ``repro report --diff cycle-A.jsonl cycle-B.jsonl`` between *any* two
    cycles shows exactly the verdict movement in between.
 
+Include-aware invalidation: with an
+:class:`~repro.php.parsecache.IncludeGraph` attached, each cycle scans
+its dirty files' include closures, updates the graph, and adds every
+transitive *includer* of a dirty (or deleted) file to the audit set —
+editing a shared library re-verifies exactly the entries that splice it
+instead of silently leaving them stale.  Files are audited as project
+entries (their closure travels with the task), so cache keys scope to
+what each entry can actually read.
+
 Graceful shutdown: ``stop_event`` doubles as the engine's
 ``drain_event`` — a SIGINT/SIGTERM mid-cycle lets in-flight files
 finish, marks undispatched ones ``skipped``, and the cycle trailer
 carries ``interrupted: true``.  Caches need no explicit flush (both the
-result cache and the SAT cache write through on every put).
+result cache and the SAT cache write through on every put; the include
+graph snapshot is saved at the end of each dirty cycle).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.daemon.watcher import TreeWatcher
 from repro.engine import AuditEngine, AuditTask, EngineConfig, EngineResult, JsonlSink
 from repro.engine.cache import ResultCache
+from repro.engine.worker import project_content_digest
 from repro.obs import MetricsRegistry
+from repro.php.errors import IncludeError
+from repro.php.includes import SourceProject, scan_includes
+from repro.php.parsecache import IncludeGraph
 
 __all__ = ["CycleResult", "WatchLoop"]
+
+
+class _TreeProject(SourceProject):
+    """Lazy disk-backed project over the watcher's current snapshot.
+
+    Maps normalized tree-relative paths to absolute ones and reads file
+    text on first access only — a cycle that audits two entries reads
+    two closures, not the whole tree.  Read races (file vanished since
+    the poll) surface as ``OSError`` from :meth:`source`, handled per
+    entry by the caller.
+    """
+
+    def __init__(self, abs_by_rel: dict[str, str]) -> None:
+        super().__init__()
+        self._abs_by_rel = abs_by_rel
+
+    def has(self, path: str) -> bool:
+        return self.normalize(path) in self._abs_by_rel
+
+    def source(self, path: str) -> str:
+        normalized = self.normalize(path)
+        if normalized not in self._files and normalized in self._abs_by_rel:
+            self._files[normalized] = Path(self._abs_by_rel[normalized]).read_text()
+        return self._files[normalized]
+
+    def paths(self) -> list[str]:
+        return sorted(self._abs_by_rel)
+
+    def __len__(self) -> int:
+        return len(self._abs_by_rel)
 
 
 @dataclass
@@ -49,6 +94,9 @@ class CycleResult:
     #: The cycle's JSONL stream (None when no out_dir is configured).
     stream_path: Path | None
     interrupted: bool
+    #: Files audited only because the include graph named them as
+    #: transitive includers of something dirty (subset of ``dirty``).
+    invalidated: list[str] = field(default_factory=list)
 
 
 class WatchLoop:
@@ -72,10 +120,14 @@ class WatchLoop:
         pattern: str = "*.php",
         quiet: bool = True,
         stream=None,
+        include_graph: IncludeGraph | None = None,
     ) -> None:
         self.watcher = TreeWatcher(root, pattern=pattern, debounce=debounce, clock=clock)
         self.websari = websari
         self.cache = cache
+        #: Persisted includer→included edges; None disables reverse-graph
+        #: invalidation (dirty set stays per-file).
+        self.include_graph = include_graph
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.start_method = start_method
@@ -91,8 +143,22 @@ class WatchLoop:
         self.polls = 0
         self.last_dirty = 0
         self.last_cycle_seconds = 0.0
+        #: Includers pulled in by the graph in the last cycle / in total.
+        self.last_invalidated = 0
+        self.includers_invalidated = 0
         #: Last known JSON record per live path (feeds every cycle stream).
         self._records: dict[str, dict] = {}
+
+    # -- path mapping -------------------------------------------------------
+
+    def _rel(self, path: str) -> str:
+        """Watcher (absolute-ish) path → normalized tree-relative path —
+        the namespace the include graph and task entries live in."""
+        return SourceProject.normalize(os.path.relpath(path, str(self.watcher.root)))
+
+    def _abs(self, rel: str) -> str:
+        """Inverse of :meth:`_rel` (matches the watcher's path spelling)."""
+        return str(Path(self.watcher.root) / rel)
 
     # -- one cycle ----------------------------------------------------------
 
@@ -116,18 +182,83 @@ class WatchLoop:
 
         for path in delta.gone:
             self._records.pop(path, None)
-        dirty = delta.dirty
+
+        # Reverse-graph invalidation: every tracked file that transitively
+        # includes something dirty (or deleted) must re-audit too — its
+        # spliced program changed even though its own bytes did not.
+        tracked = set(self.watcher.paths())
+        invalidated: list[str] = []
+        if self.include_graph is not None:
+            changed_rel = {self._rel(p) for p in delta.dirty + delta.gone}
+            for rel in sorted(self.include_graph.includers_of(changed_rel)):
+                includer = self._abs(rel)
+                if includer in tracked and includer not in delta.dirty:
+                    invalidated.append(includer)
+            for path in delta.gone:
+                self.include_graph.remove_file(self._rel(path))
+        dirty = sorted(set(delta.dirty) | set(invalidated))
+
+        project = _TreeProject({self._rel(path): path for path in sorted(tracked)})
+        parse_cache = getattr(self.websari, "parse_cache", None)
+        do_parse = parse_cache.parse if parse_cache is not None else None
+        closure_keys = getattr(self.websari, "closure_keys", True)
+        whole_tree: dict[str, str] | None = None
+        whole_digest: str | None = None
+
         tasks: list[AuditTask] = []
         for path in dirty:
+            entry = self._rel(path)
             try:
-                source = Path(path).read_text()
-            except OSError as exc:
+                scan = scan_includes(project, entry, parse_hook=do_parse)
+                standalone = (
+                    scan.closure == {entry}
+                    and not scan.missing
+                    and not scan.unresolved
+                )
+                if closure_keys and standalone:
+                    # No include machinery in play: a plain content-keyed
+                    # task, sharing cache entries with `repro audit` of
+                    # the same tree.  (An unparsable entry lands here too
+                    # — its verdict depends only on its own bytes.)
+                    task = AuditTask(
+                        index=len(tasks),
+                        filename=path,
+                        source=project.source(entry),
+                    )
+                elif closure_keys and not scan.widened:
+                    files = {p: project.source(p) for p in sorted(scan.closure)}
+                    task = AuditTask(
+                        index=len(tasks), filename=path, project_files=files, entry=entry
+                    )
+                else:
+                    # Whole-tree fallback: closure keying off, or the scan
+                    # could not bound this entry's dependencies.  The tree
+                    # snapshot and its digest are computed once per cycle.
+                    if whole_tree is None:
+                        whole_tree = {p: project.source(p) for p in project.paths()}
+                        whole_digest = project_content_digest(whole_tree)
+                    task = AuditTask(
+                        index=len(tasks),
+                        filename=path,
+                        project_files=whole_tree,
+                        entry=entry,
+                        closure_widened=scan.widened,
+                        project_digest=whole_digest if closure_keys else None,
+                    )
+            except (OSError, IncludeError) as exc:
                 # Raced away between poll and read; it will be reported
                 # deleted next poll.  Drop any stale record now.
                 self._records.pop(path, None)
                 self._say(f"watch: {path}: {exc} (skipping this cycle)")
                 continue
-            tasks.append(AuditTask(index=len(tasks), filename=path, source=source))
+            tasks.append(task)
+            if self.include_graph is not None:
+                for scanned, targets in scan.includes_by_file.items():
+                    self.include_graph.update_file(
+                        scanned, targets, scan.digests.get(scanned)
+                    )
+        if self.include_graph is not None:
+            self.include_graph.save()
 
         self.cycles += 1
         # The engine writes into a fresh per-cycle registry that is folded
@@ -154,9 +285,11 @@ class WatchLoop:
                 continue  # keep the last known record, if any
             self._records[outcome.filename] = outcome.to_record()
 
-        stream_path = self._write_stream(result, interrupted)
+        stream_path = self._write_stream(result, interrupted, invalidated)
         self.last_dirty = len(dirty)
         self.last_cycle_seconds = result.stats.wall_seconds
+        self.last_invalidated = len(invalidated)
+        self.includers_invalidated += len(invalidated)
         if self.metrics is not None:
             self.metrics.counter(
                 "repro_watch_cycles_total", "completed re-audit cycles"
@@ -167,10 +300,16 @@ class WatchLoop:
             self.metrics.gauge(
                 "repro_watch_cycle_seconds", "engine wall seconds of the last cycle"
             ).set(result.stats.wall_seconds)
+            if invalidated:
+                self.metrics.counter(
+                    "repro_watch_includers_invalidated_total",
+                    "files re-audited because they include a dirty file",
+                ).inc(len(invalidated))
         stats = result.stats
         self._say(
-            f"watch: cycle {self.cycles}: {len(dirty)} dirty, "
-            f"{len(delta.gone)} gone; {stats.safe} safe, "
+            f"watch: cycle {self.cycles}: {len(dirty)} dirty"
+            + (f" ({len(invalidated)} via includes)" if invalidated else "")
+            + f", {len(delta.gone)} gone; {stats.safe} safe, "
             f"{stats.vulnerable} vulnerable, {stats.failed} failed "
             f"({stats.cache_hits} cached)"
             + (" [interrupted]" if interrupted else "")
@@ -182,9 +321,12 @@ class WatchLoop:
             result=result,
             stream_path=stream_path,
             interrupted=interrupted,
+            invalidated=invalidated,
         )
 
-    def _write_stream(self, result: EngineResult, interrupted: bool) -> Path | None:
+    def _write_stream(
+        self, result: EngineResult, interrupted: bool, invalidated: list[str]
+    ) -> Path | None:
         """One merged JSONL per cycle: fresh records for dirty files plus
         carried-over records for everything unchanged, then the engine
         trailer — the same shape ``repro audit --jsonl`` writes, so
@@ -198,6 +340,8 @@ class WatchLoop:
             trailer = result.stats.as_dict()
             trailer["cycle"] = self.cycles
             trailer["watched_files"] = self.watcher.tracked
+            if invalidated:
+                trailer["includers_invalidated"] = len(invalidated)
             if interrupted:
                 trailer["interrupted"] = True
             sink.write_stats(trailer)
@@ -222,6 +366,7 @@ class WatchLoop:
             "tracked_files": self.watcher.tracked,
             "last_dirty": self.last_dirty,
             "last_cycle_seconds": round(self.last_cycle_seconds, 6),
+            "includers_invalidated": self.includers_invalidated,
             "interval": self.interval,
         }
 

@@ -133,6 +133,11 @@ class TreeWatcher:
         """Files in the last committed snapshot."""
         return len(self._snapshot)
 
+    def paths(self) -> list[str]:
+        """Paths in the last committed snapshot, sorted — the watch
+        loop's project universe when it builds include closures."""
+        return sorted(self._snapshot)
+
     # -- snapshotting -------------------------------------------------------
 
     def snapshot(self) -> dict[str, FileStamp]:

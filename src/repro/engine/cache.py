@@ -48,8 +48,11 @@ __all__ = [
 #:  5: the CDCL solver became incremental (trail/VSIDS/learned-clause
 #:  retention across the enumeration, gate retirement sweeps, learned
 #:  clause import) and the portfolio backend landed — verdicts are
-#:  unchanged but every embedded counter is.)
-ENGINE_VERSION = "5"
+#:  unchanged but every embedded counter is.
+#:  6: records gained the per-file ``includes`` section and project
+#:  entries switched from whole-project to closure-scoped cache keys —
+#:  old whole-project entries must become clean misses.)
+ENGINE_VERSION = "6"
 
 #: Cache record schema version (independent of verdict semantics).
 _RECORD_VERSION = 1
@@ -98,6 +101,12 @@ def policy_fingerprint(websari: "WebSSARI") -> str:
                 # Ablation switch for the incremental machinery: verdicts
                 # agree either way, embedded counters do not.
                 "sat_incremental": getattr(websari, "sat_incremental", True),
+                # Parse cache and closure-scoped keying are verdict-
+                # neutral too, but records embed parse-cache counters and
+                # closure scoping changes what a key covers — runs with
+                # different switches must not alias.
+                "parse_cache": getattr(websari, "parse_cache", None) is not None,
+                "closure_keys": getattr(websari, "closure_keys", True),
             },
         },
         sort_keys=True,

@@ -43,7 +43,7 @@ import os
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import connection
 from typing import TYPE_CHECKING
 
@@ -53,11 +53,13 @@ from repro.engine.stats import EngineStats, ProgressPrinter
 from repro.engine.worker import (
     AuditTask,
     FileOutcome,
+    FileRef,
     WorkerSession,
     _worker_loop,
     safe_execute,
 )
 from repro.obs import MetricsRegistry, Span, Tracer, span_from_dict
+from repro.php.parsecache import content_digest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.websari.pipeline import WebSSARI
@@ -156,6 +158,10 @@ class _Worker:
     inflight: deque[tuple[AuditTask, int]] = field(default_factory=deque)
     started: float = 0.0
     deadline: float | None = None
+    #: Content digests of project-file texts already sent down this pipe
+    #: (mirrors the worker's session store): later tasks replace those
+    #: texts with :class:`FileRef` placeholders.
+    shipped: set[str] = field(default_factory=set)
 
 
 class AuditEngine:
@@ -335,6 +341,26 @@ class AuditEngine:
             if name == "backend" or not isinstance(value, int):
                 continue
             solver_counter.inc(value, kind=name, backend=backend)
+        includes = getattr(outcome, "includes", None) or {}
+        if includes.get("edges"):
+            metrics.counter(
+                "repro_include_edges_total", "include edges seen while splicing"
+            ).inc(includes["edges"])
+        if includes.get("unresolved"):
+            metrics.counter(
+                "repro_unresolved_includes",
+                "dynamic include paths left unresolved (coverage gap)",
+            ).inc(includes["unresolved"])
+        parse_hits = includes.get("parse_cache_hits", 0)
+        parse_misses = includes.get("parse_cache_misses", 0)
+        if parse_hits or parse_misses:
+            parse_counter = metrics.counter(
+                "repro_parse_cache_total", "parse-cache probes by result"
+            )
+            if parse_hits:
+                parse_counter.inc(parse_hits, result="hit")
+            if parse_misses:
+                parse_counter.inc(parse_misses, result="miss")
 
     # -- graceful drain -----------------------------------------------------
 
@@ -398,6 +424,44 @@ class AuditEngine:
         except (BrokenPipeError, OSError):
             pass
         return _Worker(process, parent_conn)
+
+    def _dedupe_for_pipe(
+        self, task: AuditTask, shipped: set[str], stats: EngineStats
+    ) -> AuditTask:
+        """Build the pipe payload for ``task``: project-file texts this
+        worker has already received become :class:`FileRef` digests.
+
+        With closure-sliced tasks this makes a shared prelude cross each
+        pipe once per worker session — per-task pickle volume drops from
+        O(project) to O(unseen bytes).  The caller keeps the original
+        task in ``inflight``; only the payload is stripped.
+        """
+        if task.project_files is None:
+            return task
+        payload: dict[str, object] = {}
+        sent = 0
+        deduped = 0
+        for path, text in task.project_files.items():
+            digest = content_digest(text)
+            if digest in shipped:
+                payload[path] = FileRef(digest)
+                deduped += len(text)
+            else:
+                shipped.add(digest)
+                payload[path] = text
+                sent += len(text)
+        stats.closure_bytes_shipped += sent
+        stats.closure_bytes_deduped += deduped
+        if self.config.metrics is not None:
+            counter = self.config.metrics.counter(
+                "repro_closure_bytes_shipped_total",
+                "project-slice bytes sent to workers, by pipe outcome",
+            )
+            if sent:
+                counter.inc(sent, result="sent")
+            if deduped:
+                counter.inc(deduped, result="deduped")
+        return replace(task, project_files=payload)  # type: ignore[arg-type]
 
     def _run_pool(self, pending, stats, progress, outcomes, keys) -> None:
         config = self.config
@@ -494,11 +558,16 @@ class AuditEngine:
                                 continue
                             task, attempt = pending.popleft()
                             was_idle = not worker.inflight
+                            # inflight keeps the ORIGINAL task: a requeue
+                            # to a fresh worker (empty store) must re-ship
+                            # full texts, not dangling FileRefs.
                             worker.inflight.append((task, attempt))
                             if was_idle:
                                 rearm(worker)
                             try:
-                                worker.conn.send(task)
+                                worker.conn.send(
+                                    self._dedupe_for_pipe(task, worker.shipped, stats)
+                                )
                             except (BrokenPipeError, OSError):
                                 crashed(worker)
 

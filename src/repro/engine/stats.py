@@ -52,6 +52,13 @@ class EngineStats:
     #: (and in :attr:`failed`) instead of being silently folded into
     #: ``errors``.
     other_statuses: dict[str, int] = field(default_factory=dict)
+    #: Include-layer counters (edges, included_files, unresolved,
+    #: parse_cache_hits/misses) summed over non-cached project outcomes.
+    include_totals: dict[str, int] = field(default_factory=dict)
+    #: Project-slice bytes actually sent down worker pipes this run, and
+    #: bytes avoided because the pipe's worker already held the content.
+    closure_bytes_shipped: int = 0
+    closure_bytes_deduped: int = 0
     #: Run-wide top-K hardest SAT queries, merged from per-file ledgers
     #: (cache hits contribute nothing: their solves never ran this run).
     slow_queries: SlowQueryLedger = field(default_factory=SlowQueryLedger)
@@ -73,6 +80,9 @@ class EngineStats:
             for name, value in (getattr(outcome, "solver", None) or {}).items():
                 if name != "backend" and isinstance(value, int) and not isinstance(value, bool):
                     self.solver_totals[name] = self.solver_totals.get(name, 0) + value
+            for name, value in (getattr(outcome, "includes", None) or {}).items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    self.include_totals[name] = self.include_totals.get(name, 0) + value
             self.slow_queries.merge(getattr(outcome, "slow_queries", None))
         self.retries += max(0, outcome.attempts - 1)
         if outcome.status == "ok":
@@ -123,6 +133,9 @@ class EngineStats:
             "wall_seconds": round(self.wall_seconds, 6),
             "stage_seconds": {k: round(v, 6) for k, v in sorted(self.stage_seconds.items())},
             "solver": dict(sorted(self.solver_totals.items())),
+            "includes": dict(sorted(self.include_totals.items())),
+            "closure_bytes_shipped": self.closure_bytes_shipped,
+            "closure_bytes_deduped": self.closure_bytes_deduped,
             "other_statuses": dict(sorted(self.other_statuses.items())),
             "slow_queries": self.slow_queries.records(),
         }
@@ -180,6 +193,30 @@ class EngineStats:
                     f"sat-cache: {self.solver_totals.get('cache_hits', 0)} hit(s), "
                     f"{self.solver_totals.get('cache_misses', 0)} miss(es)"
                 )
+        if self.include_totals:
+            include_parts = [
+                f"{self.include_totals[name]} {label}"
+                for name, label in (
+                    ("edges", "edge(s)"),
+                    ("included_files", "spliced"),
+                    ("unresolved", "unresolved dynamic"),
+                )
+                if name in self.include_totals
+            ]
+            if include_parts:
+                lines.append("includes: " + ", ".join(include_parts))
+            if self.include_totals.get("parse_cache_hits", 0) or self.include_totals.get(
+                "parse_cache_misses", 0
+            ):
+                lines.append(
+                    f"parse-cache: {self.include_totals.get('parse_cache_hits', 0)} hit(s), "
+                    f"{self.include_totals.get('parse_cache_misses', 0)} miss(es)"
+                )
+        if self.closure_bytes_shipped or self.closure_bytes_deduped:
+            lines.append(
+                f"closure shipping: {self.closure_bytes_shipped} byte(s) sent, "
+                f"{self.closure_bytes_deduped} byte(s) deduped"
+            )
         if self.slow_queries:
             top = self.slow_queries.records()[0]
             lines.append(

@@ -17,19 +17,52 @@ deliberately excluded from the JSON record.
 
 from __future__ import annotations
 
+import hashlib
 import signal
 import time
 import traceback
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
 from repro.obs import Tracer, get_tracer, set_tracer
 from repro.php.errors import FrontendError
+from repro.php.parsecache import content_digest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.websari.pipeline import VerificationReport, WebSSARI
 
-__all__ = ["AuditTask", "FileOutcome", "WorkerSession", "execute_task"]
+__all__ = [
+    "AuditTask",
+    "FileOutcome",
+    "FileRef",
+    "WorkerSession",
+    "execute_task",
+    "project_content_digest",
+]
+
+
+def project_content_digest(files: dict[str, str]) -> str:
+    """One digest over a whole file set — the conservative cache
+    material for entries whose include closure could not be trusted
+    (dynamic includes, unparsable members).  Byte-compatible with
+    hashing :meth:`AuditTask.cache_material`'s joined form."""
+    joined = "\x00".join(f"{path}\x01{files[path]}" for path in sorted(files))
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class FileRef:
+    """Stand-in for a project file the worker already holds.
+
+    The scheduler replaces file texts it has previously shipped down the
+    same pipe with these (keyed by content digest); the worker keeps a
+    per-session ``digest → text`` store and rehydrates tasks on receipt.
+    This cuts per-task pickle volume from O(project) to O(new bytes) —
+    a shared prelude crosses each pipe once per session, not once per
+    entry.
+    """
+
+    digest: str
 
 
 @dataclass(frozen=True)
@@ -57,9 +90,21 @@ class AuditTask:
     filename: str
     #: Standalone mode: the PHP source text.
     source: str | None = None
-    #: Project mode: all project files (path → text) plus the entry path.
+    #: Project mode: the files this entry's audit may read (path → text).
+    #: Historically the whole project; with closure-scoped scheduling it
+    #: is the entry's transitive include closure — which is also exactly
+    #: what ``cache_material`` hashes, so an edit to an included file
+    #: invalidates precisely the entries that splice it.
     project_files: dict[str, str] | None = None
     entry: str | None = None
+    #: True when the include scan could not bound this entry's
+    #: dependency set (dynamic includes / unparsable members); the task
+    #: then carries the whole project and keys on ``project_digest``.
+    closure_widened: bool = False
+    #: Precomputed whole-project content digest for widened tasks (the
+    #: scheduler computes it once per run instead of re-joining the full
+    #: project per entry).
+    project_digest: str | None = None
 
     def cache_material(self) -> tuple[str, str]:
         """(source-text, extra) pair feeding the content-addressed key.
@@ -67,11 +112,15 @@ class AuditTask:
         The filename is part of the key because report text embeds it
         (summaries, counterexample spans) — two files with identical
         content must not serve each other's rendered records.  Project
-        entries additionally hash every project file (an edit to an
-        included file must invalidate the entries that splice it).
+        entries hash the file set they carry (their include closure, or
+        historically the whole project); widened entries key on the
+        precomputed whole-project digest so *any* project edit
+        conservatively invalidates them.
         """
         if self.project_files is None:
             return self.source or "", f"file={self.filename}"
+        if self.project_digest is not None:
+            return self.project_digest, f"entry={self.entry}|closure=widened"
         joined = "\x00".join(
             f"{path}\x01{self.project_files[path]}" for path in sorted(self.project_files)
         )
@@ -109,6 +158,12 @@ class FileOutcome:
     #: Hardest SAT queries of this file (ledger records from the BMC
     #: check, each stamped with ``file``; see :mod:`repro.obs.ledger`).
     slow_queries: list[dict] = field(default_factory=list)
+    #: Include-layer facts for project entries: ``edges`` (direct
+    #: includer→included edges seen while splicing), ``included_files``,
+    #: ``unresolved`` (dynamic include paths), and — when a parse cache
+    #: is attached — ``parse_cache_hits``/``parse_cache_misses`` deltas
+    #: for this task.  Empty for standalone tasks.
+    includes: dict = field(default_factory=dict)
     #: End-to-end seconds for this file as seen by the scheduler.
     duration: float = 0.0
     cached: bool = False
@@ -138,6 +193,7 @@ class FileOutcome:
         "timings",
         "solver",
         "slow_queries",
+        "includes",
     )
 
     def to_record(self) -> dict:
@@ -203,22 +259,44 @@ def _run_stages(
     from repro.websari.pipeline import VerificationReport, count_statements
 
     include_warnings: list[str] = []
+    includes_info: dict = {}
     tracer = get_tracer()
+
+    parse_cache = getattr(websari, "parse_cache", None)
+    do_parse = parse_cache.parse if parse_cache is not None else parse
 
     clock = time.perf_counter
     mark = clock()
     with tracer.span("parse"):
         if task.project_files is not None:
             assert task.entry is not None
+            hits_before = parse_cache.hits if parse_cache is not None else 0
+            misses_before = parse_cache.misses if parse_cache is not None else 0
             project = SourceProject(task.project_files)
-            resolution = resolve_includes(project, task.entry)
+            resolution = resolve_includes(project, task.entry, parse_hook=do_parse)
             program = resolution.program
             include_warnings = list(resolution.warnings)
-            num_statements = count_statements(
-                parse(project.source(task.entry), task.entry)
-            )
+            # The entry's own program came back on the resolution — no
+            # second parse just to count its statements.
+            assert resolution.entry_program is not None
+            num_statements = count_statements(resolution.entry_program)
+            includes_info = {
+                "edges": len(resolution.edges),
+                "included_files": len(resolution.included_files),
+                "unresolved": len(resolution.unresolved),
+            }
+            if task.closure_widened:
+                includes_info["widened"] = True
+            if parse_cache is not None:
+                includes_info["parse_cache_hits"] = parse_cache.hits - hits_before
+                includes_info["parse_cache_misses"] = parse_cache.misses - misses_before
         else:
-            program = parse(task.source or "", task.filename)
+            # Standalone tasks may still parse through the cache (shared
+            # content across files, warm daemon cycles) but record no
+            # cache counters: their JSONL records stay byte-deterministic
+            # regardless of cache warmth, which the distributed-audit
+            # merge comparison relies on.
+            program = do_parse(task.source or "", task.filename)
             num_statements = count_statements(program)
     timings["parse"] = clock() - mark
 
@@ -278,6 +356,7 @@ def _run_stages(
         warnings=list(report.warnings),
         summary=report.summary(),
         detailed=report.detailed_report(),
+        includes=includes_info,
         solver={
             "backend": bmc_result.solver_backend,
             "solve_calls": bmc_result.num_solve_calls,
@@ -328,6 +407,27 @@ def safe_execute(
     return outcome
 
 
+def _rehydrate_task(task: AuditTask, store: dict[str, str]) -> AuditTask:
+    """Resolve :class:`FileRef` placeholders in a project task against
+    the worker's per-session content store, and remember any new texts
+    for later tasks on the same pipe.
+
+    A reference to a digest the store has never seen raises ``KeyError``
+    (turned into a structured error outcome by the caller) — it would
+    mean the scheduler's shipped-set and this store disagreed.
+    """
+    if task.project_files is None:
+        return task
+    files: dict[str, str] = {}
+    for path, text in task.project_files.items():
+        if isinstance(text, FileRef):
+            files[path] = store[text.digest]
+        else:
+            store[content_digest(text)] = text
+            files[path] = text
+    return replace(task, project_files=files)
+
+
 def _worker_loop(conn) -> None:
     """Entry point of a persistent worker process.
 
@@ -336,8 +436,10 @@ def _worker_loop(conn) -> None:
     through fork, so the loop is start-method agnostic).  After that it
     receives :class:`AuditTask` objects and sends one
     :class:`FileOutcome` back per task until the scheduler shuts it down
-    (``None`` sentinel or closed pipe).  A worker that dies mid-task
-    (hard crash, kill, unpicklable result) is detected by the scheduler
+    (``None`` sentinel or closed pipe).  Project-file texts already seen
+    on this pipe arrive as :class:`FileRef` digests and are rehydrated
+    from a session-local store.  A worker that dies mid-task (hard
+    crash, kill, unpicklable result) is detected by the scheduler
     through the broken pipe and replaced with a fresh process.
     """
     # The parent coordinates interrupts (drain + trailer): a terminal ^C
@@ -361,6 +463,7 @@ def _worker_loop(conn) -> None:
                 f"worker expected a WorkerSession setup message, got "
                 f"{type(session).__name__}"
             )
+        store: dict[str, str] = {}
         while True:
             try:
                 task = conn.recv()
@@ -368,6 +471,17 @@ def _worker_loop(conn) -> None:
                 return
             if task is None:
                 return
+            try:
+                task = _rehydrate_task(task, store)
+            except KeyError as exc:
+                conn.send(
+                    FileOutcome(
+                        filename=task.filename,
+                        status="error",
+                        error=f"missing project slice content for digest {exc}",
+                    )
+                )
+                continue
             conn.send(
                 safe_execute(
                     task, session.websari, session.want_report, session.collect_trace

@@ -349,6 +349,19 @@ def render_report(run: AuditRun, top: int = 10) -> str:
                 line += f"; wins: {wins}"
             lines.append(line)
 
+    include_totals = _sum_dicts(records, "includes")
+    if include_totals:
+        parts = [
+            f"{int(include_totals.get('edges', 0))} edge(s)",
+            f"{int(include_totals.get('included_files', 0))} spliced",
+            f"{int(include_totals.get('unresolved', 0))} unresolved dynamic",
+        ]
+        hits = int(include_totals.get("parse_cache_hits", 0))
+        misses = int(include_totals.get("parse_cache_misses", 0))
+        if hits or misses:
+            parts.append(f"parse cache {hits} hit(s) / {misses} miss(es)")
+        lines.append("includes: " + ", ".join(parts))
+
     slow = run.slow_queries(top=max(0, top))
     if slow:
         lines.append(f"slow queries (top {len(slow)}):")
@@ -422,6 +435,10 @@ def summarize_run(run: AuditRun, top: int = 10) -> dict:
         "solver": {
             name: value
             for name, value in sorted(_sum_dicts(records, "solver").items())
+        },
+        "includes": {
+            name: value
+            for name, value in sorted(_sum_dicts(records, "includes").items())
         },
         "nodes": {
             node: {k: v for k, v in trailer.items() if k not in ("type", "node")}

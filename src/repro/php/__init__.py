@@ -7,8 +7,15 @@ and parser replace the SableCC-generated LALR(1) pair, and
 
 from repro.php import ast_nodes as ast
 from repro.php.errors import FrontendError, IncludeError, LexError, ParseError
-from repro.php.includes import IncludeResolution, SourceProject, resolve_includes
+from repro.php.includes import (
+    IncludeResolution,
+    IncludeScan,
+    SourceProject,
+    resolve_includes,
+    scan_includes,
+)
 from repro.php.lexer import Lexer, tokenize
+from repro.php.parsecache import IncludeGraph, ParseCache, content_digest
 from repro.php.parser import Parser, parse
 from repro.php.span import Position, Span
 from repro.php.tokens import Token, TokenKind
@@ -20,8 +27,13 @@ __all__ = [
     "LexError",
     "ParseError",
     "IncludeResolution",
+    "IncludeScan",
+    "IncludeGraph",
+    "ParseCache",
     "SourceProject",
+    "content_digest",
     "resolve_includes",
+    "scan_includes",
     "Lexer",
     "tokenize",
     "Parser",

@@ -1,0 +1,323 @@
+"""Content-hash-keyed parse cache and the persisted include graph.
+
+A corpus audit parses the same shared prelude once per entry per run;
+``repro watch`` re-parses it every cycle.  Both are pure waste: an AST is
+a deterministic function of (source text, filename), and every AST node
+is a frozen dataclass — immutable, safely shared between consumers and
+picklable across process boundaries.  :class:`ParseCache` memoizes
+``parse`` on exactly that function: an in-memory LRU for one process
+plus optional on-disk persistence using the same git-object fan-out and
+atomic-write discipline as the SAT query cache (``repro.sat.cache``), so
+concurrent workers and consecutive runs share parses through one
+directory.
+
+:class:`IncludeGraph` is the other half of the layer: a persisted record
+of ``includer → included`` edges (with the content hash each file had
+when scanned), built from :func:`repro.php.includes.scan_includes`
+results.  Its reverse closure answers the daemon's invalidation
+question — "a shared library changed; which entries must re-audit?" —
+and its forward closure is what scopes cache keys and worker task slices
+to each entry's true dependency set (see ``repro.engine.worker``).
+
+Both stores live under the engine cache root (``<root>/parse`` and
+``<root>/include-graph.json``); keys embed :data:`PARSE_CACHE_VERSION`
+so format changes turn stale entries into misses, never wrong answers.
+Disk entries are pickled ASTs — the cache directory is the same trust
+domain as the result cache (local, user-owned), not an import surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.php import ast_nodes as ast
+from repro.php.parser import parse
+
+__all__ = [
+    "PARSE_CACHE_VERSION",
+    "ParseCache",
+    "IncludeGraph",
+    "content_digest",
+]
+
+#: Bump whenever the AST node layout or parser semantics change; stale
+#: pickled programs then become clean misses instead of crashes or
+#: wrong-shape trees.
+PARSE_CACHE_VERSION = "1"
+
+
+def content_digest(text: str) -> str:
+    """SHA-256 of one file's source text (the graph's edge stamp and the
+    worker-pipe dedup identity)."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ParseCache:
+    """``(source, filename) → Program`` memo, one parse per content hash.
+
+    The filename is part of the key because every span in the tree embeds
+    it — two files with identical text must not serve each other's spans.
+    Shared preludes keep their path across entries, so cross-entry reuse
+    is unaffected.
+
+    In-memory LRU bounded by ``max_entries``; with ``persist_dir`` set,
+    programs are additionally pickled to disk (atomic temp-file + rename,
+    tolerating concurrent writers) and disk lookups backfill the LRU.
+    Picklable: the LRU contents are dropped on pickling so shipping the
+    cache to spawn-start workers stays cheap — workers re-warm from disk.
+    """
+
+    def __init__(self, persist_dir: str | Path | None = None, max_entries: int = 4096) -> None:
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        self.max_entries = max_entries
+        self._memo: OrderedDict[str, ast.Program] = OrderedDict()
+        #: Process-local probe counters; per-outcome deltas feed the
+        #: engine's ``includes`` record field and ``/metrics``.
+        self.hits = 0
+        self.misses = 0
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "persist_dir": self.persist_dir,
+            "max_entries": self.max_entries,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["persist_dir"], state["max_entries"])
+
+    # -- keying -----------------------------------------------------------
+
+    @staticmethod
+    def key(source: str, filename: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(b"repro-parse\x00")
+        digest.update(PARSE_CACHE_VERSION.encode())
+        digest.update(b"\x00")
+        digest.update(filename.encode())
+        digest.update(b"\x00")
+        digest.update(source.encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        assert self.persist_dir is not None
+        return self.persist_dir / key[:2] / f"{key}.pkl"
+
+    # -- the hook ---------------------------------------------------------
+
+    def parse(self, source: str, filename: str = "<string>") -> ast.Program:
+        """Drop-in for :func:`repro.php.parser.parse` (parse errors
+        propagate unchanged; only successful parses are cached)."""
+        key = self.key(source, filename)
+        program = self._memo.get(key)
+        if program is not None:
+            self._memo.move_to_end(key)
+            self.hits += 1
+            return program
+        if self.persist_dir is not None:
+            program = self._load(key)
+            if program is not None:
+                self._remember(key, program)
+                self.hits += 1
+                return program
+        self.misses += 1
+        program = parse(source, filename)
+        self._remember(key, program)
+        self._store(key, program)
+        return program
+
+    # -- store ------------------------------------------------------------
+
+    def _load(self, key: str) -> ast.Program | None:
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            program = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any torn/stale pickle is a miss
+            program = None
+        if isinstance(program, ast.Program):
+            return program
+        try:  # corrupt or wrong-shape entry: evict
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+    def _store(self, key: str, program: ast.Program) -> None:
+        if self.persist_dir is None:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL))
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        except OSError:
+            pass  # persistence is best-effort; the memo already has it
+
+    def _remember(self, key: str, program: ast.Program) -> None:
+        self._memo[key] = program
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.max_entries:
+            self._memo.popitem(last=False)
+
+
+class IncludeGraph:
+    """Persisted ``includer → included`` edges with content-hash stamps.
+
+    One node per normalized project-relative path; :meth:`update_file`
+    replaces a file's out-edges wholesale (an include scan is the full
+    truth about that file), :meth:`remove_file` drops a deleted file's
+    node.  :meth:`includers_of` walks the reverse edges transitively —
+    the daemon's invalidation rule: every entry whose splice could have
+    contained a dirty file must re-audit.
+
+    The JSON snapshot is written atomically; an unreadable or
+    wrong-version snapshot loads as an empty graph (the daemon then
+    rebuilds it from its next full scan) rather than failing the caller.
+    """
+
+    _FORMAT_VERSION = 1
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        #: path → set of paths it includes (directly).
+        self._out: dict[str, set[str]] = {}
+        #: path → set of paths that include it (directly).
+        self._in: dict[str, set[str]] = {}
+        #: path → content digest at last scan.
+        self._digests: dict[str, str] = {}
+        if self.path is not None:
+            self.load()
+
+    # -- mutation ---------------------------------------------------------
+
+    def update_file(
+        self, path: str, includes: Iterable[str], digest: str | None = None
+    ) -> None:
+        """Replace ``path``'s out-edges with ``includes`` (its full,
+        current direct-include set)."""
+        new = set(includes)
+        for old in self._out.get(path, set()) - new:
+            self._in.get(old, set()).discard(path)
+        for added in new:
+            self._in.setdefault(added, set()).add(path)
+        self._out[path] = new
+        if digest is not None:
+            self._digests[path] = digest
+
+    def remove_file(self, path: str) -> None:
+        for target in self._out.pop(path, set()):
+            self._in.get(target, set()).discard(path)
+        self._digests.pop(path, None)
+        # Keep reverse edges pointing AT the removed path: its includers
+        # spliced it and must re-audit when asked via includers_of.
+
+    # -- queries ----------------------------------------------------------
+
+    def includes_of(self, path: str) -> set[str]:
+        """Direct include targets of ``path``."""
+        return set(self._out.get(path, set()))
+
+    def includers_of(self, paths: Iterable[str]) -> set[str]:
+        """Every file that transitively includes any of ``paths``
+        (the given paths themselves are not in the answer unless they
+        also include one another)."""
+        stale: set[str] = set()
+        frontier = list(paths)
+        while frontier:
+            current = frontier.pop()
+            for includer in self._in.get(current, set()):
+                if includer not in stale:
+                    stale.add(includer)
+                    frontier.append(includer)
+        return stale
+
+    def digest_of(self, path: str) -> str | None:
+        return self._digests.get(path)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._out.values())
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    # -- persistence ------------------------------------------------------
+
+    def load(self) -> None:
+        self._out = {}
+        self._in = {}
+        self._digests = {}
+        if self.path is None:
+            return
+        try:
+            snapshot = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(snapshot, dict)
+            or snapshot.get("version") != self._FORMAT_VERSION
+            or not isinstance(snapshot.get("files"), dict)
+        ):
+            return
+        for path, node in snapshot["files"].items():
+            if not isinstance(node, dict):
+                continue
+            includes = node.get("includes")
+            if isinstance(includes, list) and all(isinstance(i, str) for i in includes):
+                self.update_file(
+                    str(path),
+                    includes,
+                    node.get("digest") if isinstance(node.get("digest"), str) else None,
+                )
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        snapshot = {
+            "version": self._FORMAT_VERSION,
+            "files": {
+                path: {
+                    "includes": sorted(targets),
+                    **(
+                        {"digest": self._digests[path]}
+                        if path in self._digests
+                        else {}
+                    ),
+                }
+                for path, targets in sorted(self._out.items())
+            },
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(snapshot, handle, sort_keys=True)
+                os.replace(tmp, self.path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        except OSError:
+            pass

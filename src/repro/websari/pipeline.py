@@ -32,7 +32,8 @@ from repro.ir.filter import FilterResult, filter_program
 from repro.lattice import FiniteLattice
 from repro.obs import get_tracer
 from repro.php import ast_nodes as ast
-from repro.php.includes import SourceProject, resolve_includes
+from repro.php.includes import SourceProject, resolve_includes, scan_includes
+from repro.php.parsecache import ParseCache
 from repro.php.parser import parse
 from repro.policy.prelude import Prelude, default_php_prelude
 from repro.sat.cache import SatQueryCache
@@ -147,6 +148,8 @@ class WebSSARI:
         restart_strategy: str = "geometric",
         sat_seed: int = 0,
         sat_incremental: bool = True,
+        parse_cache: "ParseCache | None" = None,
+        closure_keys: bool = True,
     ) -> None:
         self.prelude = prelude if prelude is not None else default_php_prelude()
         self.accumulate = accumulate
@@ -172,6 +175,15 @@ class WebSSARI:
         #: cross-query lemma exchange).  True is the production default;
         #: False measures the pre-incremental baseline in-process.
         self.sat_incremental = sat_incremental
+        #: Content-hash parse memo (repro.php.parsecache) shared by this
+        #: verifier and — travelling inside the WorkerSession — every
+        #: engine worker it spawns; None disables the layer.
+        self.parse_cache = parse_cache
+        #: Scope project cache keys and worker task payloads to each
+        #: entry's transitive include closure instead of the whole
+        #: project (entries with dynamic includes conservatively widen
+        #: back).  False restores whole-project keying/shipping.
+        self.closure_keys = closure_keys
 
     @property
     def lattice(self) -> FiniteLattice:
@@ -191,6 +203,22 @@ class WebSSARI:
         from pathlib import Path
 
         self.sat_cache = SatQueryCache(persist_dir=Path(cache_root) / "sat")
+
+    def attach_persistent_parse_cache(self, cache_root: "str | Path") -> None:
+        """Re-home the parse cache under ``<cache_root>/parse``.
+
+        No-op when the verifier was built without a parse cache — same
+        contract as :meth:`attach_persistent_sat_cache`.  Workers re-warm
+        from the shared directory (the in-memory memo is dropped when the
+        cache pickles across the process boundary).
+        """
+        if self.parse_cache is None:
+            return
+        from pathlib import Path
+
+        from repro.php.parsecache import ParseCache
+
+        self.parse_cache = ParseCache(persist_dir=Path(cache_root) / "parse")
 
     # -- single source ---------------------------------------------------------
 
@@ -345,12 +373,14 @@ class WebSSARI:
         paths = entries if entries is not None else project.paths()
         if jobs is not None and jobs > 1:
             return self._verify_project_parallel(project, paths, jobs)
+        do_parse = self.parse_cache.parse if self.parse_cache is not None else None
         reports: list[VerificationReport] = []
         total_statements = 0
         for path in paths:
-            resolution = resolve_includes(project, path)
+            resolution = resolve_includes(project, path, parse_hook=do_parse)
             program = resolution.program
-            own_statements = count_statements(parse(project.source(path), path))
+            assert resolution.entry_program is not None
+            own_statements = count_statements(resolution.entry_program)
             total_statements += own_statements
             filtered = filter_program(
                 program,
@@ -376,14 +406,54 @@ class WebSSARI:
         the full :class:`VerificationReport`.  Analysis failures that the
         sequential path would raise are re-raised here, so the two paths
         have the same contract.
+
+        With :attr:`closure_keys` (the default) each task carries only
+        the entry's transitive include closure — computed up front with
+        one shared parse pass — so cache keys and pipe payloads scope to
+        what the entry can actually read.  Entries whose closure cannot
+        be bounded (dynamic includes, unparsable members) fall back to
+        the whole project and key on its digest.
         """
         from repro.engine import AuditEngine, AuditTask, EngineConfig
+        from repro.engine.worker import project_content_digest
 
         files = {path: project.source(path) for path in project.paths()}
-        tasks = [
-            AuditTask(index=i, filename=path, project_files=files, entry=path)
-            for i, path in enumerate(paths)
-        ]
+        tasks: list[AuditTask] = []
+        if self.closure_keys:
+            # One shared parse pass across every entry's scan: without an
+            # attached cache a throwaway in-memory memo still guarantees
+            # the prelude parses once during scanning, not once per entry.
+            scan_parse = (self.parse_cache or ParseCache()).parse
+            whole_digest: str | None = None
+            for i, path in enumerate(paths):
+                scan = scan_includes(project, path, parse_hook=scan_parse)
+                if scan.widened:
+                    if whole_digest is None:
+                        whole_digest = project_content_digest(files)
+                    tasks.append(
+                        AuditTask(
+                            index=i,
+                            filename=path,
+                            project_files=files,
+                            entry=path,
+                            closure_widened=True,
+                            project_digest=whole_digest,
+                        )
+                    )
+                else:
+                    tasks.append(
+                        AuditTask(
+                            index=i,
+                            filename=path,
+                            project_files={p: files[p] for p in sorted(scan.closure)},
+                            entry=path,
+                        )
+                    )
+        else:
+            tasks = [
+                AuditTask(index=i, filename=path, project_files=files, entry=path)
+                for i, path in enumerate(paths)
+            ]
         engine = AuditEngine(
             websari=self, config=EngineConfig(jobs=jobs, want_reports=True)
         )

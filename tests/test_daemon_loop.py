@@ -269,6 +269,141 @@ class TestGracefulDrain:
         assert cycle.result.outcomes[0].status == "ok"
 
 
+class TestIncludeInvalidation:
+    """ROADMAP staleness fix: a shared include changes → every tracked
+    entry that transitively splices it re-audits, others stay cached."""
+
+    COMMON = "<?php $c = 'shared';\n"
+    INCLUDER = "<?php include 'common.php'; echo $c;\n"
+
+    def make_graph_loop(self, tmp_path, **kwargs):
+        from repro.php.parsecache import IncludeGraph
+
+        graph = IncludeGraph(tmp_path / "graph.json")
+        clock, driver, loop = make_loop(tmp_path, include_graph=graph, **kwargs)
+        return clock, driver, loop, graph
+
+    def test_editing_shared_include_reaudits_includers_only(self, tmp_path):
+        clock, driver, loop, _graph = self.make_graph_loop(tmp_path)
+        driver.write("common.php", self.COMMON)
+        driver.write("a.php", self.INCLUDER)
+        driver.write("b.php", SAFE)
+        first = loop.run_cycle()
+        assert first.result.stats.total == 3
+        assert first.invalidated == []
+
+        clock.advance(10)
+        driver.write("common.php", "<?php $c = $_GET['q'];\n")
+        cycle = loop.run_cycle()
+        # a.php's bytes did not change, but its spliced program did.
+        assert cycle.invalidated == [str(driver.path("a.php"))]
+        assert set(cycle.dirty) == {
+            str(driver.path("a.php")),
+            str(driver.path("common.php")),
+        }
+        assert cycle.result.stats.total == 2
+        assert cycle.result.stats.cache_misses == 2  # closure keys moved
+        outcomes = {o.filename: o for o in cycle.result.outcomes}
+        assert outcomes[str(driver.path("a.php"))].safe is False
+        # b.php never ran, but its record is carried into the stream.
+        lines = [json.loads(l) for l in cycle.stream_path.read_text().splitlines()]
+        files = {l["filename"] for l in lines if l["type"] == "file"}
+        assert str(driver.path("b.php")) in files
+        trailer = lines[-1]
+        assert trailer["includers_invalidated"] == 1
+
+    def test_invalidation_is_transitive(self, tmp_path):
+        clock, driver, loop, _graph = self.make_graph_loop(tmp_path)
+        driver.write("deep.php", "<?php $d = 1;\n")
+        driver.write("mid.php", "<?php include 'deep.php'; $m = $d;\n")
+        driver.write("page.php", "<?php include 'mid.php'; echo 'p';\n")
+        loop.run_cycle()
+        clock.advance(10)
+        driver.write("deep.php", "<?php $d = 2;\n")
+        cycle = loop.run_cycle()
+        assert cycle.invalidated == [
+            str(driver.path("mid.php")),
+            str(driver.path("page.php")),
+        ]
+        assert cycle.result.stats.total == 3
+
+    def test_deleting_shared_include_reaudits_includers(self, tmp_path):
+        clock, driver, loop, _graph = self.make_graph_loop(tmp_path)
+        driver.write("common.php", self.COMMON)
+        driver.write("a.php", self.INCLUDER)
+        loop.run_cycle()
+        clock.advance(10)
+        driver.remove("common.php")
+        cycle = loop.run_cycle()
+        assert cycle.invalidated == [str(driver.path("a.php"))]
+        assert cycle.result.stats.total == 1
+        outcome = cycle.result.outcomes[0]
+        # The include is now missing: still verifies, with a warning.
+        assert outcome.status == "ok"
+        assert any("common.php" in w for w in outcome.warnings)
+
+    def test_graph_persists_across_restarts(self, tmp_path):
+        from repro.php.parsecache import IncludeGraph
+
+        _clock, driver, loop, graph = self.make_graph_loop(tmp_path)
+        driver.write("common.php", self.COMMON)
+        driver.write("a.php", self.INCLUDER)
+        loop.run_cycle()
+        assert graph.includes_of("a.php") == {"common.php"}
+        reloaded = IncludeGraph(tmp_path / "graph.json")
+        assert reloaded.includes_of("a.php") == {"common.php"}
+        assert reloaded.includers_of(["common.php"]) == {"a.php"}
+
+    def test_without_graph_only_byte_dirty_files_run(self, tmp_path):
+        # The pre-graph behaviour (and the ROADMAP staleness bug this PR
+        # fixes): no graph attached → includers of a dirty include stay
+        # stale rather than re-auditing.
+        clock, driver, loop = make_loop(tmp_path)
+        driver.write("common.php", self.COMMON)
+        driver.write("a.php", self.INCLUDER)
+        loop.run_cycle()
+        clock.advance(10)
+        driver.write("common.php", "<?php $c = $_GET['q'];\n")
+        cycle = loop.run_cycle()
+        assert cycle.invalidated == []
+        assert cycle.dirty == [str(driver.path("common.php"))]
+
+    def test_include_free_files_share_the_audit_cache(self, tmp_path):
+        # A plain `repro audit` warms the cache with standalone keys;
+        # the daemon's first cycle must hit them for include-free files
+        # (only include-splicing entries use closure-scoped keys).
+        from repro.engine import AuditEngine, AuditTask, EngineConfig
+
+        clock, driver, loop, _graph = self.make_graph_loop(tmp_path)
+        driver.write("a.php", SAFE)
+        engine = AuditEngine(
+            websari=WebSSARI(),
+            config=EngineConfig(jobs=1, cache=loop.cache),
+        )
+        source = driver.path("a.php").read_text()
+        prewarm = engine.run(
+            [AuditTask(index=0, filename=str(driver.path("a.php")), source=source)]
+        )
+        assert prewarm.stats.cache_misses == 1
+        cycle = loop.run_cycle()
+        assert cycle.result.stats.cache_hits == 1
+        assert cycle.result.stats.cache_misses == 0
+
+    def test_health_and_metrics_expose_invalidations(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        clock, driver, loop, _graph = self.make_graph_loop(tmp_path, metrics=registry)
+        driver.write("common.php", self.COMMON)
+        driver.write("a.php", self.INCLUDER)
+        loop.run_cycle()
+        clock.advance(10)
+        driver.write("common.php", "<?php $c = 'v2';\n")
+        loop.run_cycle()
+        assert loop.health()["includers_invalidated"] == 1
+        assert "repro_watch_includers_invalidated_total 1" in registry.render()
+
+
 class TestMetricsWiring:
     def test_watch_metrics_exposed(self, tmp_path):
         from repro.obs import MetricsRegistry

@@ -1,0 +1,174 @@
+"""Tests for the content-hash parse cache and the persisted include graph."""
+
+import pickle
+
+import pytest
+
+from repro.php import ast_nodes as ast
+from repro.php.errors import ParseError
+from repro.php.parsecache import IncludeGraph, ParseCache, content_digest
+
+SRC = "<?php $x = 1;\n"
+OTHER = "<?php $y = 2;\n"
+
+
+class TestParseCache:
+    def test_miss_then_hit_returns_same_program(self):
+        cache = ParseCache()
+        first = cache.parse(SRC, "a.php")
+        second = cache.parse(SRC, "a.php")
+        assert first is second  # memo shares the immutable tree
+        assert isinstance(first, ast.Program)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_filename_is_part_of_the_key(self):
+        cache = ParseCache()
+        a = cache.parse(SRC, "a.php")
+        b = cache.parse(SRC, "b.php")
+        # Same text, different file: spans embed the filename, so the
+        # trees must not be shared.
+        assert a is not b
+        assert cache.misses == 2 and cache.hits == 0
+        assert ParseCache.key(SRC, "a.php") != ParseCache.key(SRC, "b.php")
+
+    def test_lru_evicts_oldest(self):
+        cache = ParseCache(max_entries=2)
+        cache.parse(SRC, "a.php")
+        cache.parse(SRC, "b.php")
+        cache.parse(SRC, "c.php")  # evicts a.php
+        cache.parse(SRC, "a.php")
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_parse_error_propagates_and_is_not_cached(self):
+        cache = ParseCache()
+        with pytest.raises(ParseError):
+            cache.parse("<?php if (", "broken.php")
+        with pytest.raises(ParseError):
+            cache.parse("<?php if (", "broken.php")
+        assert cache.misses == 2
+
+    def test_disk_persistence_across_processes(self, tmp_path):
+        first = ParseCache(persist_dir=tmp_path / "parse")
+        first.parse(SRC, "a.php")
+        # A fresh cache object over the same directory models a new
+        # process: the memo is empty, the disk entry answers.
+        second = ParseCache(persist_dir=tmp_path / "parse")
+        program = second.parse(SRC, "a.php")
+        assert isinstance(program, ast.Program)
+        assert second.hits == 1 and second.misses == 0
+
+    def test_corrupt_disk_entry_is_evicted_and_reparsed(self, tmp_path):
+        cache = ParseCache(persist_dir=tmp_path / "parse")
+        cache.parse(SRC, "a.php")
+        key = ParseCache.key(SRC, "a.php")
+        entry = tmp_path / "parse" / key[:2] / f"{key}.pkl"
+        entry.write_bytes(b"not a pickle")
+        fresh = ParseCache(persist_dir=tmp_path / "parse")
+        program = fresh.parse(SRC, "a.php")
+        assert isinstance(program, ast.Program)
+        assert fresh.misses == 1  # corrupt entry was a miss, not a crash
+        # The torn entry was evicted, then rewritten by the re-parse.
+        assert entry.exists()
+        reread = ParseCache(persist_dir=tmp_path / "parse")
+        assert reread.parse(SRC, "a.php") and reread.hits == 1
+
+    def test_wrong_shape_disk_entry_is_a_miss(self, tmp_path):
+        cache = ParseCache(persist_dir=tmp_path / "parse")
+        key = ParseCache.key(SRC, "a.php")
+        entry = tmp_path / "parse" / key[:2] / f"{key}.pkl"
+        entry.parent.mkdir(parents=True)
+        entry.write_bytes(pickle.dumps({"not": "a program"}))
+        assert isinstance(cache.parse(SRC, "a.php"), ast.Program)
+        assert cache.misses == 1
+
+    def test_pickle_drops_the_memo(self, tmp_path):
+        cache = ParseCache(persist_dir=tmp_path / "parse", max_entries=7)
+        cache.parse(SRC, "a.php")
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.persist_dir == cache.persist_dir
+        assert clone.max_entries == 7
+        assert clone.hits == 0 and clone.misses == 0
+        # The clone re-warms from disk, not from shipped memo contents.
+        clone.parse(SRC, "a.php")
+        assert clone.hits == 1
+
+    def test_memoryless_cache_still_parses(self):
+        cache = ParseCache(persist_dir=None)
+        assert isinstance(cache.parse(OTHER, "z.php"), ast.Program)
+
+
+class TestContentDigest:
+    def test_stable_and_content_addressed(self):
+        assert content_digest(SRC) == content_digest(SRC)
+        assert content_digest(SRC) != content_digest(OTHER)
+        assert len(content_digest(SRC)) == 64
+
+
+class TestIncludeGraph:
+    def test_update_and_query(self):
+        graph = IncludeGraph()
+        graph.update_file("a.php", ["lib.php"], digest="d1")
+        assert graph.includes_of("a.php") == {"lib.php"}
+        assert graph.digest_of("a.php") == "d1"
+        assert graph.edge_count == 1 and len(graph) == 1
+
+    def test_update_replaces_out_edges_wholesale(self):
+        graph = IncludeGraph()
+        graph.update_file("a.php", ["old.php", "keep.php"])
+        graph.update_file("a.php", ["keep.php", "new.php"])
+        assert graph.includes_of("a.php") == {"keep.php", "new.php"}
+        assert graph.includers_of(["old.php"]) == set()
+        assert graph.includers_of(["new.php"]) == {"a.php"}
+
+    def test_includers_of_is_transitive(self):
+        graph = IncludeGraph()
+        graph.update_file("page.php", ["mid.php"])
+        graph.update_file("mid.php", ["deep.php"])
+        graph.update_file("other.php", [])
+        assert graph.includers_of(["deep.php"]) == {"mid.php", "page.php"}
+        assert graph.includers_of(["mid.php"]) == {"page.php"}
+        assert graph.includers_of(["page.php"]) == set()
+
+    def test_includers_of_terminates_on_cycles(self):
+        graph = IncludeGraph()
+        graph.update_file("a.php", ["b.php"])
+        graph.update_file("b.php", ["a.php"])
+        assert graph.includers_of(["a.php"]) == {"a.php", "b.php"}
+
+    def test_remove_file_keeps_reverse_edges_to_it(self):
+        # Deleting a shared include must still invalidate its includers:
+        # their splice result changes from "spliced lib" to "missing lib".
+        graph = IncludeGraph()
+        graph.update_file("page.php", ["lib.php"])
+        graph.update_file("lib.php", [], digest="d")
+        graph.remove_file("lib.php")
+        assert graph.includers_of(["lib.php"]) == {"page.php"}
+        assert graph.digest_of("lib.php") is None
+        assert len(graph) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "graph.json"
+        graph = IncludeGraph(path)
+        graph.update_file("a.php", ["lib.php", "util.php"], digest="abc")
+        graph.update_file("lib.php", [], digest="def")
+        graph.save()
+        reloaded = IncludeGraph(path)
+        assert reloaded.includes_of("a.php") == {"lib.php", "util.php"}
+        assert reloaded.digest_of("a.php") == "abc"
+        assert reloaded.includers_of(["lib.php"]) == {"a.php"}
+        assert reloaded.edge_count == 2
+
+    def test_corrupt_snapshot_loads_empty(self, tmp_path):
+        path = tmp_path / "graph.json"
+        path.write_text("{ not json")
+        graph = IncludeGraph(path)
+        assert len(graph) == 0 and graph.edge_count == 0
+
+    def test_wrong_version_snapshot_loads_empty(self, tmp_path):
+        path = tmp_path / "graph.json"
+        path.write_text('{"version": 99, "files": {"a.php": {"includes": []}}}')
+        assert len(IncludeGraph(path)) == 0
+
+    def test_missing_snapshot_loads_empty(self, tmp_path):
+        graph = IncludeGraph(tmp_path / "absent.json")
+        assert len(graph) == 0

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.php import IncludeError, SourceProject, resolve_includes
+from repro.php import IncludeError, SourceProject, resolve_includes, scan_includes
 from repro.php import ast_nodes as ast
+from repro.php.parsecache import ParseCache, content_digest
 
 
 def project(**files):
@@ -147,3 +148,141 @@ class TestResolveIncludes:
         fn = result.program.statements[0]
         assert isinstance(fn, ast.FunctionDecl)
         assert isinstance(fn.body.statements[0], ast.ExpressionStatement)
+
+    def test_edges_recorded_per_splice(self):
+        p = project(**{
+            "index.php": "<?php include 'mid.php';",
+            "mid.php": "<?php include 'leaf.php';",
+            "leaf.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "index.php")
+        assert result.edges == [("index.php", "mid.php"), ("mid.php", "leaf.php")]
+
+    def test_edges_survive_once_dedup(self):
+        # A second include_once splices nothing, but the dependency edge
+        # is still real — the graph must record it.
+        p = project(**{
+            "a.php": "<?php include_once 'lib.php'; include 'b.php';",
+            "b.php": "<?php include_once 'lib.php';",
+            "lib.php": "<?php $x = 1;",
+        })
+        result = resolve_includes(p, "a.php")
+        assert ("b.php", "lib.php") in result.edges
+        assert ("a.php", "lib.php") in result.edges
+
+    def test_entry_program_is_the_unspliced_entry(self):
+        p = project(**{
+            "index.php": "<?php include 'lib.php'; echo $x;",
+            "lib.php": "<?php $x = 1; $y = 2; $z = 3;",
+        })
+        result = resolve_includes(p, "index.php")
+        assert result.entry_program is not None
+        # Two own statements, regardless of how much the splice added.
+        assert len(result.entry_program.statements) == 2
+        assert len(result.program.statements) == 4
+
+    def test_parse_hook_is_used_for_every_file(self):
+        p = project(**{
+            "index.php": "<?php include 'lib.php';",
+            "lib.php": "<?php $x = 1;",
+        })
+        cache = ParseCache()
+        resolve_includes(p, "index.php", parse_hook=cache.parse)
+        assert cache.misses == 2
+        resolve_includes(p, "index.php", parse_hook=cache.parse)
+        assert cache.hits == 2
+
+
+class TestScanIncludes:
+    def test_closure_and_edges(self):
+        p = project(**{
+            "index.php": "<?php include 'mid.php'; echo $x;",
+            "mid.php": "<?php include 'leaf.php';",
+            "leaf.php": "<?php $x = 1;",
+            "unrelated.php": "<?php $y = 2;",
+        })
+        scan = scan_includes(p, "index.php")
+        assert scan.closure == {"index.php", "mid.php", "leaf.php"}
+        assert set(scan.edges) == {("index.php", "mid.php"), ("mid.php", "leaf.php")}
+        assert scan.includes_by_file["mid.php"] == {"leaf.php"}
+        assert scan.includes_by_file["leaf.php"] == set()
+        assert not scan.widened
+
+    def test_digests_stamp_closure_members(self):
+        p = project(**{
+            "index.php": "<?php include 'lib.php';",
+            "lib.php": "<?php $x = 1;",
+        })
+        scan = scan_includes(p, "index.php")
+        assert scan.digests["lib.php"] == content_digest("<?php $x = 1;")
+
+    def test_missing_target_recorded_not_raised(self):
+        p = project(**{"index.php": "<?php require 'gone.php'; $x = 1;"})
+        scan = scan_includes(p, "index.php")
+        assert scan.missing == ["gone.php"]
+        # A missing file cannot widen the closure: the splice outcome is
+        # still a pure function of the project snapshot.
+        assert not scan.widened
+
+    def test_dynamic_include_widens(self):
+        p = project(**{"index.php": "<?php include $page;"})
+        scan = scan_includes(p, "index.php")
+        assert len(scan.unresolved) == 1
+        assert scan.widened
+
+    def test_parse_failure_widens_but_stays_in_closure(self):
+        p = project(**{
+            "index.php": "<?php include 'broken.php';",
+            "broken.php": "<?php if (",
+        })
+        scan = scan_includes(p, "index.php")
+        assert scan.closure == {"index.php", "broken.php"}
+        assert scan.parse_failures == ["broken.php"]
+        assert scan.widened
+
+    def test_cycles_terminate(self):
+        p = project(**{
+            "a.php": "<?php include 'b.php';",
+            "b.php": "<?php include 'a.php';",
+        })
+        scan = scan_includes(p, "a.php")
+        assert scan.closure == {"a.php", "b.php"}
+        assert not scan.widened
+
+    def test_relative_resolution_matches_resolver(self):
+        p = project(**{
+            "sub/page.php": "<?php include 'helper.php';",
+            "sub/helper.php": "<?php $h = 1;",
+        })
+        scan = scan_includes(p, "sub/page.php")
+        assert scan.closure == {"sub/page.php", "sub/helper.php"}
+
+    def test_includes_inside_nested_bodies_are_seen(self):
+        p = project(**{
+            "index.php": (
+                "<?php if ($a) { include 'x.php'; } "
+                "while ($b) { include 'y.php'; } "
+                "function f() { include 'z.php'; }"
+            ),
+            "x.php": "<?php $x = 1;",
+            "y.php": "<?php $y = 1;",
+            "z.php": "<?php $z = 1;",
+        })
+        scan = scan_includes(p, "index.php")
+        assert scan.closure == {"index.php", "x.php", "y.php", "z.php"}
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(IncludeError, match="entry"):
+            scan_includes(project(), "nope.php")
+
+    def test_parse_hook_shares_parses_across_entries(self):
+        p = project(**{
+            "a.php": "<?php include 'common.php';",
+            "b.php": "<?php include 'common.php';",
+            "common.php": "<?php $c = 1;",
+        })
+        cache = ParseCache()
+        scan_includes(p, "a.php", parse_hook=cache.parse)
+        scan_includes(p, "b.php", parse_hook=cache.parse)
+        # common.php parsed once, hit once; each entry parsed once.
+        assert cache.misses == 3 and cache.hits == 1
