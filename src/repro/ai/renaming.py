@@ -133,6 +133,10 @@ class RenamedProgram:
     #: Branch variable names in declaration order (the set BN).
     branch_variables: list[str] = field(default_factory=list)
     num_assertions: int = 0
+    #: Source span of the statement each branch variable abstracts.  F(p)
+    #: drops the concrete condition, so this is the only link the witness
+    #: replayer has from a ``b_k`` decision back to a testable condition.
+    branch_spans: dict[str, Span] = field(default_factory=dict)
 
     def assertions(self) -> list[RenamedAssert]:
         return [e for e in self.events if isinstance(e, RenamedAssert)]
@@ -149,6 +153,7 @@ class _Renamer:
         self.versions: dict[str, int] = {}
         self.events: list[RenamedEvent] = []
         self.branch_variables: list[str] = []
+        self.branch_spans: dict[str, Span] = {}
         self.num_assertions = 0
 
     def current(self, name: str) -> IndexedVar:
@@ -198,6 +203,7 @@ class _Renamer:
             return
         if isinstance(instruction, Branch):
             self.branch_variables.append(instruction.variable)
+            self.branch_spans[instruction.variable] = instruction.span
             then_guard = guard + (GuardLiteral(instruction.branch_id, True),)
             else_guard = guard + (GuardLiteral(instruction.branch_id, False),)
             self.walk(instruction.then, then_guard)
@@ -215,6 +221,7 @@ def rename(program: AIProgram) -> RenamedProgram:
         final_versions=dict(renamer.versions),
         branch_variables=renamer.branch_variables,
         num_assertions=renamer.num_assertions,
+        branch_spans=renamer.branch_spans,
     )
 
 

@@ -61,6 +61,10 @@ class CounterexampleTrace:
     deciding_branches: dict[str, bool]
     #: Full BN assignment from the model (for reporting).
     branch_assignment: dict[str, bool] = field(default_factory=dict)
+    #: Source span of the statement behind each deciding branch variable.
+    #: F(p) erases the concrete condition; the replayer maps these spans
+    #: back onto the parsed source to recover a steerable input.
+    branch_spans: dict[str, Span] = field(default_factory=dict)
 
     @property
     def violating_names(self) -> set[str]:
@@ -79,6 +83,40 @@ class CounterexampleTrace:
         for violation in self.violating:
             lines.append(f"  VIOLATION: {violation}")
         return "\n".join(lines)
+
+    def canonical(self) -> str:
+        """Deterministic serialization for regression/equality checks.
+
+        Every field that influences replay is rendered in a fixed order,
+        so byte-equality of two canonical strings means the traces steer
+        the replayer identically (used by the fork/spawn determinism
+        tests).
+        """
+        parts = [
+            f"assert_id={self.assert_id}",
+            f"function={self.function}",
+            f"span={self.span}",
+            "steps=[" + "; ".join(str(step) for step in self.steps) + "]",
+            "violating=[" + "; ".join(str(v) for v in self.violating) + "]",
+            "deciding={"
+            + ", ".join(
+                f"{name}={'T' if value else 'F'}"
+                for name, value in sorted(self.deciding_branches.items())
+            )
+            + "}",
+            "assignment={"
+            + ", ".join(
+                f"{name}={'T' if value else 'F'}"
+                for name, value in sorted(self.branch_assignment.items())
+            )
+            + "}",
+            "branch_spans={"
+            + ", ".join(
+                f"{name}@{span}" for name, span in sorted(self.branch_spans.items())
+            )
+            + "}",
+        ]
+        return "\n".join(parts)
 
 
 def _indexed_vars_of(expr) -> list[IndexedVar]:
@@ -167,4 +205,9 @@ def reconstruct_trace(
         violating=violating,
         deciding_branches=deciding,
         branch_assignment=dict(branch_values),
+        branch_spans={
+            name: program.branch_spans[name]
+            for name in deciding
+            if name in program.branch_spans
+        },
     )

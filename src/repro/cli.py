@@ -131,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = historical defaults; portfolio lanes derive their own)",
     )
     verify.add_argument(
+        "--replay", choices=("on", "off"), default="off",
+        help="concretely replay each counterexample through the PHP "
+        "interpreter with a synthesized witness request and report "
+        "confirmed/refuted/unsupported per trace (see docs/REPLAY.md)",
+    )
+    verify.add_argument(
         "--trace", type=Path, default=None, metavar="OUT.json",
         help="write a Chrome trace-event file of the run (open in Perfetto)",
     )
@@ -214,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool start method (default: fork where available; "
         "spawn is the portable escape hatch — workers receive their "
         "policy as an explicit session message either way)",
+    )
+    audit.add_argument(
+        "--replay", choices=("on", "off"), default="off",
+        help="concretely replay each counterexample through the PHP "
+        "interpreter and record confirmed/refuted/unsupported verdicts "
+        "per file (folded into the policy fingerprint, so toggling it "
+        "invalidates cached results; see docs/REPLAY.md)",
     )
 
     watch = sub.add_parser(
@@ -300,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--start-method", choices=("fork", "spawn"), default=None,
         help="worker-pool start method (default: fork where available)",
+    )
+    watch.add_argument(
+        "--replay", choices=("on", "off"), default="off",
+        help="concretely replay counterexamples through the interpreter "
+        "(folded into the policy fingerprint; see docs/REPLAY.md)",
     )
 
     serve = sub.add_parser(
@@ -417,6 +435,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--start-method", choices=("fork", "spawn"), default=None,
         help="local worker-pool start method (default: fork where available)",
     )
+    work.add_argument(
+        "--replay", choices=("on", "off"), default="off",
+        help="concretely replay counterexamples through the interpreter "
+        "(folded into the policy fingerprint: must match the rest of "
+        "the fleet; see docs/REPLAY.md)",
+    )
 
     report = sub.add_parser(
         "report",
@@ -426,7 +450,8 @@ def build_parser() -> argparse.ArgumentParser:
         "two streams into new / fixed / regressed file lists.",
         epilog="exit codes: 0 = report rendered (diff: no regressions); "
         "1 = diff found new or regressed vulnerable files; 2 = unreadable "
-        "or malformed stream",
+        "or malformed stream; 3 = replay disagreements (vulnerable "
+        "verdicts whose concrete replays were all refuted)",
     )
     report.add_argument(
         "path", nargs="?", type=Path, help="audit JSONL stream to summarize"
@@ -523,6 +548,7 @@ def _make_websari(args: argparse.Namespace) -> WebSSARI:
         restart_strategy=getattr(args, "restart_strategy", "geometric"),
         sat_seed=getattr(args, "sat_seed", 0),
         parse_cache=parse_cache,
+        replay=getattr(args, "replay", "off") == "on",
     )
 
 
@@ -592,7 +618,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     try:
         for path in files:
             try:
-                report = websari.verify_source(path.read_text(), filename=str(path))
+                source = path.read_text()
+                report = websari.verify_source(source, filename=str(path))
             except FrontendError as error:
                 print(f"{path}: frontend error: {error}", file=sys.stderr)
                 any_error = True
@@ -604,6 +631,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(report.detailed_report() if args.detailed else report.summary())
             if args.stats:
                 for line in _solver_stats_lines(report):
+                    print(line)
+            if getattr(args, "replay", "off") == "on" and not report.safe:
+                from repro.replay import replay_source, summarize_replays
+
+                summary = summarize_replays(
+                    replay_source(source, report, filename=str(path))
+                )
+                print(
+                    f"  replay: {summary['confirmed']} confirmed, "
+                    f"{summary['refuted']} refuted, "
+                    f"{summary['unsupported']} unsupported"
+                )
+                for trace in summary["traces"]:
+                    line = (
+                        f"    assertion {trace['assert_id']}: {trace['verdict']}"
+                    )
+                    if trace.get("channel"):
+                        line += f" via {trace['channel']}"
+                    if trace.get("patched"):
+                        line += f"; patched: {trace['patched']}"
+                    if trace.get("reason"):
+                        line += f" ({trace['reason']})"
                     print(line)
             print()
             any_vulnerable = any_vulnerable or not report.safe
@@ -937,6 +986,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         render_dashboard,
         render_diff,
         render_report,
+        replay_disagreements,
         summarize_run,
     )
 
@@ -966,6 +1016,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(render_report(run, top=args.top))
         if args.html is not None:
             print(f"report: wrote dashboard to {args.html}", file=sys.stderr)
+        if replay_disagreements(run.files):
+            # A vulnerable verdict whose concrete replays were refuted is
+            # the one state that demands human eyes: either the abstraction
+            # over-approximated or the replayer under-approximated.
+            return 3
         return 0
     except ReportError as error:
         print(f"report: {error}", file=sys.stderr)

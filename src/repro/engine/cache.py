@@ -51,8 +51,10 @@ __all__ = [
 #:  unchanged but every embedded counter is.
 #:  6: records gained the per-file ``includes`` section and project
 #:  entries switched from whole-project to closure-scoped cache keys —
-#:  old whole-project entries must become clean misses.)
-ENGINE_VERSION = "6"
+#:  old whole-project entries must become clean misses.
+#:  7: records gained the per-file ``replay`` section (concrete witness
+#:  replay verdicts) — pre-replay entries must become clean misses.)
+ENGINE_VERSION = "7"
 
 #: Cache record schema version (independent of verdict semantics).
 _RECORD_VERSION = 1
@@ -107,6 +109,10 @@ def policy_fingerprint(websari: "WebSSARI") -> str:
                 # different switches must not alias.
                 "parse_cache": getattr(websari, "parse_cache", None) is not None,
                 "closure_keys": getattr(websari, "closure_keys", True),
+                # Witness replay adds the ``replay`` section to records:
+                # verdict-neutral, record-visible — runs with and without
+                # it must not serve each other's entries.
+                "replay": getattr(websari, "replay", False),
             },
         },
         sort_keys=True,

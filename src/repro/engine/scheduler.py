@@ -318,6 +318,19 @@ class AuditEngine:
         metrics.counter("repro_cache_lookups_total", "result-cache probes").inc(
             result="hit" if outcome.cached else "miss"
         )
+        replay = getattr(outcome, "replay", None) or {}
+        replay_counter = metrics.counter(
+            "repro_replay_total", "witness-replay traces by verdict"
+        )
+        for verdict in ("confirmed", "refuted", "unsupported"):
+            if replay.get(verdict):
+                replay_counter.inc(replay[verdict], verdict=verdict)
+        for patched in ("refuted", "confirmed", "unsupported"):
+            if replay.get(f"patched_{patched}"):
+                metrics.counter(
+                    "repro_replay_patched_total",
+                    "patched witness re-runs by verdict",
+                ).inc(replay[f"patched_{patched}"], verdict=patched)
         metrics.histogram(
             "repro_file_seconds", "end-to-end wall seconds per file"
         ).observe(outcome.duration)

@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["EngineStats", "ProgressPrinter", "STAGES"]
 
 #: Pipeline stages the worker times individually.
-STAGES = ("parse", "filter", "ai", "sat")
+STAGES = ("parse", "filter", "ai", "sat", "replay")
 
 
 @dataclass
@@ -59,6 +59,12 @@ class EngineStats:
     #: bytes avoided because the pipe's worker already held the content.
     closure_bytes_shipped: int = 0
     closure_bytes_deduped: int = 0
+    #: Witness-replay verdict counters (confirmed / refuted / unsupported
+    #: plus the patched_* re-run tallies and skipped overflow), summed
+    #: over every outcome carrying a ``replay`` section — cached ones
+    #: included, since a cached replay verdict is still this run's
+    #: verdict.
+    replay_totals: dict[str, int] = field(default_factory=dict)
     #: Run-wide top-K hardest SAT queries, merged from per-file ledgers
     #: (cache hits contribute nothing: their solves never ran this run).
     slow_queries: SlowQueryLedger = field(default_factory=SlowQueryLedger)
@@ -84,6 +90,9 @@ class EngineStats:
                 if isinstance(value, int) and not isinstance(value, bool):
                     self.include_totals[name] = self.include_totals.get(name, 0) + value
             self.slow_queries.merge(getattr(outcome, "slow_queries", None))
+        for name, value in (getattr(outcome, "replay", None) or {}).items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                self.replay_totals[name] = self.replay_totals.get(name, 0) + value
         self.retries += max(0, outcome.attempts - 1)
         if outcome.status == "ok":
             if outcome.safe:
@@ -134,6 +143,7 @@ class EngineStats:
             "stage_seconds": {k: round(v, 6) for k, v in sorted(self.stage_seconds.items())},
             "solver": dict(sorted(self.solver_totals.items())),
             "includes": dict(sorted(self.include_totals.items())),
+            "replay": dict(sorted(self.replay_totals.items())),
             "closure_bytes_shipped": self.closure_bytes_shipped,
             "closure_bytes_deduped": self.closure_bytes_deduped,
             "other_statuses": dict(sorted(self.other_statuses.items())),
@@ -211,6 +221,22 @@ class EngineStats:
                 lines.append(
                     f"parse-cache: {self.include_totals.get('parse_cache_hits', 0)} hit(s), "
                     f"{self.include_totals.get('parse_cache_misses', 0)} miss(es)"
+                )
+        if self.replay_totals:
+            replay_parts = [
+                f"{self.replay_totals.get(name, 0)} {name}"
+                for name in ("confirmed", "refuted", "unsupported")
+                if self.replay_totals.get(name, 0)
+            ]
+            lines.append(
+                "replay: " + (", ".join(replay_parts) if replay_parts else "0 traces")
+            )
+            if self.replay_totals.get("patched_refuted", 0) or self.replay_totals.get(
+                "patched_confirmed", 0
+            ):
+                lines.append(
+                    f"patched replay: {self.replay_totals.get('patched_refuted', 0)} "
+                    f"killed, {self.replay_totals.get('patched_confirmed', 0)} survived"
                 )
         if self.closure_bytes_shipped or self.closure_bytes_deduped:
             lines.append(

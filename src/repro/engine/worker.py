@@ -164,6 +164,11 @@ class FileOutcome:
     #: is attached — ``parse_cache_hits``/``parse_cache_misses`` deltas
     #: for this task.  Empty for standalone tasks.
     includes: dict = field(default_factory=dict)
+    #: Concrete witness replay results (``repro.replay``): per-trace
+    #: verdicts plus confirmed/refuted/unsupported counts and the
+    #: patched re-run tallies.  Empty unless the policy enables replay
+    #: and the file verified vulnerable.
+    replay: dict = field(default_factory=dict)
     #: End-to-end seconds for this file as seen by the scheduler.
     duration: float = 0.0
     cached: bool = False
@@ -194,6 +199,7 @@ class FileOutcome:
         "solver",
         "slow_queries",
         "includes",
+        "replay",
     )
 
     def to_record(self) -> dict:
@@ -344,6 +350,16 @@ def _run_stages(
         num_ai_assertions=ai_program.num_assertions,
         warnings=list(ai_program.warnings) + include_warnings,
     )
+
+    replay_info: dict = {}
+    if getattr(websari, "replay", False) and not report.safe:
+        from repro.replay import replay_for_task
+
+        mark = clock()
+        with tracer.span("replay"):
+            replay_info = replay_for_task(task, report)
+        timings["replay"] = clock() - mark
+
     return FileOutcome(
         filename=task.filename,
         status="ok",
@@ -370,6 +386,7 @@ def _run_stages(
             }
             for query in bmc_result.slow_queries
         ],
+        replay=replay_info,
         report=report if want_report else None,
     )
 

@@ -45,6 +45,7 @@ from repro.obs.report import (
     load_audit,
     render_diff,
     render_report,
+    replay_disagreements,
     summarize_run,
 )
 from repro.obs.tracer import (
@@ -81,6 +82,7 @@ __all__ = [
     "render_dashboard",
     "render_diff",
     "render_report",
+    "replay_disagreements",
     "set_tracer",
     "span_from_dict",
     "summarize_run",

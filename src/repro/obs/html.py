@@ -27,7 +27,7 @@ import html as _html
 from bisect import bisect_left
 
 from repro.obs.metrics import DEFAULT_BUCKETS
-from repro.obs.report import AuditRun, stage_quantiles
+from repro.obs.report import AuditRun, replay_disagreements, stage_quantiles
 
 __all__ = ["render_dashboard"]
 
@@ -83,6 +83,21 @@ def _verdict_of(record: dict) -> str:
 def _badge(verdict: str) -> str:
     css = {"safe": "v-safe", "vulnerable": "v-vulnerable"}.get(verdict, "v-failed")
     return f"<span class='badge {css}'>{_esc(verdict)}</span>"
+
+
+def _replay_cell(record: dict) -> str:
+    """Concretely-confirmed cell: ``confirmed/traces`` or an em-dash."""
+    replay = record.get("replay")
+    if not isinstance(replay, dict) or not replay:
+        return "—"
+    confirmed = int(replay.get("confirmed") or 0)
+    total = confirmed + int(replay.get("refuted") or 0) + int(
+        replay.get("unsupported") or 0
+    )
+    text = f"{confirmed}/{total}"
+    if int(replay.get("refuted") or 0) and record.get("safe") is False:
+        return f"<span class='badge v-vulnerable'>{_esc(text)}</span>"
+    return _esc(text)
 
 
 def _fmt_seconds(value) -> str:
@@ -157,6 +172,16 @@ def render_dashboard(run: AuditRun, top: int = 10) -> str:
         (f"{wall:.2f}s" if isinstance(wall, (int, float)) else "—", "wall time"),
         (str(cached), "cache hits"),
     ]
+    replay_confirmed = sum(
+        int((r.get("replay") or {}).get("confirmed") or 0)
+        for r in by_name.values()
+        if isinstance(r.get("replay"), dict)
+    )
+    has_replay = any(
+        isinstance(r.get("replay"), dict) and r["replay"] for r in by_name.values()
+    )
+    if has_replay:
+        tiles.append((str(replay_confirmed), "confirmed"))
     if run.node_stats:
         tiles.append((str(len(run.node_stats)), "nodes"))
     out.append("<section class='tiles'>")
@@ -171,7 +196,8 @@ def render_dashboard(run: AuditRun, top: int = 10) -> str:
     out.append("<h2>Verdicts</h2>")
     out.append("<table class='data' id='verdicts'>")
     out.append(
-        "<tr><th>file</th><th>verdict</th><th class='num'>duration</th>"
+        "<tr><th>file</th><th>verdict</th><th class='num'>confirmed</th>"
+        "<th class='num'>duration</th>"
         "<th class='num'>assertions</th><th>node</th><th>cached</th></tr>"
     )
     for index, filename in enumerate(sorted(by_name)):
@@ -181,6 +207,7 @@ def render_dashboard(run: AuditRun, top: int = 10) -> str:
             "<tr>"
             f"<td><a href='#{anchor}'>{_esc(filename)}</a></td>"
             f"<td>{_badge(_verdict_of(record))}</td>"
+            f"<td class='num'>{_replay_cell(record)}</td>"
             f"<td class='num'>{_fmt_seconds(record.get('duration'))}</td>"
             f"<td class='num'>{record.get('num_ai_assertions', 0)}</td>"
             f"<td>{_esc(record.get('node') or '—')}</td>"
@@ -188,6 +215,15 @@ def render_dashboard(run: AuditRun, top: int = 10) -> str:
             "</tr>"
         )
     out.append("</table>")
+    disagreements = replay_disagreements(records)
+    if disagreements:
+        out.append(
+            "<div class='warn' id='replay-disagreements'>"
+            f"{len(disagreements)} vulnerable verdict(s) with refuted replays "
+            "(candidate false positives): "
+            + ", ".join(_esc(item["filename"]) for item in disagreements)
+            + "</div>"
+        )
 
     # -- per-file drill-down ----------------------------------------------
     out.append("<h2>Per-file detail</h2>")
@@ -212,6 +248,24 @@ def render_dashboard(run: AuditRun, top: int = 10) -> str:
                 f"{_esc(name)} {_esc(value)}" for name, value in sorted(solver.items())
             )
             out.append(f"<div>solver: {parts}</div>")
+        replay = record.get("replay") or {}
+        if replay:
+            out.append(
+                "<div>replay: "
+                f"{int(replay.get('confirmed') or 0)} confirmed · "
+                f"{int(replay.get('refuted') or 0)} refuted · "
+                f"{int(replay.get('unsupported') or 0)} unsupported</div>"
+            )
+            for trace in (replay.get("traces") or [])[:5]:
+                if not isinstance(trace, dict):
+                    continue
+                patched = trace.get("patched")
+                patched_text = f", patched: {patched}" if patched else ""
+                out.append(
+                    f"<div>· assert#{_esc(trace.get('assert_id', '?'))} "
+                    f"{_esc(trace.get('verdict', '?'))}"
+                    f"{_esc(patched_text)} — {_esc(trace.get('reason', ''))}</div>"
+                )
         queries = record.get("slow_queries") or []
         if queries:
             out.append("<div>hardest queries:</div><ul>")

@@ -34,12 +34,13 @@ __all__ = [
     "render_report",
     "summarize_run",
     "stage_quantiles",
+    "replay_disagreements",
     "diff_runs",
     "render_diff",
 ]
 
 #: Pipeline stage order for latency sections (extra stages sort after).
-_STAGE_ORDER = ("parse", "filter", "ai", "sat")
+_STAGE_ORDER = ("parse", "filter", "ai", "sat", "replay")
 
 #: Quantiles surfaced in report latency breakdowns.
 _REPORT_QUANTILES = (0.5, 0.9, 0.99)
@@ -175,6 +176,30 @@ def _sum_dicts(records: list[dict], key: str) -> dict[str, float]:
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 totals[name] = totals.get(name, 0) + value
     return totals
+
+
+def replay_disagreements(records: list[dict]) -> list[dict]:
+    """Vulnerable-but-refuted files: the static verdict said vulnerable,
+    yet every synthesized witness request failed to reach a sink on a
+    fully steered path.  These are the candidate false positives the
+    replay subsystem exists to surface.  Pre-replay records (no
+    ``replay`` section — older streams, replay off) contribute nothing.
+    """
+    out: list[dict] = []
+    for record in records:
+        replay = record.get("replay")
+        if not _is_vulnerable(record) or not isinstance(replay, dict):
+            continue
+        refuted = replay.get("refuted")
+        if isinstance(refuted, int) and not isinstance(refuted, bool) and refuted > 0:
+            out.append(
+                {
+                    "filename": record.get("filename", "?"),
+                    "refuted": refuted,
+                    "confirmed": int(replay.get("confirmed") or 0),
+                }
+            )
+    return out
 
 
 def _failures_by_status(records: list[dict]) -> dict[str, int]:
@@ -362,6 +387,33 @@ def render_report(run: AuditRun, top: int = 10) -> str:
             parts.append(f"parse cache {hits} hit(s) / {misses} miss(es)")
         lines.append("includes: " + ", ".join(parts))
 
+    replay_totals = _sum_dicts(records, "replay")
+    if replay_totals:
+        lines.append(
+            f"replay: {int(replay_totals.get('confirmed', 0))} confirmed, "
+            f"{int(replay_totals.get('refuted', 0))} refuted, "
+            f"{int(replay_totals.get('unsupported', 0))} unsupported"
+            + (
+                f", {int(replay_totals['skipped'])} skipped"
+                if replay_totals.get("skipped")
+                else ""
+            )
+        )
+        killed = int(replay_totals.get("patched_refuted", 0))
+        survived = int(replay_totals.get("patched_confirmed", 0))
+        if killed or survived:
+            lines.append(f"patched replay: {killed} killed, {survived} survived")
+        disagreements = replay_disagreements(records)
+        if disagreements:
+            lines.append(
+                f"replay disagreements (vulnerable but refuted): {len(disagreements)}"
+            )
+            for item in disagreements:
+                lines.append(
+                    f"  {item['filename']}  ({item['refuted']} refuted, "
+                    f"{item['confirmed']} confirmed)"
+                )
+
     slow = run.slow_queries(top=max(0, top))
     if slow:
         lines.append(f"slow queries (top {len(slow)}):")
@@ -440,6 +492,11 @@ def summarize_run(run: AuditRun, top: int = 10) -> dict:
             name: value
             for name, value in sorted(_sum_dicts(records, "includes").items())
         },
+        "replay": {
+            name: value
+            for name, value in sorted(_sum_dicts(records, "replay").items())
+        },
+        "replay_disagreements": replay_disagreements(records),
         "nodes": {
             node: {k: v for k, v in trailer.items() if k not in ("type", "node")}
             for node, trailer in sorted(run.node_stats.items())

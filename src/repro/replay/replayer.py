@@ -1,0 +1,393 @@
+"""The witness replayer: BMC counterexample → concrete HTTP request →
+interpreter run → ``confirmed`` / ``refuted`` / ``unsupported``.
+
+For each :class:`~repro.bmc.trace.CounterexampleTrace` the replayer
+
+1. synthesizes the concrete :class:`HttpRequest` the trace implies — the
+   taint sentinel planted on *every* input the program can read, then
+   overridden by the request constraints solved from the trace's deciding
+   branch decisions (via the span→condition table of
+   :mod:`repro.replay.conditions`);
+2. executes the program through :func:`run_php` and checks the sensitive
+   channels for the intact sentinel;
+3. records the verdict:
+
+   * ``confirmed`` — the sentinel reached a sink.  Confirmation is
+     *optimistic*: an unsolved branch condition does not block it, since
+     an observed exploit is an exploit no matter how the request was
+     steered;
+   * ``refuted`` — no sentinel arrived **and** every deciding branch was
+     solved, so the synthesized request genuinely exercised the witness
+     path and the static verdict looks like a false positive;
+   * ``unsupported`` — the run left the interpreter's subset (runtime
+     error, step budget) or a deciding branch was unsolvable, so the
+     witness is neither confirmed nor contradicted.  Never an audit
+     failure — unsupported traces quarantine.
+
+4. optionally re-runs the *patched* program (cause-site guards from
+   :mod:`repro.instrument`) under the same request, asserting the payload
+   no longer reaches the sink — the auto-patcher's end-to-end validation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.interp.environment import HttpRequest
+from repro.interp.interpreter import PhpRuntimeError, run_php
+from repro.php.parser import parse
+from repro.replay.conditions import (
+    ABSENT,
+    Constraints,
+    collect_input_keys,
+    index_conditions,
+    merge_constraints,
+    solve_condition,
+)
+from repro.replay.sentinel import SENTINEL, sentinel_observed
+
+__all__ = [
+    "ReplayResult",
+    "synthesize_request",
+    "canonical_request",
+    "replay_counterexamples",
+    "replay_source",
+    "summarize_replays",
+    "replay_for_task",
+    "MAX_REPLAYED_TRACES",
+    "REPLAY_MAX_STEPS",
+]
+
+#: Per-file cap on replayed traces: enumeration can produce hundreds of
+#: counterexamples per assertion; replaying each is a full interpreter
+#: run, so the tail is skipped and counted (never silently dropped).
+MAX_REPLAYED_TRACES = 32
+
+#: Step budget per replay run — far above any corpus program, far below
+#: the default interpreter budget, so a steering mistake that produces an
+#: infinite loop degrades to ``unsupported`` quickly.
+REPLAY_MAX_STEPS = 200_000
+
+
+@dataclass
+class ReplayResult:
+    """Verdict for one replayed counterexample trace."""
+
+    assert_id: int
+    function: str
+    span: str
+    verdict: str  # confirmed | refuted | unsupported
+    #: Channel that carried the sentinel (confirmed verdicts only).
+    channel: str | None = None
+    reason: str = ""
+    #: Canonical request payload (see :func:`canonical_request`).
+    request: dict = field(default_factory=dict)
+    #: Deciding branch variables whose conditions could not be solved.
+    unsolved: list[str] = field(default_factory=list)
+    #: Verdict of the re-run against the patched source: ``refuted``
+    #: means the patch killed the witness (the expected outcome),
+    #: ``confirmed`` means the payload still got through, ``unsupported``
+    #: means the patched run left the subset; None when not attempted.
+    patched: str | None = None
+
+    def to_record(self) -> dict:
+        return {
+            "assert_id": self.assert_id,
+            "function": self.function,
+            "span": self.span,
+            "verdict": self.verdict,
+            "channel": self.channel,
+            "reason": self.reason,
+            "request": self.request,
+            "unsolved": list(self.unsolved),
+            "patched": self.patched,
+        }
+
+
+# -- request synthesis -------------------------------------------------------
+
+
+def synthesize_request(
+    condition_table,
+    input_keys,
+    trace,
+) -> tuple[HttpRequest, list[str]]:
+    """Build the concrete request a trace implies.
+
+    Baseline: the sentinel on every readable input (maximally tainted,
+    and truthy for plain branch tests).  Each deciding branch whose
+    source condition solves statically overrides the affected fields;
+    branches that do not solve (or whose constraints conflict with an
+    earlier branch) are returned as ``unsolved``.
+    """
+    constraints: Constraints = {}
+    unsolved: list[str] = []
+    for name in sorted(trace.deciding_branches):
+        value = trace.deciding_branches[name]
+        span = trace.branch_spans.get(name)
+        condition = condition_table.get(span) if span is not None else None
+        solved = solve_condition(condition, value) if condition is not None else None
+        if solved is None:
+            unsolved.append(name)
+            continue
+        merged = merge_constraints(constraints, solved)
+        if merged is None:
+            unsolved.append(name)
+            continue
+        constraints = merged
+
+    fields_: dict[tuple[str, str], str | None] = {
+        slot: SENTINEL for slot in input_keys
+    }
+    fields_.update(constraints)
+
+    request = HttpRequest()
+    channels = {"get": request.get, "post": request.post, "cookie": request.cookies}
+    for (channel, key), value in fields_.items():
+        if value is ABSENT:
+            continue
+        if channel in channels:
+            channels[channel][key] = value
+        elif channel == "referer":
+            request.referer = value
+        elif channel == "user_agent":
+            request.user_agent = value
+    return request, unsolved
+
+
+def canonical_request(request: HttpRequest) -> dict:
+    """Deterministic JSON-safe rendering of a synthesized request."""
+    record: dict = {}
+    for name, mapping in (
+        ("get", request.get),
+        ("post", request.post),
+        ("cookies", request.cookies),
+    ):
+        if mapping:
+            record[name] = {key: mapping[key] for key in sorted(mapping)}
+    if request.referer:
+        record["referer"] = request.referer
+    if request.user_agent:
+        record["user_agent"] = request.user_agent
+    return record
+
+
+def canonical_request_text(request: HttpRequest) -> str:
+    return json.dumps(canonical_request(request), sort_keys=True)
+
+
+# -- replay ------------------------------------------------------------------
+
+
+def _parse_tables(sources: dict[str, str]):
+    """Span→condition table plus input-key inventory over all files.
+
+    Files that fail to parse contribute nothing (their branch conditions
+    stay unsolvable — the optimistic path still applies)."""
+    table: dict = {}
+    input_keys: dict[tuple[str, str], None] = {}
+    for filename, text in sources.items():
+        try:
+            program = parse(text, filename)
+        except Exception:  # noqa: BLE001 - degrade, never crash the audit
+            continue
+        table.update(index_conditions(program))
+        for slot in collect_input_keys(program):
+            input_keys.setdefault(slot, None)
+    return table, list(input_keys)
+
+
+def _run(source, request, files, database, session, max_steps):
+    include_files = {k: v for k, v in files.items()} if files else None
+    return run_php(
+        source,
+        request=request,
+        database=database,
+        files=include_files,
+        session=session,
+        max_steps=max_steps,
+    )
+
+
+def _patched_sources(sources: dict[str, str], grouping) -> dict[str, str]:
+    from repro.instrument.instrumentor import apply_edits, collect_bmc_edits
+
+    patched: dict[str, str] = {}
+    for filename, text in sources.items():
+        edits, _notes = collect_bmc_edits(text, grouping, filename)
+        patched[filename] = apply_edits(text, edits) if edits else text
+    return patched
+
+
+def replay_counterexamples(
+    sources: dict[str, str],
+    entry: str,
+    traces,
+    grouping=None,
+    *,
+    database=None,
+    session=None,
+    max_steps: int = REPLAY_MAX_STEPS,
+    max_traces: int = MAX_REPLAYED_TRACES,
+) -> list[ReplayResult]:
+    """Replay counterexample traces of one verified entry.
+
+    ``sources`` maps filename → text for the entry and everything it may
+    include (a standalone file passes just itself).  With ``grouping``
+    the patched re-run is attempted for confirmed traces.  Pass a shared
+    ``database``/``session`` to replay against accumulated application
+    state (stored-taint scenarios); by default each trace runs against a
+    fresh environment.
+    """
+    condition_table, input_keys = _parse_tables(sources)
+    entry_source = sources[entry]
+    include_files = {k: v for k, v in sources.items() if k != entry} or None
+    patched: dict[str, str] | None = None
+
+    results: list[ReplayResult] = []
+    for trace in traces[:max_traces]:
+        request, unsolved = synthesize_request(condition_table, input_keys, trace)
+        result = ReplayResult(
+            assert_id=trace.assert_id,
+            function=trace.function,
+            span=str(trace.span),
+            verdict="unsupported",
+            request=canonical_request(request),
+            unsolved=unsolved,
+        )
+        # A shared database accumulates query_log entries across runs;
+        # scope observation to queries this run issues.
+        log_start = len(database.query_log) if database is not None else 0
+        try:
+            env = _run(
+                entry_source, request, include_files, database, session, max_steps
+            )
+        except PhpRuntimeError as exc:
+            result.reason = f"interpreter: {exc}"
+            results.append(result)
+            continue
+        except Exception as exc:  # noqa: BLE001 - degrade, never crash
+            result.reason = f"{type(exc).__name__}: {exc}"
+            results.append(result)
+            continue
+
+        channel = sentinel_observed(env, sql_log_start=log_start)
+        if channel is not None:
+            result.verdict = "confirmed"
+            result.channel = channel
+            result.reason = f"sentinel reached {channel} sink"
+        elif unsolved:
+            result.verdict = "unsupported"
+            result.reason = (
+                "sentinel not observed; unsolved branch conditions: "
+                + ", ".join(unsolved)
+            )
+        else:
+            result.verdict = "refuted"
+            result.reason = "sentinel not observed on the fully steered path"
+
+        if result.verdict == "confirmed" and grouping is not None:
+            if patched is None:
+                patched = _patched_sources(sources, grouping)
+            patched_includes = (
+                {k: v for k, v in patched.items() if k != entry} or None
+            )
+            patched_log_start = (
+                len(database.query_log) if database is not None else 0
+            )
+            try:
+                patched_env = _run(
+                    patched[entry],
+                    request,
+                    patched_includes,
+                    database,
+                    session,
+                    max_steps,
+                )
+            except PhpRuntimeError as exc:
+                result.patched = "unsupported"
+                result.reason += f"; patched run: {exc}"
+            except Exception as exc:  # noqa: BLE001
+                result.patched = "unsupported"
+                result.reason += f"; patched run: {type(exc).__name__}: {exc}"
+            else:
+                if sentinel_observed(
+                    patched_env, sql_log_start=patched_log_start
+                ) is None:
+                    result.patched = "refuted"
+                else:
+                    result.patched = "confirmed"
+                    result.reason += "; payload SURVIVED the patch"
+        results.append(result)
+    return results
+
+
+def replay_source(
+    source: str,
+    report,
+    filename: str = "<string>",
+    **kwargs,
+) -> list[ReplayResult]:
+    """Convenience wrapper for a standalone source + VerificationReport."""
+    return replay_counterexamples(
+        {filename: source},
+        filename,
+        report.bmc.all_counterexamples(),
+        report.grouping,
+        **kwargs,
+    )
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def summarize_replays(results: list[ReplayResult], skipped: int = 0) -> dict:
+    """The ``replay`` section of a file record (JSON-safe)."""
+    summary = {
+        "confirmed": 0,
+        "refuted": 0,
+        "unsupported": 0,
+        "patched_refuted": 0,
+        "patched_confirmed": 0,
+        "patched_unsupported": 0,
+        "skipped": skipped,
+        "traces": [result.to_record() for result in results],
+    }
+    for result in results:
+        summary[result.verdict] += 1
+        if result.patched is not None:
+            summary[f"patched_{result.patched}"] += 1
+    return summary
+
+
+def replay_for_task(task, report) -> dict:
+    """Replay every counterexample of one engine task; never raises.
+
+    Returns the ``replay`` record for the task's :class:`FileOutcome`.
+    Any unexpected failure inside the replayer itself degrades to a
+    record with an ``error`` note and all traces ``unsupported``.
+    """
+    traces = report.bmc.all_counterexamples()
+    try:
+        if task.project_files is not None:
+            sources = dict(task.project_files)
+            entry = task.entry or task.filename
+            sources.setdefault(entry, "")
+        else:
+            sources = {task.filename: task.source or ""}
+            entry = task.filename
+        results = replay_counterexamples(
+            sources,
+            entry,
+            traces,
+            report.grouping,
+        )
+        summary = summarize_replays(
+            results, skipped=max(0, len(traces) - MAX_REPLAYED_TRACES)
+        )
+    except Exception as exc:  # noqa: BLE001 - replay must never fail an audit
+        summary = summarize_replays([], skipped=0)
+        summary["unsupported"] = len(traces)
+        summary["error"] = f"{type(exc).__name__}: {exc}"
+    return summary

@@ -1,0 +1,65 @@
+"""Taint sentinel and sink observation for witness replay.
+
+The replayer plants one distinctive payload on the attacker-controlled
+inputs and then checks whether it arrived *unsanitized* at any sensitive
+channel of the executed environment.  The payload is chosen so that every
+sanitizer in the subset destroys it:
+
+* it contains ``'`` and ``"`` — ``addslashes``/``mysql_escape_string``
+  backslash-escape the quotes, so the *full* sentinel no longer appears
+  as a contiguous substring (matching only the tag suffix would miss
+  this, which is why :func:`sentinel_observed` insists on the whole
+  marker);
+* it contains ``<`` and ``>`` — ``htmlspecialchars``/``htmlentities``
+  entity-encode them and ``strip_tags`` removes the tag outright;
+* it is non-numeric — ``intval``/``(int)`` casts collapse it to ``0``;
+* it is truthy as a PHP string, so planting it on a branch input steers
+  plain ``if ($_GET['k'])`` truthiness tests to the then-arm.
+"""
+
+from __future__ import annotations
+
+from repro.interp.environment import ExecutionEnvironment
+
+__all__ = ["SENTINEL", "sentinel_observed", "observation_channels"]
+
+#: The marked attack payload.  Quote characters first so escaping
+#: sanitizers break the match even when the tag part survives.
+SENTINEL = "'\"<xbmc-replay/>"
+
+
+def observation_channels(
+    env: ExecutionEnvironment, *, sql_log_start: int = 0
+) -> dict[str, str]:
+    """Sensitive channels of one finished execution, name → content.
+
+    ``sql_log_start`` scopes the query log to entries this run issued:
+    a shared :class:`MockDatabase` (stored-taint replay sequences)
+    accumulates queries across runs, and a patched re-run must not be
+    blamed for the unpatched run's sentinel-bearing INSERT.
+    """
+    channels = {
+        "response": env.response_body(),
+        "sql": "\n".join(env.database.query_log[sql_log_start:]),
+        "command": "\n".join(env.command_log),
+        "header": "\n".join(env.headers),
+    }
+    channels["sink"] = "\n".join(
+        arg for _fn, args in env.sink_log for arg in args
+    )
+    return channels
+
+
+def sentinel_observed(
+    env: ExecutionEnvironment,
+    sentinel: str = SENTINEL,
+    *,
+    sql_log_start: int = 0,
+) -> str | None:
+    """Name of the first channel carrying the intact sentinel, else None."""
+    for name, content in observation_channels(
+        env, sql_log_start=sql_log_start
+    ).items():
+        if sentinel in content:
+            return name
+    return None

@@ -150,6 +150,7 @@ class WebSSARI:
         sat_incremental: bool = True,
         parse_cache: "ParseCache | None" = None,
         closure_keys: bool = True,
+        replay: bool = False,
     ) -> None:
         self.prelude = prelude if prelude is not None else default_php_prelude()
         self.accumulate = accumulate
@@ -184,6 +185,11 @@ class WebSSARI:
         #: project (entries with dynamic includes conservatively widen
         #: back).  False restores whole-project keying/shipping.
         self.closure_keys = closure_keys
+        #: Concrete witness replay (repro.replay): re-execute every BMC
+        #: counterexample through the interpreter with a synthesized
+        #: request and record confirmed/refuted/unsupported per trace.
+        #: Folded into the engine policy fingerprint.
+        self.replay = replay
 
     @property
     def lattice(self) -> FiniteLattice:

@@ -1,0 +1,80 @@
+"""Shared helpers for end-to-end attack + witness-replay validation.
+
+The ``examples/`` audit scripts each grew their own ad-hoc ``run_php``
+attack check (run the payload, grep a channel for it).  These helpers
+are the promoted, reusable version: one concrete-attack probe over all
+observable channels, and one verify → replay → patched-replay harness
+asserting the full ``confirmed`` → ``refuted`` arc.
+"""
+
+from repro.interp import HttpRequest, run_php
+from repro.replay import replay_source
+from repro.websari.pipeline import WebSSARI
+
+
+def attack_delivered(
+    source: str,
+    request: HttpRequest,
+    needle: str,
+    *,
+    database=None,
+    session=None,
+    files=None,
+) -> bool:
+    """Concrete oracle: does ``needle`` survive intact into any sink?
+
+    Checks the same channels the replayer's sentinel observer watches:
+    response body, SQL query log, command log, headers, and explicit
+    sink-log arguments.
+    """
+    log_start = len(database.query_log) if database is not None else 0
+    env = run_php(
+        source, request=request, database=database, session=session, files=files
+    )
+    if needle in env.response_body():
+        return True
+    if any(needle in query for query in env.database.query_log[log_start:]):
+        return True
+    if any(needle in command for command in env.command_log):
+        return True
+    if any(needle in header for header in env.headers):
+        return True
+    return any(needle in arg for _, args in env.sink_log for arg in args)
+
+
+def verify_and_replay(
+    source: str,
+    filename: str,
+    *,
+    websari: WebSSARI | None = None,
+    database=None,
+    session=None,
+):
+    """Verify one source and replay every counterexample it produced.
+
+    Returns ``(report, results)``.  A shared ``database``/``session``
+    lets stored-taint scenarios accumulate state across calls (poison
+    via the submit script's replay, then observe via the display
+    script's).
+    """
+    websari = websari or WebSSARI()
+    report = websari.verify_source(source, filename=filename)
+    results = replay_source(
+        source, report, filename, database=database, session=session
+    )
+    return report, results
+
+
+def assert_confirmed_then_patch_refutes(results, context: str = "") -> None:
+    """Every trace must replay ``confirmed`` and die under the patch."""
+    assert results, f"{context}: vulnerable report produced no replayable traces"
+    for result in results:
+        assert result.verdict == "confirmed", (
+            f"{context}: expected confirmed, got {result.verdict} "
+            f"({result.reason}) for trace at {result.span}; "
+            f"request={result.request}"
+        )
+        assert result.patched == "refuted", (
+            f"{context}: patched replay should refute the witness, got "
+            f"{result.patched} ({result.reason}) for trace at {result.span}"
+        )

@@ -38,6 +38,7 @@ import pytest
 
 from repro.corpus.generator import generate_fuzz_program
 from repro.interp import HttpRequest, run_php
+from repro.replay import replay_source
 from repro.sat.cache import SatQueryCache
 from repro.websari.pipeline import WebSSARI
 
@@ -125,6 +126,66 @@ class TestStaticVsConcrete:
                 f"fuzz{index}: paper-mode BMC reported vulnerable but no "
                 f"concrete execution leaks (seed={SEED + index})\n"
                 f"source:\n{program.source}"
+            )
+
+
+class TestWitnessReplay:
+    """Third oracle: the replayer must agree with both of the others.
+
+    A paper-mode ``vulnerable`` verdict on a generated program is always
+    witnessed concretely (TestStaticVsConcrete), so its replay must come
+    back ``confirmed`` — and the request the replayer synthesizes must
+    itself be one of the ``2**k`` branch assignments the exhaustive
+    oracle already proved leaky.  Fuzzed branch conditions are plain
+    ``$_GET`` truthiness, so the replayer's condition solver covers all
+    of them: ``unsupported`` here is a bug, not a subset boundary.
+    """
+
+    @pytest.mark.parametrize("index", range(COUNT))
+    def test_vulnerable_verdicts_replay_confirmed(self, index):
+        program = PROGRAMS[index]
+        report = WebSSARI().verify_source(program.source, f"fuzz{index}.php")
+        if report.bmc.safe:
+            pytest.skip("no counterexamples to replay")
+        results = replay_source(program.source, report, f"fuzz{index}.php")
+        assert results, f"fuzz{index}: vulnerable report produced no traces"
+        for result in results:
+            assert result.verdict == "confirmed", (
+                f"fuzz{index}: trace at {result.span} replayed "
+                f"{result.verdict} ({result.reason}); request="
+                f"{result.request} (seed={SEED + index})\n"
+                f"source:\n{program.source}"
+            )
+            assert not result.unsolved, (
+                f"fuzz{index}: branch conditions {result.unsolved} did "
+                f"not solve (seed={SEED + index})\nsource:\n{program.source}"
+            )
+
+    @pytest.mark.parametrize("index", range(COUNT))
+    def test_replayed_requests_match_a_leaky_concrete_execution(self, index):
+        # Map each synthesized request onto its branch-assignment bits
+        # (a key present in the request is the sentinel — truthy; an
+        # absent key reads as '' — falsy) and re-run that exact
+        # assignment with the exhaustive oracle's marker payload: it
+        # must leak, or the replayer steered down a non-witness path.
+        program = PROGRAMS[index]
+        report = WebSSARI().verify_source(program.source, f"fuzz{index}.php")
+        if report.bmc.safe:
+            pytest.skip("no counterexamples to replay")
+        for result in replay_source(program.source, report, f"fuzz{index}.php"):
+            get = result.request.get("get", {})
+            concrete = {program.payload_param: MARKER}
+            for key in program.branch_params:
+                if get.get(key):
+                    concrete[key] = "1"
+            env = run_php(program.source, HttpRequest(get=concrete))
+            leaked = MARKER in env.response_body() or any(
+                MARKER in query for query in env.database.query_log
+            )
+            assert leaked, (
+                f"fuzz{index}: replayed request {result.request} maps to "
+                f"branch assignment {concrete} which does not leak "
+                f"(seed={SEED + index})\nsource:\n{program.source}"
             )
 
 

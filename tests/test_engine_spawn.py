@@ -1,16 +1,24 @@
 """Start-method agnosticism: the worker pool must produce identical
 verdicts under fork and spawn, because the analyzer session travels to
 workers as an explicit setup message instead of relying on fork's
-copied address space."""
+copied address space.  Witness replay rides the same session (the
+``replay`` flag is an attribute of the shipped ``WebSSARI``), so its
+traces and synthesized requests must serialize byte-identically too."""
 
+import json
 import multiprocessing
 
 import pytest
 
 from repro.engine import AuditEngine, AuditTask, EngineConfig, WorkerSession
+from repro.replay import replay_source
 from repro.websari.pipeline import WebSSARI
 
-VULN = "<?php echo $_GET['q'];\n"
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+VULN = "<?php\nif ($_GET['go']) { echo $_GET['q']; }\n"
 SAFE = "<?php echo 'hello';\n"
 
 TASKS = [
@@ -19,9 +27,9 @@ TASKS = [
 ]
 
 
-def run_with(start_method):
+def run_with(start_method, replay=False):
     engine = AuditEngine(
-        websari=WebSSARI(),
+        websari=WebSSARI(replay=replay),
         config=EngineConfig(jobs=2, start_method=start_method),
     )
     tasks = [
@@ -37,10 +45,7 @@ def verdicts():
 
 
 class TestStartMethods:
-    @pytest.mark.parametrize(
-        "method",
-        [m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()],
-    )
+    @pytest.mark.parametrize("method", START_METHODS)
     def test_same_verdicts_under_each_method(self, method):
         assert run_with(method) == verdicts()
 
@@ -50,6 +55,48 @@ class TestStartMethods:
     def test_unsupported_method_rejected_with_alternatives(self):
         with pytest.raises(ValueError, match="start method"):
             run_with("hyperthread")
+
+
+def replay_sections(start_method):
+    """Per-file ``replay`` sections, serialized for byte comparison."""
+    engine = AuditEngine(
+        websari=WebSSARI(replay=True),
+        config=EngineConfig(jobs=2, start_method=start_method),
+    )
+    tasks = [
+        AuditTask(index=i, filename=name, source=src)
+        for i, (name, src) in enumerate(TASKS)
+    ]
+    result = engine.run(tasks)
+    return {
+        o.filename: json.dumps(o.replay, sort_keys=True) for o in result.outcomes
+    }
+
+
+class TestReplayDeterminism:
+    def test_traces_and_requests_serialize_identically_across_runs(self):
+        def once():
+            report = WebSSARI().verify_source(VULN, "vuln.php")
+            canonical_traces = "\n".join(
+                trace.canonical() for trace in report.bmc.all_counterexamples()
+            )
+            requests = [
+                json.dumps(result.request, sort_keys=True)
+                for result in replay_source(VULN, report, "vuln.php")
+            ]
+            return canonical_traces, requests
+
+        first, second = once(), once()
+        assert first == second
+        assert first[1], "vulnerable source must synthesize at least one request"
+
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_replay_sections_byte_identical_under_each_method(self, method):
+        baseline = replay_sections(None)
+        assert replay_sections(method) == baseline
+        vuln = json.loads(baseline["vuln.php"])
+        assert vuln["confirmed"] >= 1 and vuln["refuted"] == 0
+        assert json.loads(baseline["safe.php"]) == {}
 
 
 class TestWorkerSession:

@@ -111,12 +111,13 @@ class TestRenderDashboard:
         model = PageModel()
         model.feed(render_dashboard(fleet_run))
         rows = model.tables["verdicts"]
-        assert rows[0][:2] == ["file", "verdict"]
+        assert rows[0][:3] == ["file", "verdict", "confirmed"]
         by_file = {row[0]: row for row in rows[1:]}
         assert by_file["a.php"][1] == "safe"
         assert by_file["<evil>&.php"][1] == "vulnerable"
         assert by_file["broken.php"][1] == "parse-error"
-        assert by_file["a.php"][4] == "w1"
+        assert by_file["a.php"][2] == "—"  # no replay section
+        assert by_file["a.php"][5] == "w1"
 
     def test_stage_latency_section_has_quantiles_and_bars(self, fleet_run):
         page = render_dashboard(fleet_run)

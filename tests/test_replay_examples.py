@@ -1,0 +1,191 @@
+"""Patch validation for the ``examples/`` audit scenarios.
+
+Each scenario's witness must replay ``confirmed`` against the original
+source and ``refuted`` against the auto-patched source — the end-to-end
+validation of §3.3.4's instrumentation that the paper only argues
+symbolically (Lemma 1).  The sources mirror the example scripts
+verbatim; the ad-hoc ``run_php`` attack checks those scripts carry are
+promoted to the shared helpers in :mod:`replayutil`.
+"""
+
+from replayutil import (
+    assert_confirmed_then_patch_refutes,
+    attack_delivered,
+    verify_and_replay,
+)
+
+from repro.interp import HttpRequest, MockDatabase, run_php
+from repro.replay import SENTINEL
+from repro.websari.pipeline import WebSSARI
+
+# examples/xss_audit.py — the paper's PHP Support Tickets stored XSS
+# (Figures 1-2): submit inserts unsanitized, display renders stored rows.
+SUBMIT = """<?php
+$query = "INSERT INTO tickets_tickets (tickets_username, tickets_subject)
+          VALUES ('{$_SESSION_username}', '{$_POST['ticketsubject']}')";
+$result = @mysql_query($query);
+echo "Ticket submitted.";
+"""
+
+DISPLAY = """<?php
+$query = "SELECT tickets_username, tickets_subject FROM tickets_tickets";
+$result = @mysql_query($query);
+while ($row = @mysql_fetch_array($result)) {
+  extract($row);
+  echo "$tickets_username<BR>$tickets_subject<BR><BR>";
+}
+"""
+
+# examples/sql_injection_audit.py — the ILIAS HTTP_REFERER injection
+# (Figure 3).
+TRACKER = """<?php
+$sql = "INSERT INTO track_temp VALUES('$HTTP_REFERER');";
+mysql_query($sql);
+"""
+
+# examples/oop_audit.py — taint through a PHP4-style class property.
+TICKET_CLASS = """<?php
+class Ticket {
+  var $subject;
+  var $status = 'open';
+  function Ticket($subject) {
+    $this->subject = $subject;
+  }
+  function render_row() {
+    echo '<tr><td>' . $this->subject . '</td><td>' . $this->status . '</td></tr>';
+  }
+  function save() {
+    mysql_query("INSERT INTO tickets (subject, status) VALUES ('{$this->subject}', '{$this->status}')");
+  }
+}
+
+$ticket = new Ticket($_POST['subject']);
+$ticket->save();
+$ticket->render_row();
+"""
+
+
+def ticket_database() -> MockDatabase:
+    db = MockDatabase()
+    db.create_table("tickets_tickets", [])
+    return db
+
+
+def tracker_database() -> MockDatabase:
+    db = MockDatabase()
+    db.create_table("users", [{"name": "admin"}])
+    db.create_table("track_temp", [])
+    return db
+
+
+class TestXssAuditScenario:
+    def test_submit_witness_confirms_and_patch_refutes(self):
+        report, results = verify_and_replay(
+            SUBMIT, "submit.php", database=ticket_database()
+        )
+        assert not report.safe
+        assert_confirmed_then_patch_refutes(results, "submit.php")
+        assert any(result.channel == "sql" for result in results)
+
+    def test_stored_taint_confirms_through_the_database(self):
+        # Display side of the stored-XSS passthrough: a poisoned row
+        # already sitting in the database (what the submit script's
+        # injection leaves behind) must resurface in the rendered
+        # response.  The row is seeded directly because the sentinel's
+        # embedded quote — the very thing that makes it injection-shaped
+        # — terminates the SQL string literal on a genuine INSERT
+        # round-trip and comes back split.
+        db = MockDatabase()
+        db.create_table(
+            "tickets_tickets",
+            [{"tickets_username": "mallory", "tickets_subject": SENTINEL}],
+        )
+        report, display_results = verify_and_replay(
+            DISPLAY, "display.php", database=db
+        )
+        assert not report.safe
+        assert_confirmed_then_patch_refutes(display_results, "display.php")
+        assert any(
+            result.channel == "response" for result in display_results
+        ), "stored sentinel must resurface in the rendered response"
+        # The while condition is an assignment over a fetch — outside
+        # the condition solver's fragment — so it stays unsolved and
+        # confirmation is optimistic, exactly as documented.
+        assert all(result.unsolved == ["b1"] for result in display_results)
+
+    def test_shared_helper_agrees_with_the_example_script(self):
+        # The promoted attack_delivered helper reproduces the example's
+        # inline checks: script payload delivered unpatched, dead patched.
+        payload = "<script>steal()</script>"
+        db = ticket_database()
+        run_php(
+            SUBMIT, request=HttpRequest(post={"ticketsubject": payload}), database=db
+        )
+        assert attack_delivered(DISPLAY, HttpRequest(), "<script>", database=db)
+        websari = WebSSARI()
+        _, patched = websari.patch_source(
+            DISPLAY, filename="display.php", strategy="bmc"
+        )
+        assert not attack_delivered(
+            patched.source, HttpRequest(), "<script>", database=db
+        )
+
+
+class TestSqlInjectionAuditScenario:
+    def test_referer_witness_confirms_and_patch_refutes(self):
+        report, results = verify_and_replay(
+            TRACKER, "tracker.php", database=tracker_database()
+        )
+        assert not report.safe
+        assert_confirmed_then_patch_refutes(results, "tracker.php")
+        assert all(result.channel == "sql" for result in results)
+        # The synthesized request carries the sentinel on the referrer —
+        # the one input this scenario reads.
+        assert all(
+            result.request.get("referer") == SENTINEL for result in results
+        )
+
+    def test_shared_helper_agrees_with_the_example_script(self):
+        attack = "');DROP TABLE ('users"
+        assert attack_delivered(
+            TRACKER,
+            HttpRequest(referer=attack),
+            attack,
+            database=tracker_database(),
+        )
+        websari = WebSSARI()
+        _, patched = websari.patch_source(
+            TRACKER, filename="tracker.php", strategy="bmc"
+        )
+        assert not attack_delivered(
+            patched.source,
+            HttpRequest(referer=attack),
+            attack,
+            database=tracker_database(),
+        )
+
+
+class TestOopAuditScenario:
+    def test_property_witness_confirms_and_patch_refutes(self):
+        report, results = verify_and_replay(TICKET_CLASS, "ticket.php")
+        assert not report.safe
+        assert_confirmed_then_patch_refutes(results, "ticket.php")
+        # The payload rides $_POST['subject'] into both sinks; the
+        # replayer must plant the sentinel on the post channel.
+        assert all(
+            result.request.get("post", {}).get("subject") == SENTINEL
+            for result in results
+        )
+
+    def test_shared_helper_agrees_with_the_example_script(self):
+        payload = "<script>steal()</script>"
+        assert attack_delivered(
+            TICKET_CLASS, HttpRequest(post={"subject": payload}), "<script>"
+        )
+        websari = WebSSARI()
+        _, patched = websari.patch_source(
+            TICKET_CLASS, filename="ticket.php", strategy="bmc"
+        )
+        assert not attack_delivered(
+            patched.source, HttpRequest(post={"subject": payload}), "<script>"
+        )

@@ -1,6 +1,6 @@
 """Tests for audit-stream reporting (repro.obs.report) and the
 ``repro report`` subcommand's exit-code contract (0 clean / 1 regression
-/ 2 malformed)."""
+/ 2 malformed / 3 replay disagreement)."""
 
 import json
 
@@ -14,6 +14,7 @@ from repro.obs import (
     load_audit,
     render_diff,
     render_report,
+    replay_disagreements,
     summarize_run,
 )
 from repro.obs.report import stage_quantiles
@@ -359,6 +360,115 @@ class TestSummarizeRun:
         )
         summary = summarize_run(load_audit(path), top=2)
         assert len(summary["slowest_files"]) == 2
+
+
+def replay_section(confirmed=1, refuted=0, unsupported=0, **extra):
+    section = {
+        "confirmed": confirmed,
+        "refuted": refuted,
+        "unsupported": unsupported,
+        "patched_refuted": confirmed,
+        "patched_confirmed": 0,
+        "patched_unsupported": 0,
+        "skipped": 0,
+        "traces": [],
+    }
+    section.update(extra)
+    return section
+
+
+class TestReplayReporting:
+    def test_pre_replay_streams_tolerated(self, tmp_path):
+        """Streams written before the replay section existed (or with
+        ``--replay off``) must summarize without KeyError."""
+        path = write_stream(
+            tmp_path / "old.jsonl",
+            [file_record("a.php"), file_record("b.php", safe=False)],
+        )
+        run = load_audit(path)
+        summary = summarize_run(run)
+        assert summary["replay"] == {}
+        assert summary["replay_disagreements"] == []
+        assert "replay:" not in render_report(run)
+
+    def test_mixed_streams_aggregate_only_replay_records(self, tmp_path):
+        # One pre-replay record, one annotated: the dict-shaped section
+        # aggregates; the absent one contributes nothing.
+        path = write_stream(
+            tmp_path / "mix.jsonl",
+            [
+                file_record("old.php", safe=False),
+                file_record("new.php", safe=False, replay=replay_section()),
+            ],
+        )
+        summary = summarize_run(load_audit(path))
+        assert summary["replay"]["confirmed"] == 1
+
+    def test_replay_counts_render_in_text_and_json(self, tmp_path):
+        path = write_stream(
+            tmp_path / "r.jsonl",
+            [
+                file_record("a.php", safe=False, replay=replay_section()),
+                file_record(
+                    "b.php", safe=False, replay=replay_section(unsupported=1)
+                ),
+            ],
+        )
+        run = load_audit(path)
+        text = render_report(run)
+        assert "replay: 2 confirmed, 0 refuted, 1 unsupported" in text
+        assert "patched replay: 2 killed, 0 survived" in text
+        summary = summarize_run(run)
+        assert summary["replay"]["confirmed"] == 2
+        assert summary["replay"]["unsupported"] == 1
+
+    def test_disagreements_listed_and_detected(self, tmp_path):
+        path = write_stream(
+            tmp_path / "d.jsonl",
+            [
+                file_record(
+                    "fp.php", safe=False, replay=replay_section(confirmed=0, refuted=2)
+                ),
+                file_record("ok.php", safe=False, replay=replay_section()),
+                # refuted replays on a SAFE record are impossible in
+                # practice but must not be flagged as a disagreement.
+                file_record(
+                    "safe.php", safe=True, replay=replay_section(confirmed=0, refuted=1)
+                ),
+            ],
+        )
+        run = load_audit(path)
+        disagreements = replay_disagreements(run.files)
+        assert [d["filename"] for d in disagreements] == ["fp.php"]
+        text = render_report(run)
+        assert "replay disagreements (vulnerable but refuted): 1" in text
+        assert "fp.php" in text
+
+    def test_cli_exit_three_on_disagreement(self, tmp_path, capsys):
+        path = write_stream(
+            tmp_path / "d.jsonl",
+            [file_record("fp.php", safe=False,
+                         replay=replay_section(confirmed=0, refuted=1))],
+        )
+        assert main(["report", str(path)]) == 3
+        assert "disagreements" in capsys.readouterr().out
+
+    def test_cli_exit_zero_when_replays_agree(self, tmp_path):
+        path = write_stream(
+            tmp_path / "ok.jsonl",
+            [file_record("ok.php", safe=False, replay=replay_section())],
+        )
+        assert main(["report", str(path)]) == 0
+
+    def test_html_renders_confirmed_column(self, tmp_path, capsys):
+        path = write_stream(
+            tmp_path / "r.jsonl",
+            [file_record("a.php", safe=False, replay=replay_section())],
+        )
+        out = tmp_path / "dash.html"
+        assert main(["report", str(path), "--html", str(out)]) == 0
+        page = out.read_text()
+        assert "confirmed" in page
 
 
 class TestReportCli:
